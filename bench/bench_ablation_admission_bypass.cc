@@ -1,0 +1,61 @@
+// Ablation: admission bypass (extension beyond the paper).
+//
+// When egress is nearly free, caching cannot pay for its packing PUTs and
+// capacity; vanilla Macaron converges to Remote *plus* those overheads.
+// The admission-bypass extension detects the optimizer pinning the minimum
+// candidate capacity and stops admitting, closing most of the gap to
+// Remote while leaving normal-price behaviour untouched.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/sim/replay_engine.h"
+
+using namespace macaron;
+
+namespace {
+
+double RunAt(const Trace& t, double egress_scale, bool bypass, double* remote_out) {
+  EngineConfig cfg = macaron::bench::DefaultConfig(Approach::kMacaronNoCluster,
+                                                   DeploymentScenario::kCrossCloud);
+  cfg.prices = cfg.prices.WithEgressScale(egress_scale);
+  cfg.enable_admission_bypass = bypass;
+  const double mac = ReplayEngine(cfg).Run(t).costs.Total();
+  if (remote_out != nullptr) {
+    EngineConfig rc =
+        macaron::bench::DefaultConfig(Approach::kRemote, DeploymentScenario::kCrossCloud);
+    rc.prices = rc.prices.WithEgressScale(egress_scale);
+    *remote_out = ReplayEngine(rc).Run(t).costs.Total();
+  }
+  return mac;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Admission-bypass extension under cheap egress", "extension (§7.6 regime)");
+  std::printf("%-8s %8s | %10s %12s %12s | %s\n", "trace", "egress", "remote$", "macaron$",
+              "mac+bypass$", "bypass effect");
+  for (double scale : {1.0, 0.01}) {
+    double sum_remote = 0;
+    double sum_mac = 0;
+    double sum_byp = 0;
+    for (const char* name : {"ibm9", "ibm12", "ibm96", "uber1", "vmware"}) {
+      const Trace& t = bench::GetTrace(name);
+      double remote = 0;
+      const double mac = RunAt(t, scale, false, &remote);
+      const double byp = RunAt(t, scale, true, nullptr);
+      std::printf("%-8s %7.0f%% | %10.4f %12.4f %12.4f | %+6.1f%%\n", name, scale * 100,
+                  remote, mac, byp, (byp / mac - 1.0) * 100);
+      sum_remote += remote;
+      sum_mac += mac;
+      sum_byp += byp;
+    }
+    std::printf("%-8s %7.0f%% | %10.4f %12.4f %12.4f | %+6.1f%%\n\n", "TOTAL", scale * 100,
+                sum_remote, sum_mac, sum_byp, (sum_byp / sum_mac - 1.0) * 100);
+  }
+  std::printf("Expected: no effect at 100%% egress (the optimizer never pins the floor);\n"
+              "at 1%% the bypass sheds packing-PUT and capacity overheads on traces where\n"
+              "caching cannot pay, moving Macaron toward Remote-plus-VM.\n");
+  return 0;
+}

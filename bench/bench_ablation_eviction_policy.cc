@@ -1,0 +1,52 @@
+// Ablation: OSC replacement policy (LRU vs FIFO vs SLRU vs S3-FIFO).
+//
+// The paper's §8 position: with elastic capacity and cheap storage, getting
+// the *capacity* right matters far more than refining the replacement
+// policy (the Oracular comparison supports this). This ablation runs the
+// full Macaron pipeline with each policy ordering the OSC's lazy eviction.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/sim/replay_engine.h"
+
+using namespace macaron;
+
+int main() {
+  bench::PrintHeader("OSC replacement policy ablation", "§4.2 / §8 (design claim)");
+  const EvictionPolicyKind policies[] = {
+      EvictionPolicyKind::kLru,
+      EvictionPolicyKind::kFifo,
+      EvictionPolicyKind::kSlru,
+      EvictionPolicyKind::kS3Fifo,
+  };
+  std::printf("%-8s", "trace");
+  for (EvictionPolicyKind p : policies) {
+    std::printf(" %11s$", EvictionPolicyName(p));
+  }
+  std::printf(" | max spread\n");
+  double worst_spread = 0.0;
+  for (const char* name : {"ibm9", "ibm12", "ibm18", "ibm55", "ibm83", "uber1", "vmware"}) {
+    const Trace& t = bench::GetTrace(name);
+    std::printf("%-8s", name);
+    double mn = 1e18;
+    double mx = 0.0;
+    for (EvictionPolicyKind p : policies) {
+      EngineConfig cfg =
+          bench::DefaultConfig(Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
+      cfg.packing.policy = p;
+      const double cost = ReplayEngine(cfg).Run(t).costs.Total();
+      std::printf(" %12.4f", cost);
+      mn = std::min(mn, cost);
+      mx = std::max(mx, cost);
+    }
+    const double spread = mx / mn - 1.0;
+    worst_spread = std::max(worst_spread, spread);
+    std::printf(" | %8.1f%%\n", spread * 100);
+  }
+  std::printf("\nWorst policy-induced cost spread: %.1f%%. Compare with the orders-of-\n"
+              "magnitude differences between approaches (Fig 7): capacity choice, not\n"
+              "replacement refinement, is the dominant decision — as the paper argues.\n",
+              worst_spread * 100);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig 1b: total cost of running all 19 workloads cross-cloud under each
+// approach. Paper shape: Macaron cuts ~73% vs Remote, ~81% vs Replicated,
+// ~66% vs ECPC; Oracular improves on Macaron by only ~9%.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace macaron;
+
+int main() {
+  bench::PrintHeader("Total cost of 19 cross-cloud workloads by approach", "Fig 1b");
+  double remote = 0.0;
+  double replicated = 0.0;
+  double ecpc = 0.0;
+  double macaron = 0.0;
+  double oracular = 0.0;
+  for (const std::string& name : bench::AllTraceNames()) {
+    const Trace& t = bench::GetTrace(name);
+    remote += bench::RunApproach(t, Approach::kRemote, DeploymentScenario::kCrossCloud)
+                  .costs.Total();
+    replicated += bench::RunApproach(t, Approach::kReplicated, DeploymentScenario::kCrossCloud)
+                      .costs.Total();
+    ecpc += bench::RunApproach(t, Approach::kEcpc, DeploymentScenario::kCrossCloud)
+                .costs.Total();
+    macaron +=
+        bench::RunApproach(t, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud)
+            .costs.Total();
+    oracular += bench::RunOracle(t, DeploymentScenario::kCrossCloud).costs.Total();
+    std::fprintf(stderr, "  done %s\n", name.c_str());
+  }
+  std::printf("%-12s %12s %18s\n", "approach", "total", "vs. Macaron");
+  std::printf("%-12s %12s %17.2fx\n", "remote", bench::Dollars(remote).c_str(),
+              remote / macaron);
+  std::printf("%-12s %12s %17.2fx\n", "replicated", bench::Dollars(replicated).c_str(),
+              replicated / macaron);
+  std::printf("%-12s %12s %17.2fx\n", "ecpc", bench::Dollars(ecpc).c_str(), ecpc / macaron);
+  std::printf("%-12s %12s %17.2fx\n", "macaron", bench::Dollars(macaron).c_str(), 1.0);
+  std::printf("%-12s %12s %17.2fx\n", "oracular", bench::Dollars(oracular).c_str(),
+              oracular / macaron);
+  std::printf("\nReductions: vs Remote %s, vs Replicated %s, vs ECPC %s; "
+              "Oracular below Macaron by %s\n",
+              bench::Percent(1.0 - macaron / remote).c_str(),
+              bench::Percent(1.0 - macaron / replicated).c_str(),
+              bench::Percent(1.0 - macaron / ecpc).c_str(),
+              bench::Percent(1.0 - oracular / macaron).c_str());
+  std::printf("Paper: 73%% vs Remote, 81%% vs Replicated, 66%% vs ECPC, oracle gap ~9%%.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks (google-benchmark): throughput of the building blocks the
+// controller leans on — LRU/TTL cache ops, Zipf sampling, spatial sampling,
+// the mini-cache bank, consistent-hash routing, OSC packing, and the
+// latency generator.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cache/lru_cache.h"
+#include "src/cache/ttl_cache.h"
+#include "src/cloudsim/latency.h"
+#include "src/cluster/hash_ring.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/minisim/mrc_bank.h"
+#include "src/minisim/size_grid.h"
+#include "src/osc/osc.h"
+#include "src/trace/sampler.h"
+
+namespace macaron {
+namespace {
+
+void BM_LruCacheGetPut(benchmark::State& state) {
+  LruCache cache(64 * 1024 * 1024);
+  Rng rng(1);
+  ZipfSampler zipf(100000, 0.8);
+  for (auto _ : state) {
+    const ObjectId id = zipf.Sample(rng);
+    if (!cache.Get(id)) {
+      cache.Put(id, 4096);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruCacheGetPut);
+
+void BM_TtlCacheGetPut(benchmark::State& state) {
+  TtlCache cache(3600 * 1000);
+  Rng rng(2);
+  ZipfSampler zipf(100000, 0.8);
+  SimTime now = 0;
+  for (auto _ : state) {
+    const ObjectId id = zipf.Sample(rng);
+    now += 10;
+    if (!cache.Get(id, now)) {
+      cache.Put(id, 4096, now);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TtlCacheGetPut);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(3);
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 0.6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1000000);
+
+void BM_SpatialSampler(benchmark::State& state) {
+  const SpatialSampler sampler(0.05, 42);
+  ObjectId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Admit(id++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpatialSampler);
+
+void BM_MrcBankProcess(benchmark::State& state) {
+  MrcBank bank(UniformSizeGrid(50'000'000, 5'000'000'000, static_cast<int>(state.range(0))),
+               0.05, 7);
+  Rng rng(4);
+  ZipfSampler zipf(500000, 0.6);
+  SimTime t = 0;
+  for (auto _ : state) {
+    bank.Process({t++, zipf.Sample(rng), 100000, Op::kGet});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MrcBankProcess)->Arg(48)->Arg(200);
+
+void BM_HashRingRoute(benchmark::State& state) {
+  HashRing ring;
+  for (uint32_t n = 1; n <= 16; ++n) {
+    ring.AddNode(n);
+  }
+  ObjectId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Route(id++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HashRingRoute);
+
+void BM_OscAdmitEvict(benchmark::State& state) {
+  PackingConfig cfg;
+  ObjectStorageCache osc(cfg);
+  Rng rng(5);
+  ZipfSampler zipf(200000, 0.5);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    osc.Admit(zipf.Sample(rng), 100000);
+    if (++i % 4096 == 0) {
+      osc.EvictToCapacity(2'000'000'000);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OscAdmitEvict);
+
+void BM_LatencySample(benchmark::State& state) {
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 400, 6);
+  Rng rng(7);
+  uint64_t size = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.SampleMs(DataSource::kRemoteLake, size, rng));
+    size = (size * 7) % 4'000'000 + 1000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencySample);
+
+}  // namespace
+}  // namespace macaron
+
+BENCHMARK_MAIN();

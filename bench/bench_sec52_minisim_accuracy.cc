@@ -1,0 +1,97 @@
+// §5.2: miniature-simulation accuracy. Per optimization window, compare the
+// sampled mini-cache MRC and BMC against a full (unsampled) simulation over
+// the same grid. Paper: MRC MAE ~0.0023, BMC MAPE ~0.015 across traces.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/minisim/mrc_bank.h"
+#include "src/minisim/reuse_distance.h"
+#include "src/minisim/size_grid.h"
+
+using namespace macaron;
+
+int main() {
+  bench::PrintHeader("Miniature simulation accuracy (MRC MAE / BMC MAPE)", "§5.2");
+  std::printf("%-8s %8s %12s %12s\n", "trace", "ratio", "MRC MAE", "BMC MAPE");
+  double worst_mae = 0.0;
+  for (const std::string& name : HeadlineProfileNames()) {
+    const Trace& t = bench::GetTrace(name);
+    const TraceStats stats = ComputeStats(t);
+    // Match the engine's adaptive sampling floor.
+    const double ratio =
+        std::clamp(2000.0 / static_cast<double>(stats.unique_objects), 0.05, 1.0);
+    const auto grid = UniformSizeGrid(
+        50'000'000, static_cast<uint64_t>(stats.unique_bytes * 1.15), 32);
+    MrcBank full(grid, 1.0, 0);
+    MrcBank mini(grid, ratio, 1234);
+    // Scaled traces carry ~1000x fewer requests per 15-minute window than
+    // the paper's; compare over 6-hour windows so each window holds enough
+    // accesses for the ratio statistics to be meaningful, and skip nearly
+    // empty windows.
+    SimTime boundary = 6 * kHour;
+    double mae_sum = 0.0;
+    double mape_sum = 0.0;
+    uint64_t mae_n = 0;
+    auto flush = [&] {
+      const WindowCurves wf = full.EndWindow();
+      const WindowCurves wm = mini.EndWindow();
+      if (wf.sampled_gets < 50) {
+        return;
+      }
+      for (size_t i = 0; i < grid.size(); ++i) {
+        mae_sum += std::abs(wf.mrc.y(i) - wm.mrc.y(i));
+        if (wf.bmc.y(i) > 0) {
+          mape_sum += std::abs(wf.bmc.y(i) - wm.bmc.y(i)) / wf.bmc.y(i);
+        }
+        ++mae_n;
+      }
+    };
+    for (const Request& r : t.requests) {
+      while (r.time >= boundary) {
+        flush();
+        boundary += 6 * kHour;
+      }
+      full.Process(r);
+      mini.Process(r);
+    }
+    flush();
+    const double mae = mae_sum / static_cast<double>(std::max<uint64_t>(1, mae_n));
+    const double mape = mape_sum / static_cast<double>(std::max<uint64_t>(1, mae_n));
+    worst_mae = std::max(worst_mae, mae);
+    std::printf("%-8s %8.2f %12.4f %12.4f\n", name.c_str(), ratio, mae, mape);
+  }
+  std::printf("\nWorst MRC MAE %.4f (paper: 0.0023 at 5%% sampling on TB-scale traces; "
+              "scaled traces sample at higher ratios for the same object population).\n",
+              worst_mae);
+
+  // Cross-check the *full* simulation itself against the exact
+  // reuse-distance MRC (Mattson/Olken) on one trace: whole-trace curves
+  // must agree closely (they differ only through LRU-boundary effects of
+  // variable object sizes).
+  std::printf("\nFull mini-cache simulation vs exact reuse-distance analysis (ibm18):\n");
+  {
+    const Trace& t = bench::GetTrace("ibm18");
+    const TraceStats stats = ComputeStats(t);
+    const auto grid = UniformSizeGrid(
+        50'000'000, static_cast<uint64_t>(stats.unique_bytes * 1.15), 12);
+    MrcBank full(grid, 1.0, 0);
+    ReuseDistanceAnalyzer exact;
+    for (const Request& r : t.requests) {
+      full.Process(r);
+      exact.Process(r);
+    }
+    const WindowCurves wf = full.EndWindow();
+    const auto ex = exact.Compute(grid);
+    std::printf("%14s %12s %12s\n", "capacityGB", "sim MRC", "exact MRC");
+    double mae = 0;
+    for (size_t i = 0; i < grid.size(); ++i) {
+      std::printf("%14.2f %12.4f %12.4f\n", static_cast<double>(grid[i]) / 1e9, wf.mrc.y(i),
+                  ex.mrc.y(i));
+      mae += std::abs(wf.mrc.y(i) - ex.mrc.y(i));
+    }
+    std::printf("MAE vs exact: %.4f\n", mae / static_cast<double>(grid.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// §7.3: value of frequent reconfiguration. Adaptive Macaron at 15-minute
+// windows versus coarser windows (1h, 6h, 24h) and versus a static capacity
+// fixed to the first optimized (day-1) choice.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/sim/replay_engine.h"
+
+using namespace macaron;
+
+int main() {
+  bench::PrintHeader("Reconfiguration cadence: 15 min vs coarser vs static", "§7.3");
+  std::printf("%-8s %10s %10s %10s %10s %10s | %16s\n", "trace", "15min", "1h", "6h", "24h",
+              "static", "15min vs static");
+  double sum15 = 0, sum_static = 0;
+  for (const char* name : {"ibm9", "ibm12", "ibm55", "ibm80", "ibm83", "vmware", "uber1"}) {
+    const Trace& t = bench::GetTrace(name);
+    double costs[4];
+    RunResult r15;
+    int i = 0;
+    for (SimDuration w : {15 * kMinute, kHour, 6 * kHour, 24 * kHour}) {
+      EngineConfig cfg =
+          bench::DefaultConfig(Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
+      cfg.window = w;
+      RunResult r = ReplayEngine(cfg).Run(t);
+      costs[i++] = r.costs.Total();
+      if (w == 15 * kMinute) {
+        r15 = std::move(r);
+      }
+    }
+    EngineConfig static_cfg =
+        bench::DefaultConfig(Approach::kStaticCapacity, DeploymentScenario::kCrossCloud);
+    static_cfg.static_capacity_bytes = std::max<uint64_t>(r15.first_optimized_capacity, 1);
+    const double static_cost = ReplayEngine(static_cfg).Run(t).costs.Total();
+    std::printf("%-8s %10.4f %10.4f %10.4f %10.4f %10.4f | %15s\n", name, costs[0], costs[1],
+                costs[2], costs[3], static_cost,
+                bench::Percent(1.0 - costs[0] / static_cost).c_str());
+    sum15 += costs[0];
+    sum_static += static_cost;
+  }
+  std::printf("\nOverall: adaptive 15-min reconfiguration saves %s vs the day-1 static "
+              "configuration (paper: avg 12%% cross-cloud; shrinking 24h->15min saves "
+              "another ~4%%).\n",
+              bench::Percent(1.0 - sum15 / sum_static).c_str());
+  return 0;
+}

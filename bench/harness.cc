@@ -1,0 +1,85 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <map>
+
+#include "src/sim/replay_engine.h"
+#include "src/trace/splitter.h"
+
+namespace macaron {
+namespace bench {
+
+const Trace& GetTrace(const std::string& name) {
+  static std::map<std::string, Trace>* cache = new std::map<std::string, Trace>();
+  auto it = cache->find(name);
+  if (it == cache->end()) {
+    const WorkloadProfile p = ProfileByName(name);
+    it = cache->emplace(name, SplitObjects(GenerateTrace(p), p.max_object_bytes)).first;
+  }
+  return it->second;
+}
+
+std::vector<std::string> AllTraceNames() {
+  std::vector<std::string> names;
+  for (const WorkloadProfile& p : AllProfiles()) {
+    names.push_back(p.name);
+  }
+  return names;
+}
+
+std::vector<std::string> IbmTraceNames() {
+  std::vector<std::string> names;
+  for (const WorkloadProfile& p : AllProfiles()) {
+    if (p.name.rfind("ibm", 0) == 0) {
+      names.push_back(p.name);
+    }
+  }
+  return names;
+}
+
+EngineConfig DefaultConfig(Approach a, DeploymentScenario scenario, bool measure_latency) {
+  EngineConfig cfg;
+  cfg.approach = a;
+  cfg.prices = PriceBook::Aws(scenario);
+  cfg.scenario = scenario == DeploymentScenario::kCrossCloud ? LatencyScenario::kCrossCloudUs
+                                                             : LatencyScenario::kCrossRegionUs;
+  cfg.measure_latency = measure_latency;
+  cfg.num_minicaches = 48;
+  return cfg;
+}
+
+RunResult RunApproach(const Trace& t, Approach a, DeploymentScenario scenario,
+                      bool measure_latency) {
+  return ReplayEngine(DefaultConfig(a, scenario, measure_latency)).Run(t);
+}
+
+OracularResult RunOracle(const Trace& t, DeploymentScenario scenario, bool measure_latency) {
+  const EngineConfig cfg = DefaultConfig(Approach::kRemote, scenario, measure_latency);
+  if (!measure_latency) {
+    return RunOracular(t, cfg.prices, nullptr, cfg.seed);
+  }
+  GroundTruthLatency truth(cfg.scenario);
+  FittedLatencyGenerator fitted(truth, 400, cfg.seed ^ 0xfeed);
+  return RunOracular(t, cfg.prices, &fitted, cfg.seed);
+}
+
+void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s)\n", title.c_str(), paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+std::string Dollars(double d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "$%.4f", d);
+  return buf;
+}
+
+std::string Percent(double frac) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", frac * 100.0);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace macaron

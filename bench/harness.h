@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper: it
+// builds the synthetic trace suite, runs the relevant approaches, and prints
+// the same rows/series the paper reports. Absolute dollar values differ
+// from the paper (traces are synthetic and byte-scaled); the shapes —
+// who wins, by what factor, where crossovers fall — are the reproduction
+// target (see EXPERIMENTS.md).
+
+#ifndef MACARON_BENCH_HARNESS_H_
+#define MACARON_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/oracle/oracular.h"
+#include "src/sim/engine_config.h"
+#include "src/sim/run_result.h"
+#include "src/trace/synthetic.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+namespace bench {
+
+// Generates (and memoizes) the split trace for a workload profile name.
+const Trace& GetTrace(const std::string& name);
+
+// Names of all 19 workloads / the 15 IBM workloads.
+std::vector<std::string> AllTraceNames();
+std::vector<std::string> IbmTraceNames();
+
+// Default engine configuration for a deployment scenario.
+EngineConfig DefaultConfig(Approach a, DeploymentScenario scenario,
+                           bool measure_latency = false);
+
+// Runs one approach over one trace with the default configuration.
+RunResult RunApproach(const Trace& t, Approach a, DeploymentScenario scenario,
+                      bool measure_latency = false);
+
+// Runs the Oracular offline optimal.
+OracularResult RunOracle(const Trace& t, DeploymentScenario scenario,
+                         bool measure_latency = false);
+
+// Prints a section header.
+void PrintHeader(const std::string& title, const std::string& paper_ref);
+
+// Formats a dollar value / a percentage.
+std::string Dollars(double d);
+std::string Percent(double frac);
+
+}  // namespace bench
+}  // namespace macaron
+
+#endif  // MACARON_BENCH_HARNESS_H_

@@ -1,0 +1,72 @@
+// Multi-cloud analytics scenario (the paper's §2 motivation): a company
+// runs a Presto-style analytics stack in cloud A against a data lake in
+// cloud B. This example builds a *custom* workload profile through the
+// public API (rather than a canned one), evaluates today's setup (Remote),
+// the two naive alternatives, and Macaron with and without the DRAM tier,
+// under both cross-cloud and cross-region pricing — the adoption decision
+// matrix.
+
+#include <cstdio>
+
+#include "src/sim/replay_engine.h"
+#include "src/trace/splitter.h"
+#include "src/trace/synthetic.h"
+
+using namespace macaron;
+
+int main() {
+  // A 10-day analytics workload: 60 GB lake slice, streaming ingestion read
+  // by periodic jobs, moderately skewed.
+  WorkloadProfile p;
+  p.name = "analytics";
+  p.duration = 10 * kDay;
+  p.seed = 2026;
+  p.dataset_bytes = 30ull * 1000 * 1000 * 1000;
+  p.mean_object_bytes = 1'000'000;
+  p.get_bytes = 120ull * 1000 * 1000 * 1000;
+  p.zipf_alpha = 0.6;
+  p.arrival = ArrivalPattern::kPeriodicJobs;
+  p.fresh_get_fraction = 0.10;
+  p.recent_get_fraction = 0.30;
+  p.recent_get_spread = 1500.0;
+  const Trace trace = SplitObjects(GenerateTrace(p), p.max_object_bytes);
+  const TraceStats stats = ComputeStats(trace);
+  std::printf("analytics workload: %s\n\n", stats.Summary().c_str());
+
+  for (DeploymentScenario scenario :
+       {DeploymentScenario::kCrossCloud, DeploymentScenario::kCrossRegion}) {
+    std::printf("--- %s ---\n", scenario == DeploymentScenario::kCrossCloud
+                                    ? "cross-cloud (9c/GB egress)"
+                                    : "cross-region (2c/GB egress)");
+    std::printf("%-14s %10s %10s | %8s %8s   %s\n", "approach", "total$", "egress$", "avg ms",
+                "p99 ms", "verdict");
+    double remote_cost = 0.0;
+    for (Approach a : {Approach::kRemote, Approach::kReplicated, Approach::kEcpc,
+                       Approach::kMacaronNoCluster, Approach::kMacaron}) {
+      EngineConfig cfg;
+      cfg.approach = a;
+      cfg.prices = PriceBook::Aws(scenario);
+      cfg.scenario = scenario == DeploymentScenario::kCrossCloud
+                         ? LatencyScenario::kCrossCloudUs
+                         : LatencyScenario::kCrossRegionUs;
+      const RunResult r = ReplayEngine(cfg).Run(trace);
+      if (a == Approach::kRemote) {
+        remote_cost = r.costs.Total();
+      }
+      std::printf("%-14s %10.4f %10.4f | %8.1f %8.1f   %s\n", r.approach_name.c_str(),
+                  r.costs.Total(), r.costs.Get(CostCategory::kEgress), r.MeanLatencyMs(),
+                  r.latency_ms.Quantile(0.99),
+                  r.costs.Total() < remote_cost
+                      ? ("saves " + std::to_string(static_cast<int>(
+                                        100.0 * (1.0 - r.costs.Total() / remote_cost))) +
+                         "% vs remote")
+                            .c_str()
+                      : "baseline");
+    }
+    std::printf("\n");
+  }
+  std::printf("Reading the matrix: Macaron minimizes dollars; add the DRAM tier when the\n"
+              "latency SLO demands it; full replication only pays off if the whole lake\n"
+              "is hot (it is not: the dark-data share makes it the costliest option).\n");
+  return 0;
+}

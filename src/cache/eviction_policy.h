@@ -1,0 +1,75 @@
+// Pluggable eviction policies.
+//
+// Macaron uses LRU for both the OSC and the DRAM cache by default, but the
+// design explicitly allows alternatives (§4.2), and its central claim is
+// that *capacity* selection matters more than replacement refinement (§8,
+// supported by the Oracular comparison). This interface lets the OSC and
+// the miniature simulation swap policies so that claim can be tested:
+//
+//   * kLru     — least recently used (the default)
+//   * kFifo    — insertion order, no promotion (It's-time-to-revisit-LRU's
+//                FIFO, the policy of the IBM trace paper)
+//   * kSlru    — segmented LRU (20% probationary / 80% protected)
+//   * kS3Fifo  — simplified S3-FIFO (small + main FIFO queues and a ghost
+//                table; SOSP'23)
+//
+// All policies are metadata-only and byte-capacity bounded.
+
+#ifndef MACARON_SRC_CACHE_EVICTION_POLICY_H_
+#define MACARON_SRC_CACHE_EVICTION_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/trace/request.h"
+
+namespace macaron {
+
+enum class EvictionPolicyKind {
+  kLru,
+  kFifo,
+  kSlru,
+  kS3Fifo,
+};
+
+const char* EvictionPolicyName(EvictionPolicyKind kind);
+
+// The contract shared by all policies. Semantics mirror LruCache: Get
+// touches (policy-defined), Put inserts or refreshes and evicts to fit,
+// objects larger than the capacity are not admitted.
+class EvictionCache {
+ public:
+  using EvictCallback = std::function<void(ObjectId, uint64_t size)>;
+  using VisitFn = std::function<bool(ObjectId, uint64_t size)>;
+
+  virtual ~EvictionCache() = default;
+
+  virtual bool Get(ObjectId id) = 0;
+  virtual bool Contains(ObjectId id) const = 0;
+  virtual void Put(ObjectId id, uint64_t size) = 0;
+  virtual bool Erase(ObjectId id) = 0;
+  virtual void Resize(uint64_t capacity_bytes) = 0;
+
+  virtual uint64_t capacity() const = 0;
+  virtual uint64_t used_bytes() const = 0;
+  virtual size_t num_entries() const = 0;
+
+  virtual void set_evict_callback(EvictCallback cb) = 0;
+
+  // Iterates from the next eviction victim toward the most-protected entry.
+  virtual void ForEachEvictOrder(const VisitFn& fn) const = 0;
+  // Iterates from the most-protected entry toward the next victim (used by
+  // cache priming, which wants the hottest data first).
+  virtual void ForEachHotOrder(const VisitFn& fn) const = 0;
+
+  virtual EvictionPolicyKind kind() const = 0;
+};
+
+// Factory. Capacity in bytes.
+std::unique_ptr<EvictionCache> MakeEvictionCache(EvictionPolicyKind kind,
+                                                 uint64_t capacity_bytes);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CACHE_EVICTION_POLICY_H_

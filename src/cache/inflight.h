@@ -1,0 +1,66 @@
+// In-flight request tracking.
+//
+// When uncached data is accessed again before the first remote fetch
+// completes, Macaron's cache engine delays the duplicate instead of issuing
+// a second egress-charged fetch (§5.2). The delayed request still
+// experiences remote-access latency. This table tracks outstanding fetch
+// completion times per object; both the engines and the latency mini-caches
+// consult it (the "false positive hit" fix of Fig 5b).
+
+#ifndef MACARON_SRC_CACHE_INFLIGHT_H_
+#define MACARON_SRC_CACHE_INFLIGHT_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/sim_time.h"
+#include "src/trace/request.h"
+
+namespace macaron {
+
+class InflightTable {
+ public:
+  // Records a fetch for `id` completing at `completion`.
+  void Insert(ObjectId id, SimTime completion) {
+    auto [it, inserted] = pending_.try_emplace(id, completion);
+    if (!inserted && completion > it->second) {
+      it->second = completion;
+    }
+  }
+
+  // If a fetch for `id` is still outstanding at `now`, returns its
+  // completion time; otherwise clears any stale entry and returns nullopt.
+  std::optional<SimTime> Pending(ObjectId id, SimTime now) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return std::nullopt;
+    }
+    if (it->second <= now) {
+      pending_.erase(it);
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  void Erase(ObjectId id) { pending_.erase(id); }
+  size_t size() const { return pending_.size(); }
+
+  // Drops entries completed before `now` (periodic housekeeping so the table
+  // does not grow with trace length).
+  void Sweep(SimTime now) {
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second <= now) {
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  std::unordered_map<ObjectId, SimTime> pending_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CACHE_INFLIGHT_H_

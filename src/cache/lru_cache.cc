@@ -1,0 +1,87 @@
+#include "src/cache/lru_cache.h"
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+bool LruCache::Get(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+uint64_t LruCache::SizeOf(ObjectId id) const {
+  const auto it = index_.find(id);
+  return it == index_.end() ? 0 : it->second->size;
+}
+
+void LruCache::Put(ObjectId id, uint64_t size) {
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    used_ -= it->second->size;
+    used_ += size;
+    it->second->size = size;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (used_ > capacity_) {
+      EvictToFit(0);
+    }
+    return;
+  }
+  if (size > capacity_) {
+    return;  // cannot admit
+  }
+  EvictToFit(size);
+  lru_.push_front(Entry{id, size});
+  index_[id] = lru_.begin();
+  used_ += size;
+}
+
+bool LruCache::Erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  used_ -= it->second->size;
+  lru_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void LruCache::Resize(uint64_t capacity_bytes) {
+  capacity_ = capacity_bytes;
+  EvictToFit(0);
+}
+
+void LruCache::EvictToFit(uint64_t incoming) {
+  while (used_ + incoming > capacity_ && !lru_.empty()) {
+    const Entry victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim.id);
+    used_ -= victim.size;
+    if (evict_cb_) {
+      evict_cb_(victim.id, victim.size);
+    }
+  }
+  MACARON_CHECK(used_ + incoming <= capacity_ || lru_.empty());
+}
+
+void LruCache::ForEachMruToLru(const std::function<bool(ObjectId, uint64_t)>& fn) const {
+  for (const Entry& e : lru_) {
+    if (!fn(e.id, e.size)) {
+      return;
+    }
+  }
+}
+
+void LruCache::ForEachLruToMru(const std::function<bool(ObjectId, uint64_t)>& fn) const {
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (!fn(it->id, it->size)) {
+      return;
+    }
+  }
+}
+
+}  // namespace macaron

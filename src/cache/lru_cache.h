@@ -1,0 +1,70 @@
+// Byte-capacity LRU cache (metadata-only).
+//
+// The simulator never stores object payloads, so one implementation serves
+// DRAM cache nodes, ghost caches, and the miniature-simulation mini-caches.
+// Capacity is in bytes; entries carry their object size. Eviction callbacks
+// let owners account for evicted bytes.
+
+#ifndef MACARON_SRC_CACHE_LRU_CACHE_H_
+#define MACARON_SRC_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "src/trace/request.h"
+
+namespace macaron {
+
+class LruCache {
+ public:
+  using EvictCallback = std::function<void(ObjectId, uint64_t size)>;
+
+  explicit LruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  // Looks up `id`, promoting it to MRU on hit. Returns true on hit.
+  bool Get(ObjectId id);
+  // Looks up without promoting (for inspection).
+  bool Contains(ObjectId id) const { return index_.contains(id); }
+  // Returns the stored size of `id`, or 0 if absent.
+  uint64_t SizeOf(ObjectId id) const;
+
+  // Inserts or refreshes `id`; evicts LRU entries if needed. Objects larger
+  // than the capacity are not admitted.
+  void Put(ObjectId id, uint64_t size);
+  // Removes `id` if present; returns true if it was present.
+  bool Erase(ObjectId id);
+
+  // Changes capacity; evicts immediately if shrinking.
+  void Resize(uint64_t capacity_bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t num_entries() const { return index_.size(); }
+
+  void set_evict_callback(EvictCallback cb) { evict_cb_ = std::move(cb); }
+
+  // Iterates entries from MRU to LRU until `fn` returns false.
+  void ForEachMruToLru(const std::function<bool(ObjectId, uint64_t)>& fn) const;
+  // Iterates entries from LRU to MRU until `fn` returns false.
+  void ForEachLruToMru(const std::function<bool(ObjectId, uint64_t)>& fn) const;
+
+ private:
+  struct Entry {
+    ObjectId id;
+    uint64_t size;
+  };
+
+  void EvictToFit(uint64_t incoming);
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::list<Entry> lru_;  // front = MRU
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  EvictCallback evict_cb_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CACHE_LRU_CACHE_H_

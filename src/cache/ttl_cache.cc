@@ -1,0 +1,63 @@
+#include "src/cache/ttl_cache.h"
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+bool TtlCache::Get(ObjectId id, SimTime now) {
+  Expire(now);
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  it->second->last_access = now;
+  order_.splice(order_.begin(), order_, it->second);
+  return true;
+}
+
+void TtlCache::Put(ObjectId id, uint64_t size, SimTime now) {
+  Expire(now);
+  const auto it = index_.find(id);
+  if (it != index_.end()) {
+    used_ -= it->second->size;
+    used_ += size;
+    it->second->size = size;
+    it->second->last_access = now;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(Entry{id, size, now});
+  index_[id] = order_.begin();
+  used_ += size;
+}
+
+bool TtlCache::Erase(ObjectId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  used_ -= it->second->size;
+  order_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+void TtlCache::Expire(SimTime now) {
+  while (!order_.empty() && order_.back().last_access + ttl_ < now) {
+    const Entry victim = order_.back();
+    order_.pop_back();
+    index_.erase(victim.id);
+    used_ -= victim.size;
+    if (evict_cb_) {
+      evict_cb_(victim.id, victim.size);
+    }
+  }
+}
+
+void TtlCache::SetTtl(SimDuration ttl, SimTime now) {
+  MACARON_CHECK(ttl > 0);
+  ttl_ = ttl;
+  Expire(now);
+}
+
+}  // namespace macaron

@@ -1,0 +1,65 @@
+// TTL cache with sliding expiry (an item is evicted once it has not been
+// accessed for TTL). Because every access refreshes the expiry by the same
+// TTL, entries stay ordered by last access, so the structure is an LRU list
+// with timestamps and expiry is an O(expired) scan from the cold end.
+//
+// Used by Macaron-TTL (§5.1, Appendix B) and by the static-TTL baselines of
+// Fig 13. There is no capacity bound: object storage is elastic; the TTL is
+// the only eviction driver.
+
+#ifndef MACARON_SRC_CACHE_TTL_CACHE_H_
+#define MACARON_SRC_CACHE_TTL_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/sim_time.h"
+#include "src/trace/request.h"
+
+namespace macaron {
+
+class TtlCache {
+ public:
+  using EvictCallback = std::function<void(ObjectId, uint64_t size)>;
+
+  explicit TtlCache(SimDuration ttl) : ttl_(ttl) {}
+
+  // Looks up `id` at time `now`. On hit, refreshes the entry's expiry.
+  bool Get(ObjectId id, SimTime now);
+  // Inserts or refreshes `id`.
+  void Put(ObjectId id, uint64_t size, SimTime now);
+  // Removes `id` if present.
+  bool Erase(ObjectId id);
+
+  // Evicts every entry whose last access is older than now - ttl. Called
+  // lazily by Get/Put and explicitly at window boundaries.
+  void Expire(SimTime now);
+
+  // Changes the TTL and immediately expires under the new value.
+  void SetTtl(SimDuration ttl, SimTime now);
+
+  SimDuration ttl() const { return ttl_; }
+  uint64_t used_bytes() const { return used_; }
+  size_t num_entries() const { return index_.size(); }
+
+  void set_evict_callback(EvictCallback cb) { evict_cb_ = std::move(cb); }
+
+ private:
+  struct Entry {
+    ObjectId id;
+    uint64_t size;
+    SimTime last_access;
+  };
+
+  SimDuration ttl_;
+  uint64_t used_ = 0;
+  std::list<Entry> order_;  // front = most recently accessed
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  EvictCallback evict_cb_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CACHE_TTL_CACHE_H_

@@ -1,0 +1,39 @@
+#include "src/cloudsim/event_queue.h"
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+void EventQueue::Schedule(SimTime when, Callback cb) {
+  MACARON_CHECK(when >= now_);
+  heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; move out via const_cast is the
+  // standard-blessed workaround's ugly cousin — copy the callback instead.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  ev.cb(now_);
+  return true;
+}
+
+void EventQueue::RunAll() {
+  while (RunNext()) {
+  }
+}
+
+void EventQueue::RunUntil(SimTime until) {
+  while (!heap_.empty() && heap_.top().time <= until) {
+    RunNext();
+  }
+  if (until > now_) {
+    now_ = until;
+  }
+}
+
+}  // namespace macaron

@@ -1,0 +1,134 @@
+#include "src/cloudsim/latency.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/units.h"
+
+namespace macaron {
+
+const char* DataSourceName(DataSource s) {
+  switch (s) {
+    case DataSource::kCacheCluster:
+      return "cache-cluster";
+    case DataSource::kOsc:
+      return "osc";
+    case DataSource::kRemoteLake:
+      return "remote-lake";
+    case DataSource::kFlash:
+      return "flash";
+    default:
+      return "unknown";
+  }
+}
+
+GroundTruthLatency::GroundTruthLatency(LatencyScenario scenario) {
+  // DRAM cache node over the local network: ~1 ms first byte, ~1 GB/s.
+  params_[static_cast<size_t>(DataSource::kCacheCluster)] = SourceParams{
+      GammaDistribution::FitMoments(1.2, 0.16), /*bytes_per_ms=*/1.0e6, /*jitter=*/0.1};
+  // Local object storage: tens of ms first byte, ~200 MB/s effective.
+  params_[static_cast<size_t>(DataSource::kOsc)] = SourceParams{
+      GammaDistribution::FitMoments(22.0, 90.0), /*bytes_per_ms=*/2.0e5, /*jitter=*/0.15};
+  // NVMe flash cache node over the local network: a few ms, ~500 MB/s.
+  params_[static_cast<size_t>(DataSource::kFlash)] = SourceParams{
+      GammaDistribution::FitMoments(3.0, 1.0), /*bytes_per_ms=*/5.0e5, /*jitter=*/0.1};
+  // Remote data lake: hundreds of ms, scenario-dependent.
+  SourceParams remote;
+  switch (scenario) {
+    case LatencyScenario::kCrossCloudUs:
+      remote = SourceParams{GammaDistribution::FitMoments(140.0, 1600.0),
+                            /*bytes_per_ms=*/5.0e4, /*jitter=*/0.2};
+      break;
+    case LatencyScenario::kCrossRegionUs:
+      remote = SourceParams{GammaDistribution::FitMoments(120.0, 1200.0),
+                            /*bytes_per_ms=*/5.0e4, /*jitter=*/0.2};
+      break;
+    case LatencyScenario::kCrossRegionUsEu:
+      remote = SourceParams{GammaDistribution::FitMoments(280.0, 6400.0),
+                            /*bytes_per_ms=*/2.5e4, /*jitter=*/0.25};
+      break;
+  }
+  params_[static_cast<size_t>(DataSource::kRemoteLake)] = remote;
+}
+
+double GroundTruthLatency::SampleMs(DataSource source, uint64_t size, Rng& rng) const {
+  const SourceParams& p = Params(source);
+  const double first_byte = p.first_byte.Sample(rng);
+  const double transfer = static_cast<double>(size) / p.bytes_per_ms;
+  const double jittered =
+      transfer <= 0.0
+          ? 0.0
+          : std::max(0.0, rng.NextNormal(transfer, transfer * p.transfer_jitter));
+  return first_byte + jittered;
+}
+
+double GroundTruthLatency::MeanMs(DataSource source, uint64_t size) const {
+  const SourceParams& p = Params(source);
+  return p.first_byte.Mean() + static_cast<double>(size) / p.bytes_per_ms;
+}
+
+namespace {
+
+// Calibration size buckets; each covers sizes up to the next bucket's
+// representative size (geometric spacing, 1 KB .. 4 MB).
+const std::vector<uint64_t>& BucketSizesImpl() {
+  static const std::vector<uint64_t> kSizes = {
+      1 * kKB, 4 * kKB, 16 * kKB, 64 * kKB, 256 * kKB, 1 * kMB, 4 * kMB};
+  return kSizes;
+}
+
+}  // namespace
+
+const std::vector<uint64_t>& FittedLatencyGenerator::BucketSizes() {
+  return BucketSizesImpl();
+}
+
+size_t FittedLatencyGenerator::BucketIndex(uint64_t size) {
+  const auto& sizes = BucketSizesImpl();
+  // Choose the bucket whose representative size is nearest in log space,
+  // i.e. the first representative >= size, preferring the smaller one when
+  // closer.
+  size_t i = 0;
+  while (i + 1 < sizes.size() && sizes[i] < size) {
+    ++i;
+  }
+  if (i > 0 && size > 0) {
+    const double hi = static_cast<double>(sizes[i]) / static_cast<double>(size);
+    const double lo = static_cast<double>(size) / static_cast<double>(sizes[i - 1]);
+    if (lo < hi) {
+      --i;
+    }
+  }
+  return i;
+}
+
+FittedLatencyGenerator::FittedLatencyGenerator(const GroundTruthLatency& truth,
+                                               int samples_per_bucket, uint64_t seed) {
+  MACARON_CHECK(samples_per_bucket >= 2);
+  Rng rng(seed);
+  const auto& sizes = BucketSizesImpl();
+  for (int s = 0; s < static_cast<int>(DataSource::kNumSources); ++s) {
+    const DataSource source = static_cast<DataSource>(s);
+    auto& fits = fits_[static_cast<size_t>(s)];
+    fits.reserve(sizes.size());
+    for (uint64_t size : sizes) {
+      std::vector<double> samples;
+      samples.reserve(static_cast<size_t>(samples_per_bucket));
+      for (int i = 0; i < samples_per_bucket; ++i) {
+        samples.push_back(truth.SampleMs(source, size, rng));
+      }
+      fits.push_back(GammaDistribution::FitSamples(samples));
+    }
+  }
+}
+
+double FittedLatencyGenerator::SampleMs(DataSource source, uint64_t size, Rng& rng) const {
+  const auto& fit = fits_[static_cast<size_t>(source)][BucketIndex(size)];
+  return fit.Sample(rng);
+}
+
+double FittedLatencyGenerator::FittedMeanMs(DataSource source, uint64_t size) const {
+  return fits_[static_cast<size_t>(source)][BucketIndex(size)].Mean();
+}
+
+}  // namespace macaron

@@ -1,0 +1,102 @@
+// Access latency modeling.
+//
+// The paper's simulator measures object retrieval latency on a real cloud
+// for a range of object sizes and data sources (cache cluster, local object
+// storage, remote data lake), fits a Gamma distribution per (source, size)
+// and samples from the fit (§7.1, Appendix A.5). We reproduce both sides:
+//
+//   * GroundTruthLatency plays the role of "the real cloud": an analytic
+//     model (Gamma-distributed first-byte latency plus size/bandwidth
+//     transfer time with jitter) parameterized per deployment scenario to
+//     match §2's measurements (10s of ms local, 100s of ms cross-region,
+//     2-5x higher average for real workloads).
+//   * FittedLatencyGenerator is the simulator's generator: built by drawing
+//     calibration samples from a ground truth per (source, size bucket) and
+//     fitting Gamma by moments. Engines and the ALC miniature simulation
+//     sample from the fit, exactly as the paper's simulator does.
+
+#ifndef MACARON_SRC_CLOUDSIM_LATENCY_H_
+#define MACARON_SRC_CLOUDSIM_LATENCY_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/gamma.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace macaron {
+
+// Where a GET is served from.
+enum class DataSource : int {
+  kCacheCluster = 0,  // local DRAM cache node
+  kOsc = 1,           // local object storage (OSC or local replica)
+  kRemoteLake = 2,    // the remote data lake (cross-cloud/region)
+  kFlash = 3,         // local NVMe flash cache node (§4.1 future work)
+  kNumSources = 4,
+};
+
+const char* DataSourceName(DataSource s);
+
+// Geographic/provider configuration for the remote hop.
+enum class LatencyScenario {
+  kCrossCloudUs,    // different provider, both coasts of the US
+  kCrossRegionUs,   // same provider, N. Virginia <-> N. California
+  kCrossRegionUsEu, // same provider, N. Virginia <-> Frankfurt (§7.6)
+};
+
+// Common interface for anything that can produce a per-access latency.
+class LatencySampler {
+ public:
+  virtual ~LatencySampler() = default;
+  // Latency in milliseconds for fetching `size` bytes from `source`.
+  virtual double SampleMs(DataSource source, uint64_t size, Rng& rng) const = 0;
+};
+
+// Analytic "real cloud" latency.
+class GroundTruthLatency : public LatencySampler {
+ public:
+  explicit GroundTruthLatency(LatencyScenario scenario);
+
+  double SampleMs(DataSource source, uint64_t size, Rng& rng) const override;
+  // The distribution mean (for validation).
+  double MeanMs(DataSource source, uint64_t size) const;
+
+ private:
+  struct SourceParams {
+    GammaDistribution first_byte;  // ms
+    double bytes_per_ms = 1.0;     // transfer bandwidth
+    double transfer_jitter = 0.1;  // relative sd of the transfer term
+  };
+
+  const SourceParams& Params(DataSource source) const {
+    return params_[static_cast<size_t>(source)];
+  }
+
+  std::array<SourceParams, static_cast<size_t>(DataSource::kNumSources)> params_;
+};
+
+// Gamma-per-bucket generator fit from calibration samples.
+class FittedLatencyGenerator : public LatencySampler {
+ public:
+  // Draws `samples_per_bucket` calibration measurements per (source, size
+  // bucket) from `truth` and fits each bucket by moments.
+  FittedLatencyGenerator(const GroundTruthLatency& truth, int samples_per_bucket, uint64_t seed);
+
+  double SampleMs(DataSource source, uint64_t size, Rng& rng) const override;
+  // Fitted mean for a bucket (validation, Fig 15).
+  double FittedMeanMs(DataSource source, uint64_t size) const;
+
+  // Representative object size of each calibration bucket.
+  static const std::vector<uint64_t>& BucketSizes();
+  static size_t BucketIndex(uint64_t size);
+
+ private:
+  std::array<std::vector<GammaDistribution>, static_cast<size_t>(DataSource::kNumSources)> fits_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CLOUDSIM_LATENCY_H_

@@ -1,0 +1,92 @@
+#include "src/cluster/cache_cluster.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+CacheCluster::CacheCluster(uint64_t node_capacity_bytes) : node_capacity_(node_capacity_bytes) {
+  MACARON_CHECK(node_capacity_bytes > 0);
+}
+
+std::vector<uint32_t> CacheCluster::Resize(size_t nodes) {
+  std::vector<uint32_t> added;
+  while (num_nodes() < nodes) {
+    const uint32_t id = next_node_id_++;
+    nodes_.emplace(id, LruCache(node_capacity_));
+    ring_.AddNode(id);
+    added.push_back(id);
+  }
+  while (num_nodes() > nodes) {
+    // Terminate the most recently launched node (simple LIFO policy).
+    uint32_t victim = 0;
+    for (const auto& [id, cache] : nodes_) {
+      victim = std::max(victim, id);
+    }
+    ring_.RemoveNode(victim);
+    nodes_.erase(victim);
+  }
+  return added;
+}
+
+bool CacheCluster::Get(ObjectId id) {
+  if (ring_.empty()) {
+    return false;
+  }
+  return nodes_.at(ring_.Route(id)).Get(id);
+}
+
+void CacheCluster::Put(ObjectId id, uint64_t size) {
+  if (ring_.empty()) {
+    return;
+  }
+  nodes_.at(ring_.Route(id)).Put(id, size);
+}
+
+void CacheCluster::Delete(ObjectId id) {
+  if (ring_.empty()) {
+    return;
+  }
+  nodes_.at(ring_.Route(id)).Erase(id);
+}
+
+uint64_t CacheCluster::Prime(const ObjectStorageCache& osc,
+                             const std::vector<uint32_t>& new_nodes) {
+  if (new_nodes.empty() || ring_.empty()) {
+    return 0;
+  }
+  const std::unordered_set<uint32_t> targets(new_nodes.begin(), new_nodes.end());
+  // A node is full for priming purposes once adding more would evict.
+  std::unordered_set<uint32_t> full;
+  uint64_t primed = 0;
+  osc.ForEachMruToLru([&](ObjectId id, uint64_t size) {
+    const uint32_t owner = ring_.Route(id);
+    if (!targets.contains(owner) || full.contains(owner)) {
+      return true;
+    }
+    LruCache& node = nodes_.at(owner);
+    if (node.used_bytes() + size > node.capacity()) {
+      full.insert(owner);
+      // Stop once every target node has filled.
+      return full.size() < targets.size();
+    }
+    if (!node.Contains(id)) {
+      node.Put(id, size);
+      ++primed;
+    }
+    return true;
+  });
+  return primed;
+}
+
+uint64_t CacheCluster::used_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, cache] : nodes_) {
+    total += cache.used_bytes();
+  }
+  return total;
+}
+
+}  // namespace macaron

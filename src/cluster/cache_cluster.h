@@ -1,0 +1,53 @@
+// Elastic DRAM cache cluster (§4.2, §6.2).
+//
+// The first caching level: consistent-hashed LRU nodes (26 GiB usable each,
+// matching cache.r5.xlarge). The controller scales the node count; newly
+// launched nodes are primed from the OSC's LRU order so that low-RPS object
+// storage workloads do not leave fresh capacity cold.
+
+#ifndef MACARON_SRC_CLUSTER_CACHE_CLUSTER_H_
+#define MACARON_SRC_CLUSTER_CACHE_CLUSTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/lru_cache.h"
+#include "src/cluster/hash_ring.h"
+#include "src/osc/osc.h"
+
+namespace macaron {
+
+class CacheCluster {
+ public:
+  explicit CacheCluster(uint64_t node_capacity_bytes);
+
+  // Scales to `nodes`; returns ids of newly launched nodes (for priming).
+  std::vector<uint32_t> Resize(size_t nodes);
+
+  // Routed operations. Get promotes on hit.
+  bool Get(ObjectId id);
+  void Put(ObjectId id, uint64_t size);
+  void Delete(ObjectId id);
+
+  // Preloads `new_nodes` from the OSC LRU order (hottest first) until each
+  // node is full or the OSC is exhausted. Only objects routed to a new node
+  // are loaded. Returns the number of objects primed (each costs one OSC
+  // byte-range GET, charged by the caller).
+  uint64_t Prime(const ObjectStorageCache& osc, const std::vector<uint32_t>& new_nodes);
+
+  size_t num_nodes() const { return ring_.num_nodes(); }
+  uint64_t node_capacity() const { return node_capacity_; }
+  uint64_t total_capacity() const { return node_capacity_ * num_nodes(); }
+  uint64_t used_bytes() const;
+
+ private:
+  uint64_t node_capacity_;
+  HashRing ring_;
+  std::unordered_map<uint32_t, LruCache> nodes_;
+  uint32_t next_node_id_ = 1;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CLUSTER_CACHE_CLUSTER_H_

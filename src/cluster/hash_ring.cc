@@ -1,0 +1,35 @@
+#include "src/cluster/hash_ring.h"
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+
+namespace macaron {
+
+void HashRing::AddNode(uint32_t node_id) {
+  for (int r = 0; r < virtual_replicas_; ++r) {
+    const uint64_t pos = Mix64(Mix64(node_id) + static_cast<uint64_t>(r));
+    ring_[pos] = node_id;
+  }
+  ++num_nodes_;
+}
+
+void HashRing::RemoveNode(uint32_t node_id) {
+  for (int r = 0; r < virtual_replicas_; ++r) {
+    const uint64_t pos = Mix64(Mix64(node_id) + static_cast<uint64_t>(r));
+    ring_.erase(pos);
+  }
+  MACARON_CHECK(num_nodes_ > 0);
+  --num_nodes_;
+}
+
+uint32_t HashRing::Route(ObjectId id) const {
+  MACARON_CHECK(!ring_.empty());
+  const uint64_t h = Mix64(id);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->second;
+}
+
+}  // namespace macaron

@@ -1,0 +1,37 @@
+// Consistent-hash ring used by Macaron clients to route requests to cache
+// nodes (§4.2). Virtual replicas smooth the load distribution; scaling the
+// cluster moves only the minimal share of the key space.
+
+#ifndef MACARON_SRC_CLUSTER_HASH_RING_H_
+#define MACARON_SRC_CLUSTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "src/trace/request.h"
+
+namespace macaron {
+
+class HashRing {
+ public:
+  explicit HashRing(int virtual_replicas = 64) : virtual_replicas_(virtual_replicas) {}
+
+  void AddNode(uint32_t node_id);
+  void RemoveNode(uint32_t node_id);
+
+  // Returns the node owning `id`. Ring must be non-empty.
+  uint32_t Route(ObjectId id) const;
+
+  bool empty() const { return ring_.empty(); }
+  size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  int virtual_replicas_;
+  size_t num_nodes_ = 0;
+  std::map<uint64_t, uint32_t> ring_;  // position -> node
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CLUSTER_HASH_RING_H_

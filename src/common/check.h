@@ -1,0 +1,38 @@
+// Lightweight invariant checking for the Macaron library.
+//
+// MACARON_CHECK aborts with a diagnostic when a runtime invariant is violated.
+// It is always on (unlike assert), because simulation results computed from a
+// corrupted state are worse than a crash.
+
+#ifndef MACARON_SRC_COMMON_CHECK_H_
+#define MACARON_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace macaron {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "MACARON_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace macaron
+
+#define MACARON_CHECK(expr)                                 \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::macaron::CheckFailed(#expr, __FILE__, __LINE__);    \
+    }                                                       \
+  } while (0)
+
+// Checks that are cheap enough to keep in hot paths in debug builds only.
+#ifndef NDEBUG
+#define MACARON_DCHECK(expr) MACARON_CHECK(expr)
+#else
+#define MACARON_DCHECK(expr) \
+  do {                       \
+  } while (0)
+#endif
+
+#endif  // MACARON_SRC_COMMON_CHECK_H_

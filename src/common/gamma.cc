@@ -1,0 +1,31 @@
+#include "src/common/gamma.h"
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace macaron {
+
+GammaDistribution GammaDistribution::FitMoments(double mean, double variance) {
+  MACARON_CHECK(mean > 0);
+  GammaDistribution g;
+  if (variance <= 0) {
+    // Near-deterministic: huge shape, tiny scale.
+    g.shape = 1e6;
+    g.scale = mean / g.shape;
+    return g;
+  }
+  g.shape = mean * mean / variance;
+  g.scale = variance / mean;
+  return g;
+}
+
+GammaDistribution GammaDistribution::FitSamples(const std::vector<double>& samples) {
+  MACARON_CHECK(!samples.empty());
+  StreamingStats stats;
+  for (double s : samples) {
+    stats.Add(s);
+  }
+  return FitMoments(stats.mean(), stats.variance());
+}
+
+}  // namespace macaron

@@ -1,0 +1,33 @@
+// Gamma distribution with moment-based fitting.
+//
+// The Macaron simulator models component-to-component access latency with
+// Gamma distributions fit to measured samples (paper §7.1, Appendix A.5).
+
+#ifndef MACARON_SRC_COMMON_GAMMA_H_
+#define MACARON_SRC_COMMON_GAMMA_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace macaron {
+
+// A Gamma(shape k, scale theta) distribution. Mean = k*theta,
+// variance = k*theta^2.
+struct GammaDistribution {
+  double shape = 1.0;
+  double scale = 1.0;
+
+  double Mean() const { return shape * scale; }
+  double Variance() const { return shape * scale * scale; }
+  double Sample(Rng& rng) const { return rng.NextGamma(shape, scale); }
+
+  // Method-of-moments fit. Degenerate samples (zero variance) fall back to a
+  // near-deterministic distribution around the mean.
+  static GammaDistribution FitMoments(double mean, double variance);
+  static GammaDistribution FitSamples(const std::vector<double>& samples);
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_COMMON_GAMMA_H_

@@ -1,0 +1,27 @@
+// Stateless 64-bit mixing, used for spatial sampling and consistent hashing.
+
+#ifndef MACARON_SRC_COMMON_HASH_H_
+#define MACARON_SRC_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace macaron {
+
+// Finalizer from MurmurHash3; a high-quality stateless 64-bit mixer.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combines two 64-bit values into one hash (order-sensitive).
+inline constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_COMMON_HASH_H_

@@ -1,0 +1,85 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  MACARON_CHECK(bound > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+double Rng::NextExponential(double rate) {
+  MACARON_CHECK(rate > 0);
+  return -std::log(NextDoublePositive()) / rate;
+}
+
+double Rng::NextGamma(double shape, double scale) {
+  MACARON_CHECK(shape > 0 && scale > 0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and apply the standard correction.
+    const double u = NextDoublePositive();
+    return NextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = 0.0;
+    double v = 0.0;
+    do {
+      x = NextNormal(0.0, 1.0);
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = NextDoublePositive();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return d * v * scale;
+    }
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v * scale;
+    }
+  }
+}
+
+double Rng::NextNormal(double mean, double stddev) {
+  const double u1 = NextDoublePositive();
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+uint64_t Rng::NextPoisson(double mean) {
+  MACARON_CHECK(mean >= 0);
+  if (mean == 0) {
+    return 0;
+  }
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for workload
+  // generation at large request rates.
+  const double x = NextNormal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<uint64_t>(x + 0.5);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(NextNormal(mu, sigma));
+}
+
+}  // namespace macaron

@@ -1,0 +1,49 @@
+// Simulated time.
+//
+// All Macaron components run against a logical clock in milliseconds since
+// the start of a trace. Durations use the same representation. Billing
+// months follow the common cloud convention of 30 days.
+
+#ifndef MACARON_SRC_COMMON_SIM_TIME_H_
+#define MACARON_SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace macaron {
+
+// Milliseconds since trace start.
+using SimTime = int64_t;
+// A span of simulated time in milliseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMillisecond = 1;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+// Billing month: the 30-day convention used by cloud capacity pricing.
+inline constexpr SimDuration kBillingMonth = 30 * kDay;
+
+// Converts a duration to fractional hours (for per-hour billing).
+inline constexpr double DurationHours(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kHour);
+}
+
+// Converts a duration to fractional 30-day billing months.
+inline constexpr double DurationMonths(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kBillingMonth);
+}
+
+// Converts a duration to fractional seconds.
+inline constexpr double DurationSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+// Converts a duration to fractional days.
+inline constexpr double DurationDays(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kDay);
+}
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_COMMON_SIM_TIME_H_

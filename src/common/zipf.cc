@@ -1,0 +1,67 @@
+#include "src/common/zipf.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+namespace {
+
+// helper(x) = (exp(x) - 1) / x, stable near 0.
+double ExpM1Over(double x) {
+  if (std::abs(x) < 1e-8) {
+    return 1.0 + x / 2.0;
+  }
+  return std::expm1(x) / x;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  MACARON_CHECK(n >= 1);
+  MACARON_CHECK(alpha >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha_));
+}
+
+// H(x) = integral of 1/t^alpha from 1 to x (generalized to alpha == 1).
+double ZipfSampler::H(double x) const {
+  const double log_x = std::log(x);
+  return ExpM1Over((1.0 - alpha_) * log_x) * log_x;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(1.0 - alpha_) < 1e-9) {
+    return std::exp(x);
+  }
+  const double t = x * (1.0 - alpha_);
+  if (t < -1.0) {
+    return 1.0;
+  }
+  return std::exp(std::log1p(t) / (1.0 - alpha_));
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) {
+    return 0;
+  }
+  // Uniform alpha == 1 is a removable singularity in HInverse; nudge.
+  for (;;) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ || u >= H(kd + 0.5) - std::exp(-std::log(kd) * alpha_)) {
+      return k - 1;  // convert 1-based rank to 0-based
+    }
+  }
+}
+
+}  // namespace macaron

@@ -1,0 +1,42 @@
+// Zipf-distributed sampling over [0, n) with arbitrary exponent alpha >= 0.
+//
+// Cloud object storage popularity follows Zipf with low exponents
+// (alpha < 0.6 for most of the paper's traces), so the sampler must handle
+// alpha < 1 efficiently for millions of items. We use Hormann's
+// rejection-inversion method (also used by YCSB), which is O(1) per sample
+// after O(1) setup.
+
+#ifndef MACARON_SRC_COMMON_ZIPF_H_
+#define MACARON_SRC_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace macaron {
+
+class ZipfSampler {
+ public:
+  // n: number of distinct items; alpha: skew (0 = uniform).
+  ZipfSampler(uint64_t n, double alpha);
+
+  // Returns a rank in [0, n); rank 0 is the most popular item.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_COMMON_ZIPF_H_

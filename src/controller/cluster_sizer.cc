@@ -1,0 +1,36 @@
+#include "src/controller/cluster_sizer.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+ClusterDecision SizeCluster(const Curve& alc, double target_latency_ms,
+                            uint64_t node_capacity_bytes, size_t max_nodes) {
+  MACARON_CHECK(!alc.empty());
+  MACARON_CHECK(node_capacity_bytes > 0);
+  ClusterDecision d;
+  size_t idx = alc.FirstBelow(target_latency_ms);
+  if (idx < alc.size()) {
+    d.met_target = true;
+  } else {
+    // No capacity meets the target: pick the knee, but only when the knee
+    // buys a meaningful latency improvement over the minimal cluster —
+    // compulsory-miss-bound workloads get no useful help from more DRAM.
+    const double first = alc.y(0);
+    idx = alc.KneeIndex();
+    if (first <= 0.0 || alc.y(idx) > 0.85 * first) {
+      idx = 0;
+    }
+  }
+  d.capacity_bytes = static_cast<uint64_t>(alc.x(idx));
+  d.predicted_latency_ms = alc.y(idx);
+  const uint64_t nodes64 =
+      (d.capacity_bytes + node_capacity_bytes - 1) / node_capacity_bytes;
+  d.nodes = static_cast<size_t>(std::min<uint64_t>(nodes64, max_nodes));
+  d.nodes = std::max<size_t>(d.nodes, 1);
+  return d;
+}
+
+}  // namespace macaron

@@ -1,0 +1,33 @@
+// Cache cluster sizing (§5.1).
+//
+// Macaron provisions the minimal cluster capacity whose predicted average
+// latency (from the latest ALC) meets the target — the latency the workload
+// would see from a full local replica. When no capacity can meet the target
+// (high compulsory miss ratios), it falls back to the ALC's knee point via
+// the maximum-curvature method, beyond which more DRAM buys no latency.
+
+#ifndef MACARON_SRC_CONTROLLER_CLUSTER_SIZER_H_
+#define MACARON_SRC_CONTROLLER_CLUSTER_SIZER_H_
+
+#include <cstdint>
+
+#include "src/common/curve.h"
+
+namespace macaron {
+
+struct ClusterDecision {
+  uint64_t capacity_bytes = 0;
+  size_t nodes = 0;
+  bool met_target = false;   // threshold satisfied vs knee fallback
+  double predicted_latency_ms = 0.0;
+};
+
+// alc: x = cluster capacity bytes, y = predicted mean latency (ms).
+// target_latency_ms: the replica-equivalent latency to beat.
+// node_capacity_bytes: usable DRAM per node; max_nodes caps the fleet.
+ClusterDecision SizeCluster(const Curve& alc, double target_latency_ms,
+                            uint64_t node_capacity_bytes, size_t max_nodes);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CONTROLLER_CLUSTER_SIZER_H_

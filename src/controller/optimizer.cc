@@ -1,0 +1,50 @@
+#include "src/controller/optimizer.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+Curve ExpectedCostCurve(const OptimizerInputs& in, const PriceBook& prices) {
+  MACARON_CHECK(!in.mrc.empty());
+  MACARON_CHECK(in.mrc.xs() == in.bmc.xs());
+  MACARON_CHECK(in.objects_per_block >= 1.0);
+  std::vector<double> ys;
+  ys.reserve(in.mrc.size());
+  for (size_t i = 0; i < in.mrc.size(); ++i) {
+    const double capacity = in.mrc.x(i);
+    const uint64_t billed =
+        static_cast<uint64_t>(capacity) + in.garbage_bytes;
+    double capacity_cost = 0.0;
+    switch (in.pricing) {
+      case CapacityPricing::kObjectStorage:
+        capacity_cost = prices.StorageCost(billed, in.window);
+        break;
+      case CapacityPricing::kDram:
+        capacity_cost = prices.DramCost(billed, in.window);
+        break;
+      case CapacityPricing::kFlash:
+        capacity_cost = prices.FlashCost(billed, in.window);
+        break;
+    }
+    const double egress_cost =
+        prices.EgressCost(static_cast<uint64_t>(std::max(0.0, in.bmc.y(i))));
+    const double admissions = in.window_writes + in.window_reads * in.mrc.y(i);
+    const double op_cost =
+        prices.put_per_request * admissions / in.objects_per_block;
+    ys.push_back(capacity_cost + egress_cost + op_cost);
+  }
+  return Curve(in.mrc.xs(), std::move(ys));
+}
+
+CapacityDecision OptimizeCapacity(const OptimizerInputs& in, const PriceBook& prices) {
+  CapacityDecision d;
+  d.cost_curve = ExpectedCostCurve(in, prices);
+  const size_t best = d.cost_curve.ArgMin();
+  d.capacity_bytes = static_cast<uint64_t>(d.cost_curve.x(best));
+  d.expected_cost = d.cost_curve.y(best);
+  return d;
+}
+
+}  // namespace macaron

@@ -1,0 +1,61 @@
+// Capacity optimizer (§5.1).
+//
+// Builds the expected-cost curve over candidate OSC capacities for the next
+// optimization window:
+//
+//   TotalCost(C) = CapacityCost(C + GarbageSize)
+//                + EgressPrice * BMC(C)
+//                + PutPrice * (#Writes + #Reads * MRC(C)) / ObjectsPerBlock
+//
+// and picks the minimizing capacity. A DRAM-priced variant supports the
+// ECPC baseline (same optimizer, DRAM capacity cost, no packing).
+
+#ifndef MACARON_SRC_CONTROLLER_OPTIMIZER_H_
+#define MACARON_SRC_CONTROLLER_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "src/common/curve.h"
+#include "src/common/sim_time.h"
+#include "src/pricing/price_book.h"
+
+namespace macaron {
+
+// How cache capacity is billed in the expected-cost model.
+enum class CapacityPricing {
+  kObjectStorage,  // Macaron's OSC: $/GB-month of object storage
+  kDram,           // ECPC: $/GB-month of DRAM
+  kFlash,          // flash cache tier: $/GB-month of NVMe block storage
+};
+
+struct OptimizerInputs {
+  // Aggregated (decayed, request-weighted) curves over the shared capacity
+  // grid. BMC y-values are bytes expected to miss in one window.
+  Curve mrc;
+  Curve bmc;
+  // Expected request counts for the next window.
+  double window_writes = 0.0;
+  double window_reads = 0.0;
+  // Current OSC garbage (packing dead bytes), billed on top of capacity.
+  uint64_t garbage_bytes = 0;
+  // Effective packing factor (1 when packing is disabled).
+  double objects_per_block = 1.0;
+  SimDuration window = 15 * kMinute;
+  CapacityPricing pricing = CapacityPricing::kObjectStorage;
+};
+
+struct CapacityDecision {
+  uint64_t capacity_bytes = 0;
+  double expected_cost = 0.0;  // dollars per window at the chosen capacity
+  Curve cost_curve;            // full curve, for Fig 4a / Fig 10
+};
+
+// Expected dollars per window as a function of capacity.
+Curve ExpectedCostCurve(const OptimizerInputs& in, const PriceBook& prices);
+
+// Minimizes the expected-cost curve.
+CapacityDecision OptimizeCapacity(const OptimizerInputs& in, const PriceBook& prices);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CONTROLLER_OPTIMIZER_H_

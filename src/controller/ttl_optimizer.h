@@ -1,0 +1,43 @@
+// Macaron-TTL optimizer (Appendix B).
+//
+// Same cost structure as the capacity optimizer, but parameterized by TTL:
+//
+//   TotalCost(TTL) = CapacityCost(OscCapacityCurve(TTL) + GarbageSize)
+//                  + EgressPrice * BMC(TTL)
+//                  + PutPrice * (#Writes + #Reads * MRC(TTL)) / ObjectsPerBlock
+//
+// The OSC Capacity Curve comes from the TTL miniature simulation (capacity
+// is an output of the TTL choice, not an input).
+
+#ifndef MACARON_SRC_CONTROLLER_TTL_OPTIMIZER_H_
+#define MACARON_SRC_CONTROLLER_TTL_OPTIMIZER_H_
+
+#include "src/common/curve.h"
+#include "src/common/sim_time.h"
+#include "src/pricing/price_book.h"
+
+namespace macaron {
+
+struct TtlOptimizerInputs {
+  Curve mrc;       // x: TTL ms
+  Curve bmc;       // x: TTL ms, y: bytes per window
+  Curve capacity;  // x: TTL ms, y: expected resident bytes
+  double window_writes = 0.0;
+  double window_reads = 0.0;
+  uint64_t garbage_bytes = 0;
+  double objects_per_block = 1.0;
+  SimDuration window = 15 * kMinute;
+};
+
+struct TtlDecision {
+  SimDuration ttl = 0;
+  double expected_cost = 0.0;
+  Curve cost_curve;  // x: TTL ms, y: dollars per window
+};
+
+Curve ExpectedTtlCostCurve(const TtlOptimizerInputs& in, const PriceBook& prices);
+TtlDecision OptimizeTtl(const TtlOptimizerInputs& in, const PriceBook& prices);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CONTROLLER_TTL_OPTIMIZER_H_

@@ -1,0 +1,91 @@
+#include "src/minisim/mrc_bank.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+MrcBank::MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
+                 EvictionPolicyKind policy)
+    : grid_(std::move(grid)), ratio_(ratio), sampler_(ratio, salt) {
+  MACARON_CHECK(!grid_.empty());
+  MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
+  caches_.reserve(grid_.size());
+  for (uint64_t capacity : grid_) {
+    const uint64_t mini = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(capacity) * ratio_));
+    caches_.push_back(MakeEvictionCache(policy, mini));
+  }
+  window_misses_.assign(grid_.size(), 0);
+  window_missed_bytes_.assign(grid_.size(), 0);
+}
+
+void MrcBank::Process(const Request& r) {
+  ++window_requests_;
+  if (r.op == Op::kGet) {
+    ++window_gets_;
+  }
+  if (!sampler_.Admit(r.id)) {
+    return;
+  }
+  switch (r.op) {
+    case Op::kGet:
+      for (size_t i = 0; i < caches_.size(); ++i) {
+        if (!caches_[i]->Get(r.id)) {
+          ++window_misses_[i];
+          window_missed_bytes_[i] += r.size;
+          caches_[i]->Put(r.id, r.size);  // admit on miss
+        }
+      }
+      break;
+    case Op::kPut:
+      for (auto& c : caches_) {
+        c->Put(r.id, r.size);
+      }
+      break;
+    case Op::kDelete:
+      for (auto& c : caches_) {
+        c->Erase(r.id);
+      }
+      break;
+  }
+}
+
+WindowCurves MrcBank::EndWindow() {
+  WindowCurves out;
+  std::vector<double> xs;
+  std::vector<double> mrc_ys;
+  std::vector<double> bmc_ys;
+  xs.reserve(grid_.size());
+  mrc_ys.reserve(grid_.size());
+  bmc_ys.reserve(grid_.size());
+  // Sampled GET count approximates ratio_ * window_gets_; use it for the
+  // ratio so MRC stays in [0,1] exactly.
+  uint64_t sampled_get_hits_plus_misses = 0;
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    sampled_get_hits_plus_misses = std::max(sampled_get_hits_plus_misses, window_misses_[i]);
+  }
+  const double sampled_gets_est =
+      std::max<double>(static_cast<double>(sampled_get_hits_plus_misses),
+                       ratio_ * static_cast<double>(window_gets_));
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    xs.push_back(static_cast<double>(grid_[i]));
+    const double mr = sampled_gets_est <= 0.0
+                          ? 0.0
+                          : static_cast<double>(window_misses_[i]) / sampled_gets_est;
+    mrc_ys.push_back(std::min(1.0, mr));
+    bmc_ys.push_back(static_cast<double>(window_missed_bytes_[i]) / ratio_);
+  }
+  out.mrc = Curve(xs, std::move(mrc_ys));
+  out.bmc = Curve(std::move(xs), std::move(bmc_ys));
+  out.sampled_gets = static_cast<uint64_t>(sampled_gets_est);
+  out.window_requests = window_requests_;
+  std::fill(window_misses_.begin(), window_misses_.end(), 0);
+  std::fill(window_missed_bytes_.begin(), window_missed_bytes_.end(), 0);
+  window_gets_ = 0;
+  window_requests_ = 0;
+  return out;
+}
+
+}  // namespace macaron

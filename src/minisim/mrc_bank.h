@@ -1,0 +1,63 @@
+// Miniature simulation for MRC and BMC construction (§5.2).
+//
+// Following Waldspurger et al., each emulated cache size C is represented by
+// a mini-cache of capacity C * R processing the spatially sampled request
+// stream (sampling ratio R). Per window, the bank reports
+//   MRC(C) = sampled misses / sampled gets
+//   BMC(C) = sampled missed bytes / R   (approximate full-scale bytes)
+// Mini-cache state persists across windows (the paper stores it in EFS
+// between serverless invocations).
+
+#ifndef MACARON_SRC_MINISIM_MRC_BANK_H_
+#define MACARON_SRC_MINISIM_MRC_BANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/eviction_policy.h"
+#include "src/common/curve.h"
+#include "src/trace/request.h"
+#include "src/trace/sampler.h"
+
+namespace macaron {
+
+// The per-window output of a bank.
+struct WindowCurves {
+  Curve mrc;  // x: full-scale capacity bytes, y: object miss ratio
+  Curve bmc;  // x: full-scale capacity bytes, y: full-scale bytes missed in the window
+  uint64_t sampled_gets = 0;    // sampled GETs observed (post-sampling)
+  uint64_t window_requests = 0; // raw (unsampled) requests in the window
+};
+
+class MrcBank {
+ public:
+  // grid: full-scale capacities; ratio: spatial sampling ratio in (0,1].
+  // policy: the replacement policy the mini-caches emulate — it must match
+  // the policy deployed in the real cache for the curves to predict it.
+  MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
+          EvictionPolicyKind policy = EvictionPolicyKind::kLru);
+
+  // Feeds one request (unsampled stream; the bank samples internally).
+  void Process(const Request& r);
+
+  // Returns this window's curves and resets window counters. Cache contents
+  // persist.
+  WindowCurves EndWindow();
+
+  const std::vector<uint64_t>& grid() const { return grid_; }
+  double ratio() const { return ratio_; }
+
+ private:
+  std::vector<uint64_t> grid_;
+  double ratio_;
+  SpatialSampler sampler_;
+  std::vector<std::unique_ptr<EvictionCache>> caches_;
+  std::vector<uint64_t> window_misses_;
+  std::vector<uint64_t> window_missed_bytes_;
+  uint64_t window_gets_ = 0;
+  uint64_t window_requests_ = 0;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_MINISIM_MRC_BANK_H_

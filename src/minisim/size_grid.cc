@@ -1,0 +1,29 @@
+#include "src/minisim/size_grid.h"
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+std::vector<uint64_t> UniformSizeGrid(uint64_t min_bytes, uint64_t max_bytes, int count) {
+  MACARON_CHECK(count >= 2);
+  MACARON_CHECK(min_bytes > 0);
+  if (max_bytes <= min_bytes) {
+    max_bytes = min_bytes * 2;
+  }
+  std::vector<uint64_t> grid;
+  grid.reserve(static_cast<size_t>(count));
+  const double step =
+      static_cast<double>(max_bytes - min_bytes) / static_cast<double>(count - 1);
+  uint64_t prev = 0;
+  for (int i = 0; i < count; ++i) {
+    uint64_t c = min_bytes + static_cast<uint64_t>(step * static_cast<double>(i));
+    if (c <= prev) {
+      c = prev + 1;
+    }
+    grid.push_back(c);
+    prev = c;
+  }
+  return grid;
+}
+
+}  // namespace macaron

@@ -1,0 +1,22 @@
+// Mini-cache capacity grids.
+//
+// The controller runs up to `count` mini-caches with uniformly spaced
+// capacities, the largest covering the workload's total data size and the
+// smallest a configured floor (§6.3; footnote 3).
+
+#ifndef MACARON_SRC_MINISIM_SIZE_GRID_H_
+#define MACARON_SRC_MINISIM_SIZE_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace macaron {
+
+// Returns `count` strictly increasing capacities in bytes, spanning
+// [min_bytes, max_bytes] with uniform spacing. If max <= min, returns a grid
+// ending at min_bytes * 2 so callers always get usable curves.
+std::vector<uint64_t> UniformSizeGrid(uint64_t min_bytes, uint64_t max_bytes, int count);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_MINISIM_SIZE_GRID_H_

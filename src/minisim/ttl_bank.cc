@@ -1,0 +1,110 @@
+#include "src/minisim/ttl_bank.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+std::vector<SimDuration> StandardTtlGrid(SimDuration max_ttl) {
+  std::vector<SimDuration> grid;
+  grid.push_back(1 * kHour);
+  if (max_ttl >= 6 * kHour) {
+    grid.push_back(6 * kHour);
+  }
+  for (SimDuration t = 12 * kHour; t <= max_ttl; t += 12 * kHour) {
+    grid.push_back(t);
+  }
+  if (grid.back() < max_ttl) {
+    grid.push_back(max_ttl);
+  }
+  return grid;
+}
+
+TtlBank::TtlBank(std::vector<SimDuration> ttl_grid, double ratio, uint64_t salt)
+    : grid_(std::move(ttl_grid)), ratio_(ratio), sampler_(ratio, salt) {
+  MACARON_CHECK(!grid_.empty());
+  MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
+  entries_.reserve(grid_.size());
+  for (SimDuration ttl : grid_) {
+    entries_.push_back(Entry{TtlCache(ttl), 0, 0, 0.0, 0});
+  }
+}
+
+void TtlBank::Advance(Entry& e, SimTime now) {
+  if (now > e.last_update) {
+    // Integrate resident bytes over [last_update, now). Expiry within the
+    // interval is applied first at its effective boundary by TtlCache's
+    // lazy Expire; the integral uses the pre-expiry value which slightly
+    // overestimates — acceptable at window granularity, and symmetric
+    // across TTLs.
+    e.cache.Expire(now);
+    e.byte_time += static_cast<double>(e.cache.used_bytes()) *
+                   static_cast<double>(now - e.last_update);
+    e.last_update = now;
+  }
+}
+
+void TtlBank::Process(const Request& r) {
+  ++window_requests_;
+  if (r.op == Op::kGet) {
+    ++window_gets_;
+  }
+  last_time_ = r.time;
+  if (!sampler_.Admit(r.id)) {
+    return;
+  }
+  for (Entry& e : entries_) {
+    Advance(e, r.time);
+    switch (r.op) {
+      case Op::kGet:
+        if (!e.cache.Get(r.id, r.time)) {
+          ++e.misses;
+          e.missed_bytes += r.size;
+          e.cache.Put(r.id, r.size, r.time);
+        }
+        break;
+      case Op::kPut:
+        e.cache.Put(r.id, r.size, r.time);
+        break;
+      case Op::kDelete:
+        e.cache.Erase(r.id);
+        break;
+    }
+  }
+}
+
+TtlWindowCurves TtlBank::EndWindow(SimDuration window) {
+  MACARON_CHECK(window > 0);
+  TtlWindowCurves out;
+  std::vector<double> xs;
+  std::vector<double> mrc_ys;
+  std::vector<double> bmc_ys;
+  std::vector<double> cap_ys;
+  const SimTime window_end = window_start_ + window;
+  const double sampled_gets_est = ratio_ * static_cast<double>(window_gets_);
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    Entry& e = entries_[i];
+    Advance(e, window_end);
+    xs.push_back(static_cast<double>(grid_[i]));
+    const double mr =
+        sampled_gets_est <= 0.0 ? 0.0 : static_cast<double>(e.misses) / sampled_gets_est;
+    mrc_ys.push_back(std::min(1.0, mr));
+    bmc_ys.push_back(static_cast<double>(e.missed_bytes) / ratio_);
+    cap_ys.push_back(e.byte_time / static_cast<double>(window) / ratio_);
+    e.misses = 0;
+    e.missed_bytes = 0;
+    e.byte_time = 0.0;
+  }
+  out.mrc = Curve(xs, std::move(mrc_ys));
+  out.bmc = Curve(xs, std::move(bmc_ys));
+  out.capacity = Curve(std::move(xs), std::move(cap_ys));
+  out.sampled_gets = static_cast<uint64_t>(sampled_gets_est);
+  out.window_requests = window_requests_;
+  window_gets_ = 0;
+  window_requests_ = 0;
+  window_start_ = window_end;
+  return out;
+}
+
+}  // namespace macaron

@@ -1,0 +1,113 @@
+#include "src/oracle/oracular.h"
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+
+namespace macaron {
+
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+}  // namespace
+
+OracularResult RunOracular(const Trace& trace, const PriceBook& prices,
+                           const LatencySampler* latency, uint64_t seed) {
+  OracularResult result;
+  const size_t n = trace.size();
+  if (n == 0) {
+    return result;
+  }
+
+  // Backward pass: for each request, the time of the next GET and the next
+  // DELETE of the same object (kNever if none).
+  std::vector<SimTime> next_get(n, kNever);
+  std::vector<SimTime> next_del(n, kNever);
+  {
+    std::unordered_map<ObjectId, SimTime> last_get;
+    std::unordered_map<ObjectId, SimTime> last_del;
+    for (size_t i = n; i-- > 0;) {
+      const Request& r = trace.requests[i];
+      const auto git = last_get.find(r.id);
+      next_get[i] = git == last_get.end() ? kNever : git->second;
+      const auto dit = last_del.find(r.id);
+      next_del[i] = dit == last_del.end() ? kNever : dit->second;
+      switch (r.op) {
+        case Op::kGet:
+          last_get[r.id] = r.time;
+          break;
+        case Op::kPut:
+          break;
+        case Op::kDelete:
+          last_del[r.id] = r.time;
+          last_get.erase(r.id);  // accesses after a delete see a fresh object
+          break;
+      }
+    }
+  }
+
+  const SimDuration break_even = prices.StorageEgressBreakEven();
+  Rng rng(seed);
+  // stored_until[id] >= t means the object is resident at time t.
+  std::unordered_map<ObjectId, SimTime> stored_until;
+  double byte_time = 0.0;  // integral of stored bytes (approximated per keep)
+
+  for (size_t i = 0; i < n; ++i) {
+    const Request& r = trace.requests[i];
+    const SimTime next =
+        next_del[i] < next_get[i] ? kNever : next_get[i];  // deletion first -> never re-read
+    switch (r.op) {
+      case Op::kGet: {
+        const auto it = stored_until.find(r.id);
+        const bool hit = it != stored_until.end() && it->second >= r.time;
+        if (hit) {
+          ++result.osc_hits;
+          if (latency != nullptr) {
+            result.latency_ms.Add(latency->SampleMs(DataSource::kOsc, r.size, rng));
+          }
+        } else {
+          ++result.remote_fetches;
+          result.egress_bytes += r.size;
+          result.costs.Add(CostCategory::kEgress, prices.EgressCost(r.size));
+          if (latency != nullptr) {
+            result.latency_ms.Add(latency->SampleMs(DataSource::kRemoteLake, r.size, rng));
+          }
+        }
+        // Keep until the next access iff storing is cheaper than refetching.
+        if (next != kNever && next - r.time < break_even) {
+          const SimDuration keep = next - r.time;
+          result.costs.Add(CostCategory::kCapacity, prices.StorageCost(r.size, keep));
+          byte_time += static_cast<double>(r.size) * static_cast<double>(keep);
+          stored_until[r.id] = next;
+        } else {
+          stored_until.erase(r.id);
+        }
+        break;
+      }
+      case Op::kPut: {
+        // Data is written through to the lake; cache only if the next read
+        // comes soon enough to beat re-fetching.
+        if (next != kNever && next - r.time < break_even) {
+          const SimDuration keep = next - r.time;
+          result.costs.Add(CostCategory::kCapacity, prices.StorageCost(r.size, keep));
+          byte_time += static_cast<double>(r.size) * static_cast<double>(keep);
+          stored_until[r.id] = next;
+        }
+        break;
+      }
+      case Op::kDelete:
+        stored_until.erase(r.id);
+        break;
+    }
+  }
+
+  const SimDuration span = trace.duration();
+  result.mean_stored_bytes = span <= 0 ? 0.0 : byte_time / static_cast<double>(span);
+  return result;
+}
+
+}  // namespace macaron

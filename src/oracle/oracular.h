@@ -1,0 +1,41 @@
+// Oracular: the offline optimal comparator (§5.4).
+//
+// With complete future knowledge and an elastic cache, the optimal policy is
+// per-access: keep an object in the OSC until its next access if and only if
+// storing it that long costs less than re-fetching it (storage-vs-egress
+// break-even; 116 days cross-cloud, 26 days cross-region). There are no
+// forced evictions and, per the paper, operation costs are assumed zero
+// (perfect packing); infrastructure costs are also excluded (idealized
+// benchmark).
+
+#ifndef MACARON_SRC_ORACLE_ORACULAR_H_
+#define MACARON_SRC_ORACLE_ORACULAR_H_
+
+#include <cstdint>
+
+#include "src/cloudsim/latency.h"
+#include "src/common/stats.h"
+#include "src/pricing/cost_meter.h"
+#include "src/pricing/price_book.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+struct OracularResult {
+  CostMeter costs;
+  uint64_t osc_hits = 0;
+  uint64_t remote_fetches = 0;
+  uint64_t egress_bytes = 0;
+  // Time-averaged stored bytes (for capacity reporting).
+  double mean_stored_bytes = 0.0;
+  PercentileTracker latency_ms;
+};
+
+// Runs the two-pass offline optimal over `trace`. If `latency` is non-null,
+// per-access latencies are sampled (hits from the OSC, misses remote).
+OracularResult RunOracular(const Trace& trace, const PriceBook& prices,
+                           const LatencySampler* latency, uint64_t seed);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_ORACLE_ORACULAR_H_

@@ -1,0 +1,192 @@
+#include "src/osc/osc.h"
+
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+ObjectStorageCache::ObjectStorageCache(const PackingConfig& config)
+    : config_(config),
+      order_(MakeEvictionCache(config.policy, std::numeric_limits<uint64_t>::max() / 2)) {
+  MACARON_CHECK(config.block_bytes > 0);
+  MACARON_CHECK(config.max_objects_per_block > 0);
+  MACARON_CHECK(config.gc_dead_fraction > 0.0 && config.gc_dead_fraction <= 1.0);
+}
+
+bool ObjectStorageCache::Lookup(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end() || !it->second.live) {
+    return false;
+  }
+  order_->Get(id);  // touch per policy
+  ++ops_.gets;   // byte-range fetch from the containing block
+  return true;
+}
+
+bool ObjectStorageCache::Contains(ObjectId id) const {
+  const auto it = objects_.find(id);
+  return it != objects_.end() && it->second.live;
+}
+
+void ObjectStorageCache::AdmitInternal(ObjectId id, uint64_t size, bool promote_lru) {
+  // Place into the open packing block.
+  if (!config_.packing_enabled) {
+    // One object per block: write immediately.
+    const uint64_t block_id = next_block_++;
+    BlockMeta& block = blocks_[block_id];
+    block.open = false;
+    block.bytes = size;
+    block.objects = 1;
+    block.members.push_back(id);
+    objects_[id] = ObjectMeta{block_id, size, true};
+    ++ops_.puts;
+    if (promote_lru) {
+      order_->Put(id, size);
+      live_bytes_ += size;
+    }
+    return;
+  }
+  if (open_block_ == 0) {
+    open_block_ = next_block_++;
+    blocks_[open_block_].open = true;
+  }
+  BlockMeta& block = blocks_[open_block_];
+  block.members.push_back(id);
+  block.bytes += size;
+  ++block.objects;
+  objects_[id] = ObjectMeta{open_block_, size, true};
+  if (promote_lru) {
+    order_->Put(id, size);
+    live_bytes_ += size;
+  }
+  if (block.objects >= config_.max_objects_per_block || block.bytes >= config_.block_bytes) {
+    FlushOpenBlock();
+  }
+}
+
+void ObjectStorageCache::Admit(ObjectId id, uint64_t size) {
+  const auto it = objects_.find(id);
+  if (it != objects_.end() && it->second.live) {
+    order_->Get(id);  // immutable data: refresh recency only
+    return;
+  }
+  // A dead prior copy (Evicted then re-fetched) stays garbage in its old
+  // block; the new copy goes into the open block.
+  AdmitInternal(id, size, /*promote_lru=*/true);
+}
+
+void ObjectStorageCache::Delete(ObjectId id) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end() || !it->second.live) {
+    return;
+  }
+  order_->Erase(id);
+  live_bytes_ -= it->second.size;
+  MarkDead(id);
+}
+
+void ObjectStorageCache::MarkDead(ObjectId id) {
+  ObjectMeta& meta = objects_.at(id);
+  MACARON_CHECK(meta.live);
+  meta.live = false;
+  garbage_bytes_ += meta.size;
+  const auto bit = blocks_.find(meta.block);
+  MACARON_CHECK(bit != blocks_.end());
+  bit->second.dead_bytes += meta.size;
+  ++bit->second.dead_objects;
+  MaybeScheduleGc(meta.block);
+}
+
+void ObjectStorageCache::MaybeScheduleGc(uint64_t block_id) {
+  const auto it = blocks_.find(block_id);
+  if (it == blocks_.end() || it->second.open || it->second.bytes == 0) {
+    return;
+  }
+  const double dead_fraction =
+      static_cast<double>(it->second.dead_bytes) / static_cast<double>(it->second.bytes);
+  if (dead_fraction >= config_.gc_dead_fraction) {
+    gc_list_.insert(block_id);
+  }
+}
+
+void ObjectStorageCache::FlushOpenBlock() {
+  if (open_block_ == 0) {
+    return;
+  }
+  const uint64_t block_id = open_block_;
+  BlockMeta& block = blocks_.at(block_id);
+  open_block_ = 0;
+  if (block.objects == 0) {
+    blocks_.erase(block_id);
+    return;
+  }
+  block.open = false;
+  ++ops_.puts;
+  MaybeScheduleGc(block_id);  // members may already have died pre-flush
+}
+
+void ObjectStorageCache::EvictToCapacity(uint64_t target_bytes) {
+  if (live_bytes_ > target_bytes) {
+    // Let the policy itself choose the victims (a temporary resize), so the
+    // OSC evicts exactly what the policy's mini-cache model predicts, then
+    // return the ordering structure to its unbounded lazy state.
+    std::vector<ObjectId> victims;
+    order_->set_evict_callback(
+        [&victims](ObjectId id, uint64_t size) {
+          (void)size;
+          victims.push_back(id);
+        });
+    order_->Resize(target_bytes);
+    order_->Resize(std::numeric_limits<uint64_t>::max() / 2);
+    order_->set_evict_callback(nullptr);
+    for (ObjectId id : victims) {
+      const ObjectMeta& meta = objects_.at(id);
+      live_bytes_ -= meta.size;
+      MarkDead(id);
+    }
+  }
+  RunGc();
+}
+
+void ObjectStorageCache::RunGc() {
+  // Rewrites may flush new blocks and, in principle, schedule further GC;
+  // loop until the list drains.
+  while (!gc_list_.empty()) {
+    std::unordered_set<uint64_t> batch;
+    batch.swap(gc_list_);
+    for (uint64_t block_id : batch) {
+      const auto it = blocks_.find(block_id);
+      if (it == blocks_.end() || it->second.open) {
+        continue;
+      }
+      ++ops_.gc_block_reads;
+      garbage_bytes_ -= it->second.dead_bytes;
+      std::vector<ObjectId> members = std::move(it->second.members);
+      blocks_.erase(it);
+      for (ObjectId id : members) {
+        const auto oit = objects_.find(id);
+        if (oit == objects_.end()) {
+          continue;
+        }
+        if (oit->second.block != block_id) {
+          continue;  // re-admitted into a newer block
+        }
+        if (oit->second.live) {
+          // Survivor: repack into the open block without touching recency.
+          AdmitInternal(id, oit->second.size, /*promote_lru=*/false);
+        } else {
+          objects_.erase(oit);
+        }
+      }
+    }
+  }
+}
+
+ObjectStorageCache::OpCounts ObjectStorageCache::TakeOps() {
+  const OpCounts out = ops_;
+  ops_ = OpCounts{};
+  return out;
+}
+
+}  // namespace macaron

@@ -1,0 +1,122 @@
+// Object Storage Cache (OSC) manager (§4.2, §6.1, Fig 6).
+//
+// The OSC caches objects in cloud object storage. Because object-storage
+// writes cost 12.5x reads, small objects are packed into blocks (16 MB /
+// up to 40 objects by default) before being written; reads use byte-range
+// fetches, so a cache hit costs one GET regardless of packing. Eviction is
+// lazy: the manager marks items Evicted in metadata (off the request path)
+// and garbage-collects blocks once at least half their bytes are dead,
+// rewriting the survivors into fresh blocks. Billed capacity is live bytes
+// plus the garbage that packing leaves behind.
+
+#ifndef MACARON_SRC_OSC_OSC_H_
+#define MACARON_SRC_OSC_OSC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cache/eviction_policy.h"
+#include "src/trace/request.h"
+
+namespace macaron {
+
+struct PackingConfig {
+  uint64_t block_bytes = 16ull * 1000 * 1000;
+  uint32_t max_objects_per_block = 40;
+  // Replacement policy ordering lazy eviction (LRU by default, §4.2).
+  EvictionPolicyKind policy = EvictionPolicyKind::kLru;
+  // GC a closed block once dead bytes reach this fraction of its bytes.
+  double gc_dead_fraction = 0.5;
+  // Disable packing entirely (one PUT per object) for the §7.4 ablation.
+  bool packing_enabled = true;
+};
+
+class ObjectStorageCache {
+ public:
+  explicit ObjectStorageCache(const PackingConfig& config);
+
+  // --- Request path ---
+
+  // True if `id` is Active; touches it in the replacement order. Counts one
+  // GET.
+  bool Lookup(ObjectId id);
+  // Probe without promotion or op accounting.
+  bool Contains(ObjectId id) const;
+  // Admits (or re-admits) an object: appended to the open packing block,
+  // which flushes (one PUT) when full.
+  void Admit(ObjectId id, uint64_t size);
+  // Marks `id` Deleted and updates GC bookkeeping.
+  void Delete(ObjectId id);
+
+  // --- Maintenance (off the request path) ---
+
+  // Flushes a partially filled open block (timer-driven in the prototype).
+  void FlushOpenBlock();
+  // Lazy eviction: walks the replacement order from the cold end, marking
+  // items Evicted until live bytes fit `target_bytes`, then collects
+  // garbage.
+  void EvictToCapacity(uint64_t target_bytes);
+  // Rewrites every block whose dead fraction reached the threshold.
+  void RunGc();
+
+  // --- Accounting ---
+
+  uint64_t live_bytes() const { return live_bytes_; }
+  uint64_t garbage_bytes() const { return garbage_bytes_; }
+  // Billed bytes: everything resident in object storage.
+  uint64_t stored_bytes() const { return live_bytes_ + garbage_bytes_; }
+  size_t num_live_objects() const { return order_->num_entries(); }
+  size_t num_blocks() const { return blocks_.size(); }
+
+  struct OpCounts {
+    uint64_t puts = 0;            // block flush writes
+    uint64_t gets = 0;            // byte-range reads serving hits
+    uint64_t gc_block_reads = 0;  // whole-block reads during GC
+  };
+  // Returns counters accumulated since the previous call and resets them.
+  OpCounts TakeOps();
+
+  // Hottest-first iteration over live objects (used for cache priming).
+  void ForEachMruToLru(const std::function<bool(ObjectId, uint64_t)>& fn) const {
+    order_->ForEachHotOrder(fn);
+  }
+
+  const PackingConfig& config() const { return config_; }
+
+ private:
+  struct ObjectMeta {
+    uint64_t block = 0;
+    uint64_t size = 0;
+    bool live = false;  // false = Evicted or Deleted (garbage until GC)
+  };
+
+  struct BlockMeta {
+    uint64_t bytes = 0;
+    uint64_t dead_bytes = 0;
+    uint32_t objects = 0;
+    uint32_t dead_objects = 0;
+    bool open = false;
+    std::vector<ObjectId> members;
+  };
+
+  void AdmitInternal(ObjectId id, uint64_t size, bool promote_lru);
+  void MarkDead(ObjectId id);
+  void MaybeScheduleGc(uint64_t block_id);
+
+  PackingConfig config_;
+  std::unordered_map<ObjectId, ObjectMeta> objects_;
+  std::unordered_map<uint64_t, BlockMeta> blocks_;
+  std::unordered_set<uint64_t> gc_list_;
+  std::unique_ptr<EvictionCache> order_;  // replacement ordering (never evicts itself)
+  uint64_t open_block_ = 0;
+  uint64_t next_block_ = 1;
+  uint64_t live_bytes_ = 0;
+  uint64_t garbage_bytes_ = 0;
+  OpCounts ops_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_OSC_OSC_H_

@@ -1,0 +1,64 @@
+#include "src/pricing/cost_meter.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+const char* CostCategoryName(CostCategory c) {
+  switch (c) {
+    case CostCategory::kEgress:
+      return "egress";
+    case CostCategory::kCapacity:
+      return "capacity";
+    case CostCategory::kOperation:
+      return "operation";
+    case CostCategory::kInfra:
+      return "infra";
+    case CostCategory::kClusterNodes:
+      return "cluster";
+    case CostCategory::kServerless:
+      return "serverless";
+    default:
+      return "unknown";
+  }
+}
+
+void CostMeter::Add(CostCategory category, double dollars) {
+  MACARON_CHECK(dollars >= 0.0);
+  dollars_[static_cast<size_t>(category)] += dollars;
+}
+
+void CostMeter::Merge(const CostMeter& other) {
+  for (size_t i = 0; i < dollars_.size(); ++i) {
+    dollars_[i] += other.dollars_[i];
+  }
+}
+
+double CostMeter::Get(CostCategory category) const {
+  return dollars_[static_cast<size_t>(category)];
+}
+
+double CostMeter::Total() const {
+  double total = 0.0;
+  for (double d : dollars_) {
+    total += d;
+  }
+  return total;
+}
+
+std::string CostMeter::Breakdown() const {
+  std::string out;
+  char line[128];
+  for (size_t i = 0; i < dollars_.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  %-10s $%10.4f\n",
+                  CostCategoryName(static_cast<CostCategory>(i)), dollars_[i]);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-10s $%10.4f\n", "total", Total());
+  out += line;
+  return out;
+}
+
+}  // namespace macaron

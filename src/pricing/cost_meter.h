@@ -1,0 +1,45 @@
+// Per-category cost accounting.
+//
+// Every engine run produces a CostMeter so benches can print the same
+// breakdown the paper plots: capacity, egress, operations, infrastructure
+// (VMs), cluster nodes, and serverless.
+
+#ifndef MACARON_SRC_PRICING_COST_METER_H_
+#define MACARON_SRC_PRICING_COST_METER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace macaron {
+
+enum class CostCategory : int {
+  kEgress = 0,       // cross-cloud/region data transfer out of the data lake
+  kCapacity = 1,     // OSC / replica object storage GB-months
+  kOperation = 2,    // GET/PUT request charges
+  kInfra = 3,        // controller & OSC manager VM hours
+  kClusterNodes = 4, // DRAM cache node VM hours
+  kServerless = 5,   // miniature-simulation Lambda GB-seconds
+  kNumCategories = 6,
+};
+
+const char* CostCategoryName(CostCategory c);
+
+class CostMeter {
+ public:
+  void Add(CostCategory category, double dollars);
+  void Merge(const CostMeter& other);
+
+  double Get(CostCategory category) const;
+  double Total() const;
+
+  // Multi-line human-readable breakdown (dollars, two decimals).
+  std::string Breakdown() const;
+
+ private:
+  std::array<double, static_cast<size_t>(CostCategory::kNumCategories)> dollars_{};
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_PRICING_COST_METER_H_

@@ -1,0 +1,315 @@
+#include "src/sim/event_engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/cache/inflight.h"
+#include "src/cache/ttl_cache.h"
+#include "src/cloudsim/event_queue.h"
+#include "src/cloudsim/latency.h"
+#include "src/cluster/cache_cluster.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/controller/controller.h"
+#include "src/osc/osc.h"
+
+namespace macaron {
+
+namespace {
+
+// Per-request client -> cache engine hop (consistent-hash routing + RPC).
+constexpr double kClientHopMs = 0.3;
+
+class EventRunner {
+ public:
+  EventRunner(const EngineConfig& cfg, const Trace& trace)
+      : cfg_(cfg),
+        trace_(trace),
+        prices_(ScaledInfraPrices(cfg.prices, cfg.infra_scale)),
+        truth_(cfg.scenario),
+        fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
+        rng_(cfg.seed ^ 0x5eed) {}
+
+  RunResult Run();
+
+ private:
+  void Setup();
+  void HandleRequest(const Request& r);
+  void WindowBoundary(SimTime t);
+  void ApplyDecision(SimTime t, const ReconfigDecision& d);
+  void Integrate(SimTime t);
+  void ChargeOscOps();
+
+  const EngineConfig& cfg_;
+  const Trace& trace_;
+  PriceBook prices_;
+  GroundTruthLatency truth_;
+  FittedLatencyGenerator fitted_;
+  Rng rng_;
+  RunResult result_;
+  EventQueue queue_;
+
+  std::unique_ptr<ObjectStorageCache> osc_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<MacaronController> controller_;
+  std::unique_ptr<TtlCache> ttl_shadow_;
+  InflightTable inflight_;
+
+  SimTime last_integrate_ = 0;
+  double osc_byte_ms_ = 0.0;
+  double node_ms_ = 0.0;
+};
+
+void EventRunner::Setup() {
+  result_.trace_name = trace_.name;
+  result_.approach_name = std::string(ApproachName(cfg_.approach)) + "-proto";
+  MACARON_CHECK(cfg_.approach == Approach::kMacaron ||
+                cfg_.approach == Approach::kMacaronNoCluster ||
+                cfg_.approach == Approach::kMacaronTtl);
+
+  const TraceStats stats = ComputeStats(trace_);
+  result_.dataset_bytes = stats.unique_bytes;
+
+  osc_ = std::make_unique<ObjectStorageCache>(cfg_.packing);
+  if (cfg_.approach == Approach::kMacaronTtl) {
+    ttl_shadow_ = std::make_unique<TtlCache>(trace_.end_time() + 2 * kDay);
+    ttl_shadow_->set_evict_callback([this](ObjectId id, uint64_t size) {
+      (void)size;
+      osc_->Delete(id);
+    });
+  }
+  if (cfg_.approach == Approach::kMacaron) {
+    cluster_ = std::make_unique<CacheCluster>(prices_.cache_node_usable_bytes);
+  }
+
+  ControllerConfig cc;
+  cc.window = cfg_.window;
+  cc.observation = cfg_.observation;
+  cc.analyzer.sampling_ratio = cfg_.sampling_ratio;
+  cc.analyzer.num_minicaches = cfg_.num_minicaches;
+  cc.analyzer.min_capacity_bytes = cfg_.min_minicache_bytes;
+  cc.analyzer.max_capacity_bytes =
+      std::max<uint64_t>(stats.unique_bytes, cfg_.min_minicache_bytes * 2);
+  cc.analyzer.decay_per_day = cfg_.decay_per_day;
+  cc.analyzer.seed = cfg_.seed ^ 0xc0;
+  cc.packing_enabled = cfg_.packing.packing_enabled;
+  cc.packing_block_bytes = cfg_.packing.block_bytes;
+  cc.packing_max_objects = cfg_.packing.max_objects_per_block;
+  cc.max_cluster_nodes = cfg_.max_cluster_nodes;
+  if (cfg_.approach == Approach::kMacaron) {
+    cc.enable_cluster = true;
+    cc.analyzer.enable_alc = true;
+    cc.cluster_latency_target_ms =
+        fitted_.FittedMeanMs(DataSource::kOsc, stats.median_object_bytes) * 0.95;
+  }
+  if (cfg_.approach == Approach::kMacaronTtl) {
+    cc.mode = OptimizationMode::kTtl;
+    cc.analyzer.enable_ttl = true;
+    cc.analyzer.max_ttl = std::max<SimDuration>(trace_.duration(), kDay);
+  }
+  controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
+}
+
+void EventRunner::Integrate(SimTime t) {
+  if (t <= last_integrate_) {
+    return;
+  }
+  const double dt = static_cast<double>(t - last_integrate_);
+  osc_byte_ms_ += static_cast<double>(osc_->stored_bytes()) * dt;
+  if (cluster_ != nullptr) {
+    node_ms_ += static_cast<double>(cluster_->num_nodes()) * dt;
+  }
+  last_integrate_ = t;
+}
+
+void EventRunner::ChargeOscOps() {
+  const ObjectStorageCache::OpCounts ops = osc_->TakeOps();
+  result_.costs.Add(CostCategory::kOperation,
+                    prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
+}
+
+void EventRunner::HandleRequest(const Request& r) {
+  Integrate(r.time);
+  controller_->Observe(r);
+  switch (r.op) {
+    case Op::kGet: {
+      ++result_.gets;
+      if (cluster_ != nullptr && cluster_->Get(r.id)) {
+        ++result_.cluster_hits;
+        if (cfg_.measure_latency) {
+          result_.latency_ms.Add(
+              kClientHopMs + fitted_.SampleMs(DataSource::kCacheCluster, r.size, rng_));
+        }
+        return;
+      }
+      if (osc_->Lookup(r.id)) {
+        ++result_.osc_hits;
+        if (ttl_shadow_ != nullptr) {
+          ttl_shadow_->Get(r.id, r.time);
+        }
+        if (cfg_.measure_latency) {
+          result_.latency_ms.Add(kClientHopMs +
+                                 fitted_.SampleMs(DataSource::kOsc, r.size, rng_));
+        }
+        if (cluster_ != nullptr) {
+          cluster_->Put(r.id, r.size);
+        }
+        return;
+      }
+      if (auto completion = inflight_.Pending(r.id, r.time)) {
+        ++result_.delayed_hits;
+        if (cfg_.measure_latency) {
+          result_.latency_ms.Add(kClientHopMs + static_cast<double>(*completion - r.time));
+        }
+        return;
+      }
+      ++result_.remote_fetches;
+      result_.egress_bytes += r.size;
+      result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+      result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+      const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, rng_);
+      if (cfg_.measure_latency) {
+        result_.latency_ms.Add(kClientHopMs + lat);
+      }
+      const SimTime completion = r.time + static_cast<SimTime>(lat) + 1;
+      inflight_.Insert(r.id, completion);
+      // Admission happens when the fetch completes.
+      const ObjectId id = r.id;
+      const uint64_t size = r.size;
+      queue_.Schedule(completion, [this, id, size](SimTime now) {
+        Integrate(now);
+        osc_->Admit(id, size);
+        if (ttl_shadow_ != nullptr) {
+          ttl_shadow_->Put(id, size, now);
+        }
+        if (cluster_ != nullptr) {
+          cluster_->Put(id, size);
+        }
+      });
+      return;
+    }
+    case Op::kPut:
+      osc_->Admit(r.id, r.size);
+      if (ttl_shadow_ != nullptr) {
+        ttl_shadow_->Put(r.id, r.size, r.time);
+      }
+      if (cluster_ != nullptr) {
+        cluster_->Put(r.id, r.size);
+      }
+      return;
+    case Op::kDelete:
+      osc_->Delete(r.id);
+      if (ttl_shadow_ != nullptr) {
+        ttl_shadow_->Erase(r.id);
+      }
+      if (cluster_ != nullptr) {
+        cluster_->Delete(r.id);
+      }
+      inflight_.Erase(r.id);
+      return;
+  }
+}
+
+void EventRunner::ApplyDecision(SimTime t, const ReconfigDecision& d) {
+  Integrate(t);
+  switch (cfg_.approach) {
+    case Approach::kMacaron:
+    case Approach::kMacaronNoCluster: {
+      osc_->EvictToCapacity(d.osc_capacity);
+      if (result_.first_optimized_capacity == 0) {
+        result_.first_optimized_capacity = d.osc_capacity;
+      }
+      result_.osc_capacity_timeline.emplace_back(t, d.osc_capacity);
+      if (cluster_ != nullptr) {
+        const std::vector<uint32_t> added = cluster_->Resize(d.cluster_nodes);
+        const uint64_t primed = cluster_->Prime(*osc_, added);
+        result_.costs.Add(CostCategory::kOperation, prices_.GetCost(primed));
+        result_.cluster_nodes_timeline.emplace_back(t, cluster_->num_nodes());
+      }
+      break;
+    }
+    case Approach::kMacaronTtl:
+      ttl_shadow_->SetTtl(d.ttl, t);
+      osc_->RunGc();
+      if (result_.first_optimized_ttl == 0) {
+        result_.first_optimized_ttl = d.ttl;
+      }
+      result_.ttl_timeline.emplace_back(t, d.ttl);
+      break;
+    default:
+      break;
+  }
+}
+
+void EventRunner::WindowBoundary(SimTime t) {
+  Integrate(t);
+  osc_->FlushOpenBlock();
+  if (ttl_shadow_ != nullptr) {
+    ttl_shadow_->Expire(t);
+  }
+  osc_->RunGc();
+  const ReconfigDecision d = controller_->Reconfigure(t, osc_->garbage_bytes());
+  if (d.optimized) {
+    ++result_.reconfigs;
+    result_.total_reconfig_seconds += d.reconfig_seconds;
+    result_.total_analysis_seconds += d.analysis_seconds;
+    result_.costs.Add(CostCategory::kServerless, prices_.LambdaCost(d.lambda_gb_seconds));
+    // Reconfiguration is applied only after the pipeline completes; requests
+    // continue to be served meanwhile (§7.7: no downtime).
+    const SimTime apply_at = t + static_cast<SimTime>(d.reconfig_seconds * 1000.0);
+    queue_.Schedule(apply_at, [this, d](SimTime now) { ApplyDecision(now, d); });
+  }
+  ChargeOscOps();
+  inflight_.Sweep(t);
+}
+
+RunResult EventRunner::Run() {
+  Setup();
+  if (trace_.empty()) {
+    return std::move(result_);
+  }
+  SimTime next_boundary = cfg_.window;
+  for (const Request& r : trace_.requests) {
+    for (;;) {
+      const bool boundary_due = r.time >= next_boundary;
+      const bool event_due = !queue_.empty() && queue_.PeekTime() <= r.time;
+      if (event_due && (!boundary_due || queue_.PeekTime() <= next_boundary)) {
+        queue_.RunNext();
+        continue;
+      }
+      if (boundary_due) {
+        // Boundaries are synchronous; drain earlier events first (handled
+        // above), then run the boundary.
+        WindowBoundary(next_boundary);
+        next_boundary += cfg_.window;
+        continue;
+      }
+      break;
+    }
+    HandleRequest(r);
+  }
+  const SimTime end = trace_.end_time();
+  queue_.RunUntil(end + 1);
+  WindowBoundary(end + 1);
+  queue_.RunAll();
+
+  const SimDuration span = std::max<SimDuration>(end, 1);
+  const double gb_months = osc_byte_ms_ / 1.0e9 / static_cast<double>(kBillingMonth);
+  result_.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
+  result_.mean_stored_bytes = osc_byte_ms_ / static_cast<double>(span);
+  if (cluster_ != nullptr) {
+    result_.costs.Add(CostCategory::kClusterNodes,
+                      node_ms_ / static_cast<double>(kHour) * prices_.cache_node_per_hour);
+  }
+  result_.costs.Add(CostCategory::kInfra, prices_.VmCost(span));
+  return std::move(result_);
+}
+
+}  // namespace
+
+RunResult EventEngine::Run(const Trace& trace) const {
+  EventRunner runner(config_, trace);
+  return runner.Run();
+}
+
+}  // namespace macaron

@@ -1,0 +1,613 @@
+#include "src/sim/replay_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <unordered_set>
+
+#include "src/cache/inflight.h"
+#include "src/cloudsim/latency.h"
+#include "src/cluster/cache_cluster.h"
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/controller/controller.h"
+#include "src/osc/osc.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+const char* ApproachName(Approach a) {
+  switch (a) {
+    case Approach::kRemote:
+      return "remote";
+    case Approach::kReplicated:
+      return "replicated";
+    case Approach::kEcpc:
+      return "ecpc";
+    case Approach::kFlashEcpc:
+      return "flash-ecpc";
+    case Approach::kMacaron:
+      return "macaron+cc";
+    case Approach::kMacaronNoCluster:
+      return "macaron";
+    case Approach::kMacaronTtl:
+      return "macaron-ttl";
+    case Approach::kStaticCapacity:
+      return "static-capacity";
+    case Approach::kStaticTtl:
+      return "static-ttl";
+    default:
+      return "unknown";
+  }
+}
+
+PriceBook ScaledInfraPrices(const PriceBook& prices, double infra_scale) {
+  PriceBook out = prices;
+  out.vm_per_hour *= infra_scale;
+  out.cache_node_per_hour *= infra_scale;
+  out.lambda_per_gb_second *= infra_scale;
+  out.cache_node_usable_bytes = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(prices.cache_node_usable_bytes) * infra_scale));
+  out.flash_node_per_hour *= infra_scale;
+  out.flash_node_usable_bytes = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(prices.flash_node_usable_bytes) * infra_scale));
+  return out;
+}
+
+std::string RunResult::Summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s/%s: total=$%.4f (egress=%.4f cap=%.4f op=%.4f infra=%.4f cluster=%.4f "
+                "sls=%.4f) hits[cc:osc:rem:dly]=%llu:%llu:%llu:%llu avg_lat=%.1fms",
+                trace_name.c_str(), approach_name.c_str(), costs.Total(),
+                costs.Get(CostCategory::kEgress), costs.Get(CostCategory::kCapacity),
+                costs.Get(CostCategory::kOperation), costs.Get(CostCategory::kInfra),
+                costs.Get(CostCategory::kClusterNodes), costs.Get(CostCategory::kServerless),
+                static_cast<unsigned long long>(cluster_hits),
+                static_cast<unsigned long long>(osc_hits),
+                static_cast<unsigned long long>(remote_fetches),
+                static_cast<unsigned long long>(delayed_hits), MeanLatencyMs());
+  return buf;
+}
+
+namespace {
+
+// Internal run state for one trace replay.
+class Runner {
+ public:
+  Runner(const EngineConfig& cfg, const Trace& trace)
+      : cfg_(cfg),
+        trace_(trace),
+        prices_(ScaledInfraPrices(cfg.prices, cfg.infra_scale)),
+        truth_(cfg.scenario),
+        fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
+        rng_(cfg.seed ^ 0x5eed) {}
+
+  RunResult Run();
+
+ private:
+  bool IsMacaronFamily() const {
+    switch (cfg_.approach) {
+      case Approach::kMacaron:
+      case Approach::kMacaronNoCluster:
+      case Approach::kMacaronTtl:
+      case Approach::kStaticCapacity:
+      case Approach::kStaticTtl:
+        return true;
+      default:
+        return false;
+    }
+  }
+  bool UsesController() const {
+    return cfg_.approach == Approach::kMacaron || cfg_.approach == Approach::kMacaronNoCluster ||
+           cfg_.approach == Approach::kMacaronTtl || IsElasticClusterCache();
+  }
+  // ECPC-style approaches: an elastic cache cluster is the only cache level.
+  bool IsElasticClusterCache() const {
+    return cfg_.approach == Approach::kEcpc || cfg_.approach == Approach::kFlashEcpc;
+  }
+  bool UsesTtlEviction() const {
+    return cfg_.approach == Approach::kMacaronTtl || cfg_.approach == Approach::kStaticTtl;
+  }
+
+  void Setup();
+  void ProcessRequest(const Request& r);
+  void WindowBoundary(SimTime t);
+  void Integrate(SimTime t);
+  void ChargeOscOps();
+  void RecordLatency(DataSource source, uint64_t size);
+  bool InObservation(SimTime t) const { return UsesController() && t < cfg_.observation; }
+
+  // Per-approach GET paths.
+  void GetRemote(const Request& r);
+  void GetReplicated(const Request& r);
+  void GetEcpc(const Request& r);
+  void GetMacaron(const Request& r);
+
+  const EngineConfig& cfg_;
+  const Trace& trace_;
+  PriceBook prices_;
+  GroundTruthLatency truth_;
+  FittedLatencyGenerator fitted_;
+  Rng rng_;
+  RunResult result_;
+
+  // Macaron-family components.
+  std::unique_ptr<ObjectStorageCache> osc_;
+  std::unique_ptr<CacheCluster> cluster_;
+  std::unique_ptr<MacaronController> controller_;
+  std::unique_ptr<TtlCache> ttl_shadow_;
+  InflightTable inflight_;
+
+  // Replicated baseline state.
+  std::unordered_set<ObjectId> seen_;
+  uint64_t known_dataset_bytes_ = 0;
+
+  // Elastic-cluster-cache parameters (DRAM for ECPC, NVMe for flash-ECPC);
+  // Macaron's own cluster uses the DRAM defaults.
+  uint64_t node_usable_ = 0;
+  double node_price_per_hour_ = 0.0;
+  DataSource cluster_hit_source_ = DataSource::kCacheCluster;
+  // Admission-bypass extension state.
+  bool admission_bypass_ = false;
+  int min_capacity_streak_ = 0;
+
+  // Integration state.
+  SimTime last_integrate_ = 0;
+  double osc_byte_ms_ = 0.0;        // object-storage resident bytes * ms
+  double replica_byte_ms_ = 0.0;    // replica dataset bytes * ms
+  double node_ms_ = 0.0;            // cache/ECPC node count * ms
+  double churn_byte_ms_ = 0.0;      // replica dataset bytes * ms (for churn egress)
+};
+
+void Runner::Setup() {
+  result_.trace_name = trace_.name;
+  result_.approach_name = ApproachName(cfg_.approach);
+
+  const TraceStats stats = ComputeStats(trace_);
+  const uint64_t dataset =
+      cfg_.dataset_bytes_hint != 0 ? cfg_.dataset_bytes_hint : stats.unique_bytes;
+  result_.dataset_bytes = dataset;
+
+  // Spatial sampling needs a minimum object population for stable curves;
+  // small (scaled-down) traces sample at a higher ratio.
+  double sampling_ratio = cfg_.sampling_ratio;
+  if (stats.unique_objects > 0) {
+    constexpr double kTargetSampledObjects = 2000.0;
+    const double needed = kTargetSampledObjects / static_cast<double>(stats.unique_objects);
+    sampling_ratio = std::clamp(needed, cfg_.sampling_ratio, 1.0);
+  }
+
+  // Default cluster economics (Macaron's own DRAM tier); overridden below
+  // for the elastic-cluster-cache approaches.
+  node_usable_ = prices_.cache_node_usable_bytes;
+  node_price_per_hour_ = prices_.cache_node_per_hour;
+
+  if (IsMacaronFamily()) {
+    osc_ = std::make_unique<ObjectStorageCache>(cfg_.packing);
+    if (UsesTtlEviction()) {
+      const SimDuration initial_ttl = cfg_.approach == Approach::kStaticTtl
+                                          ? cfg_.static_ttl
+                                          : trace_.end_time() + 2 * kDay;
+      MACARON_CHECK(initial_ttl > 0);
+      ttl_shadow_ = std::make_unique<TtlCache>(initial_ttl);
+      ttl_shadow_->set_evict_callback(
+          [this](ObjectId id, uint64_t size) {
+            (void)size;
+            osc_->Delete(id);
+          });
+    }
+    if (cfg_.approach == Approach::kMacaron) {
+      cluster_ = std::make_unique<CacheCluster>(prices_.cache_node_usable_bytes);
+    }
+  } else if (IsElasticClusterCache()) {
+    node_usable_ = cfg_.approach == Approach::kFlashEcpc ? prices_.flash_node_usable_bytes
+                                                         : prices_.cache_node_usable_bytes;
+    node_price_per_hour_ = cfg_.approach == Approach::kFlashEcpc ? prices_.flash_node_per_hour
+                                                                 : prices_.cache_node_per_hour;
+    cluster_hit_source_ = cfg_.approach == Approach::kFlashEcpc ? DataSource::kFlash
+                                                                : DataSource::kCacheCluster;
+    cluster_ = std::make_unique<CacheCluster>(node_usable_);
+  }
+
+  if (UsesController()) {
+    ControllerConfig cc;
+    cc.window = cfg_.window;
+    cc.observation = cfg_.observation;
+    cc.analyzer.sampling_ratio = sampling_ratio;
+    cc.analyzer.num_minicaches = cfg_.num_minicaches;
+    cc.analyzer.min_capacity_bytes = cfg_.min_minicache_bytes;
+    // Headroom above the dataset so the largest mini-cache truly never
+    // evicts; otherwise sampling noise can hide the cost of slightly
+    // undersized caches.
+    cc.analyzer.max_capacity_bytes = std::max<uint64_t>(
+        static_cast<uint64_t>(static_cast<double>(dataset) * 1.15),
+        cfg_.min_minicache_bytes * 2);
+    cc.analyzer.decay_per_day = cfg_.decay_per_day;
+    cc.analyzer.policy = cfg_.packing.policy;
+    cc.analyzer.seed = cfg_.seed ^ 0xc0;
+    cc.packing_enabled = cfg_.packing.packing_enabled;
+    cc.packing_block_bytes = cfg_.packing.block_bytes;
+    cc.packing_max_objects = cfg_.packing.max_objects_per_block;
+    cc.max_cluster_nodes = cfg_.max_cluster_nodes;
+    switch (cfg_.approach) {
+      case Approach::kMacaron: {
+        cc.enable_cluster = true;
+        cc.analyzer.enable_alc = true;
+        // Target: replica-equivalent latency (local object storage) for the
+        // trace's typical object size, with a small headroom margin.
+        cc.cluster_latency_target_ms =
+            fitted_.FittedMeanMs(DataSource::kOsc, stats.median_object_bytes) * 0.95;
+        break;
+      }
+      case Approach::kMacaronTtl:
+        cc.mode = OptimizationMode::kTtl;
+        cc.analyzer.enable_ttl = true;
+        cc.analyzer.max_ttl = std::max<SimDuration>(trace_.duration(), kDay);
+        break;
+      case Approach::kEcpc:
+      case Approach::kFlashEcpc:
+        cc.capacity_pricing = cfg_.approach == Approach::kFlashEcpc ? CapacityPricing::kFlash
+                                                                    : CapacityPricing::kDram;
+        cc.packing_enabled = false;
+        // Caching everything in DRAM/flash during observation is not
+        // viable; these start optimizing after the first window instead.
+        cc.observation = cfg_.window;
+        break;
+      default:
+        break;
+    }
+    controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
+  }
+  if (IsElasticClusterCache()) {
+    cluster_->Resize(1);
+  }
+}
+
+void Runner::Integrate(SimTime t) {
+  if (t <= last_integrate_) {
+    return;
+  }
+  const double dt = static_cast<double>(t - last_integrate_);
+  if (osc_ != nullptr) {
+    osc_byte_ms_ += static_cast<double>(osc_->stored_bytes()) * dt;
+  }
+  if (cfg_.approach == Approach::kReplicated) {
+    const double replica_bytes =
+        static_cast<double>(known_dataset_bytes_) / (1.0 - cfg_.dark_data_fraction);
+    replica_byte_ms_ += replica_bytes * dt;
+    churn_byte_ms_ += replica_bytes * dt;
+  }
+  if (cluster_ != nullptr) {
+    node_ms_ += static_cast<double>(cluster_->num_nodes()) * dt;
+  }
+  last_integrate_ = t;
+}
+
+void Runner::RecordLatency(DataSource source, uint64_t size) {
+  if (!cfg_.measure_latency) {
+    return;
+  }
+  result_.latency_ms.Add(fitted_.SampleMs(source, size, rng_));
+}
+
+void Runner::GetRemote(const Request& r) {
+  ++result_.remote_fetches;
+  result_.egress_bytes += r.size;
+  result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  RecordLatency(DataSource::kRemoteLake, r.size);
+}
+
+void Runner::GetReplicated(const Request& r) {
+  // All reads are served by the local replica.
+  ++result_.osc_hits;
+  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  RecordLatency(DataSource::kOsc, r.size);
+}
+
+void Runner::GetEcpc(const Request& r) {
+  if (cluster_->Get(r.id)) {
+    ++result_.cluster_hits;
+    RecordLatency(cluster_hit_source_, r.size);
+    return;
+  }
+  ++result_.remote_fetches;
+  result_.egress_bytes += r.size;
+  result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  RecordLatency(DataSource::kRemoteLake, r.size);
+  cluster_->Put(r.id, r.size);
+}
+
+void Runner::GetMacaron(const Request& r) {
+  // A fetch still in flight means the object is not yet actually available,
+  // even though it was admitted to cache metadata at request time: the
+  // duplicate access is delayed until the fetch completes (§5.2).
+  if (auto completion = inflight_.Pending(r.id, r.time)) {
+    ++result_.delayed_hits;
+    if (cfg_.measure_latency) {
+      result_.latency_ms.Add(static_cast<double>(*completion - r.time));
+    }
+    return;
+  }
+  if (cluster_ != nullptr && cluster_->Get(r.id)) {
+    ++result_.cluster_hits;
+    RecordLatency(DataSource::kCacheCluster, r.size);
+    // Inclusive caching: refresh OSC recency so hot data stays resident.
+    if (osc_->Contains(r.id)) {
+      if (ttl_shadow_ != nullptr) {
+        ttl_shadow_->Get(r.id, r.time);
+      }
+    }
+    return;
+  }
+  if (osc_->Lookup(r.id)) {
+    ++result_.osc_hits;
+    if (ttl_shadow_ != nullptr) {
+      ttl_shadow_->Get(r.id, r.time);
+    }
+    RecordLatency(DataSource::kOsc, r.size);
+    if (cluster_ != nullptr) {
+      cluster_->Put(r.id, r.size);  // promote
+    }
+    return;
+  }
+  ++result_.remote_fetches;
+  result_.egress_bytes += r.size;
+  result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, rng_);
+  if (cfg_.measure_latency) {
+    result_.latency_ms.Add(lat);
+  }
+  inflight_.Insert(r.id, r.time + static_cast<SimTime>(lat) + 1);
+  if (!admission_bypass_) {
+    osc_->Admit(r.id, r.size);
+    if (ttl_shadow_ != nullptr) {
+      ttl_shadow_->Put(r.id, r.size, r.time);
+    }
+  }
+  if (cluster_ != nullptr) {
+    cluster_->Put(r.id, r.size);
+  }
+}
+
+void Runner::ProcessRequest(const Request& r) {
+  Integrate(r.time);
+  if (controller_ != nullptr) {
+    controller_->Observe(r);
+  }
+  if (cfg_.approach == Approach::kReplicated &&
+      (r.op == Op::kGet || r.op == Op::kPut)) {
+    if (seen_.insert(r.id).second) {
+      known_dataset_bytes_ += r.size;
+      // Replication must transfer every byte of the (growing) dataset once,
+      // dark data included: first-touch bytes proxy the dataset growth rate
+      // the paper bills sync egress on (§7.1).
+      const double sync_bytes =
+          static_cast<double>(r.size) / (1.0 - cfg_.dark_data_fraction);
+      result_.costs.Add(CostCategory::kEgress,
+                        prices_.EgressCost(static_cast<uint64_t>(sync_bytes)));
+      result_.egress_bytes += static_cast<uint64_t>(sync_bytes);
+    }
+  }
+  switch (r.op) {
+    case Op::kGet:
+      ++result_.gets;
+      switch (cfg_.approach) {
+        case Approach::kRemote:
+          GetRemote(r);
+          break;
+        case Approach::kReplicated:
+          GetReplicated(r);
+          break;
+        case Approach::kEcpc:
+        case Approach::kFlashEcpc:
+          GetEcpc(r);
+          break;
+        default:
+          GetMacaron(r);
+          break;
+      }
+      break;
+    case Op::kPut:
+      // Write-through: the PUT to the remote lake (free ingress, identical
+      // across approaches) is excluded; only cache-side effects are metered.
+      switch (cfg_.approach) {
+        case Approach::kRemote:
+        case Approach::kReplicated:
+          break;
+        case Approach::kEcpc:
+        case Approach::kFlashEcpc:
+          cluster_->Put(r.id, r.size);
+          break;
+        default:
+          if (!admission_bypass_) {
+            osc_->Admit(r.id, r.size);
+          }
+          if (ttl_shadow_ != nullptr) {
+            ttl_shadow_->Put(r.id, r.size, r.time);
+          }
+          if (cluster_ != nullptr) {
+            cluster_->Put(r.id, r.size);
+          }
+          break;
+      }
+      break;
+    case Op::kDelete:
+      switch (cfg_.approach) {
+        case Approach::kRemote:
+          break;
+        case Approach::kReplicated:
+          if (seen_.erase(r.id) > 0) {
+            known_dataset_bytes_ -= std::min(known_dataset_bytes_, r.size);
+          }
+          break;
+        case Approach::kEcpc:
+        case Approach::kFlashEcpc:
+          cluster_->Delete(r.id);
+          break;
+        default:
+          osc_->Delete(r.id);
+          if (ttl_shadow_ != nullptr) {
+            ttl_shadow_->Erase(r.id);
+          }
+          if (cluster_ != nullptr) {
+            cluster_->Delete(r.id);
+          }
+          inflight_.Erase(r.id);
+          break;
+      }
+      break;
+  }
+}
+
+void Runner::ChargeOscOps() {
+  if (osc_ == nullptr) {
+    return;
+  }
+  const ObjectStorageCache::OpCounts ops = osc_->TakeOps();
+  result_.costs.Add(CostCategory::kOperation,
+                    prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
+}
+
+void Runner::WindowBoundary(SimTime t) {
+  Integrate(t);
+  if (osc_ != nullptr) {
+    osc_->FlushOpenBlock();  // timer-driven flush of a partial block
+    if (ttl_shadow_ != nullptr) {
+      ttl_shadow_->Expire(t);
+    }
+    // Collect blocks that deletions/evictions pushed past the GC threshold
+    // since the last boundary, so garbage is not billed indefinitely.
+    osc_->RunGc();
+  }
+  if (cfg_.approach == Approach::kStaticCapacity && t >= cfg_.observation) {
+    MACARON_CHECK(cfg_.static_capacity_bytes > 0);
+    osc_->EvictToCapacity(cfg_.static_capacity_bytes);
+  }
+
+  if (controller_ != nullptr) {
+    const uint64_t garbage = osc_ != nullptr ? osc_->garbage_bytes() : 0;
+    const ReconfigDecision d = controller_->Reconfigure(t, garbage);
+    if (d.optimized) {
+      ++result_.reconfigs;
+      result_.total_reconfig_seconds += d.reconfig_seconds;
+      result_.total_analysis_seconds += d.analysis_seconds;
+      result_.costs.Add(CostCategory::kServerless, prices_.LambdaCost(d.lambda_gb_seconds));
+      switch (cfg_.approach) {
+        case Approach::kMacaron:
+        case Approach::kMacaronNoCluster: {
+          osc_->EvictToCapacity(d.osc_capacity);
+          if (result_.first_optimized_capacity == 0) {
+            result_.first_optimized_capacity = d.osc_capacity;
+          }
+          result_.osc_capacity_timeline.emplace_back(t, d.osc_capacity);
+          if (cluster_ != nullptr) {
+            const std::vector<uint32_t> added = cluster_->Resize(d.cluster_nodes);
+            if (cfg_.enable_priming) {
+              const uint64_t primed = cluster_->Prime(*osc_, added);
+              result_.costs.Add(CostCategory::kOperation, prices_.GetCost(primed));
+            }
+            result_.cluster_nodes_timeline.emplace_back(t, cluster_->num_nodes());
+          }
+          // Admission-bypass extension: engage when even the best cache
+          // configuration is predicted to cost at least as much per window
+          // as serving everything remotely (no capacity, no packing PUTs).
+          if (cfg_.enable_admission_bypass && !d.cost_curve.empty()) {
+            const double best_with_cache = d.cost_curve.y(d.cost_curve.ArgMin());
+            const double no_cache_egress = prices_.EgressCost(
+                static_cast<uint64_t>(d.expected_window_get_bytes));
+            if (best_with_cache >= no_cache_egress * 0.98) {
+              ++min_capacity_streak_;
+            } else {
+              min_capacity_streak_ = 0;
+            }
+            admission_bypass_ = min_capacity_streak_ >= cfg_.admission_bypass_windows;
+          }
+          break;
+        }
+        case Approach::kMacaronTtl: {
+          MACARON_CHECK(ttl_shadow_ != nullptr);
+          ttl_shadow_->SetTtl(d.ttl, t);
+          osc_->RunGc();
+          if (result_.first_optimized_ttl == 0) {
+            result_.first_optimized_ttl = d.ttl;
+          }
+          result_.ttl_timeline.emplace_back(t, d.ttl);
+          break;
+        }
+        case Approach::kEcpc:
+        case Approach::kFlashEcpc: {
+          const size_t nodes = std::min<uint64_t>(
+              (d.osc_capacity + node_usable_ - 1) / node_usable_, cfg_.max_cluster_nodes);
+          cluster_->Resize(std::max<size_t>(nodes, 1));
+          result_.cluster_nodes_timeline.emplace_back(t, cluster_->num_nodes());
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  ChargeOscOps();
+  inflight_.Sweep(t);
+}
+
+RunResult Runner::Run() {
+  Setup();
+  if (trace_.empty()) {
+    return std::move(result_);
+  }
+  SimTime next_boundary = cfg_.window;
+  for (const Request& r : trace_.requests) {
+    while (r.time >= next_boundary) {
+      WindowBoundary(next_boundary);
+      next_boundary += cfg_.window;
+    }
+    ProcessRequest(r);
+  }
+  const SimTime end = trace_.end_time();
+  WindowBoundary(end + 1);
+
+  // Convert integrals into costs.
+  const SimDuration span = std::max<SimDuration>(end, 1);
+  if (osc_ != nullptr) {
+    const double gb_months = osc_byte_ms_ / 1.0e9 / static_cast<double>(kBillingMonth);
+    result_.costs.Add(CostCategory::kCapacity,
+                      gb_months * prices_.object_storage_per_gb_month);
+    result_.mean_stored_bytes = osc_byte_ms_ / static_cast<double>(span);
+  }
+  if (cfg_.approach == Approach::kReplicated) {
+    const double gb_months = replica_byte_ms_ / 1.0e9 / static_cast<double>(kBillingMonth);
+    result_.costs.Add(CostCategory::kCapacity,
+                      gb_months * prices_.object_storage_per_gb_month);
+    result_.mean_stored_bytes = replica_byte_ms_ / static_cast<double>(span);
+    // Retention churn: the dataset turns over every `retention`; replaced
+    // data must be synchronized to the replica.
+    const double churn_bytes = churn_byte_ms_ / static_cast<double>(cfg_.retention);
+    result_.costs.Add(CostCategory::kEgress,
+                      prices_.EgressCost(static_cast<uint64_t>(churn_bytes)));
+    result_.egress_bytes += static_cast<uint64_t>(churn_bytes);
+    // Replica GET op costs are charged inline.
+  }
+  if (cluster_ != nullptr) {
+    const double node_hours = node_ms_ / static_cast<double>(kHour);
+    result_.costs.Add(CostCategory::kClusterNodes, node_hours * node_price_per_hour_);
+  }
+  if (IsMacaronFamily() || IsElasticClusterCache()) {
+    // One r5.xlarge hosting the controller and OSC manager.
+    result_.costs.Add(CostCategory::kInfra, prices_.VmCost(span));
+  }
+  return std::move(result_);
+}
+
+}  // namespace
+
+RunResult ReplayEngine::Run(const Trace& trace) const {
+  Runner runner(config_, trace);
+  return runner.Run();
+}
+
+}  // namespace macaron

@@ -1,0 +1,34 @@
+// Replay engine: the fast trace-driven simulator.
+//
+// Processes a trace in timestamp order against the configured approach,
+// metering every cost category and (optionally) sampling per-GET latency
+// from the fitted latency generator, with in-flight request coalescing. The
+// Macaron approaches run the full auto-configuration pipeline: observation
+// period (cache everything), then per-window analysis -> optimization ->
+// lazy eviction / GC / cluster scaling with priming.
+
+#ifndef MACARON_SRC_SIM_REPLAY_ENGINE_H_
+#define MACARON_SRC_SIM_REPLAY_ENGINE_H_
+
+#include "src/sim/engine_config.h"
+#include "src/sim/run_result.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+class ReplayEngine {
+ public:
+  explicit ReplayEngine(const EngineConfig& config) : config_(config) {}
+
+  // Runs `trace` end-to-end and returns the metered result.
+  RunResult Run(const Trace& trace) const;
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  EngineConfig config_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_SIM_REPLAY_ENGINE_H_

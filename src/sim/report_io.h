@@ -1,0 +1,29 @@
+// Machine-readable export of run results, for plotting and regression
+// tracking: one-line CSV rows (append-friendly across a sweep) and a JSON
+// document per run.
+
+#ifndef MACARON_SRC_SIM_REPORT_IO_H_
+#define MACARON_SRC_SIM_REPORT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/run_result.h"
+
+namespace macaron {
+
+// CSV header matching RunResultCsvRow's columns.
+std::string RunResultCsvHeader();
+// One CSV row: trace, approach, per-category dollars, totals, hit counters,
+// latency percentiles, capacity statistics.
+std::string RunResultCsvRow(const RunResult& r);
+// Writes header + one row per result. Returns false on I/O failure.
+bool WriteRunResultsCsv(const std::vector<RunResult>& results, const std::string& path);
+
+// JSON document for one run (costs, hits, latency summary, timelines).
+std::string RunResultJson(const RunResult& r);
+bool WriteRunResultJson(const RunResult& r, const std::string& path);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_SIM_REPORT_IO_H_

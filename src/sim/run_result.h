@@ -1,0 +1,55 @@
+// Result of one engine run: costs, hit distribution, latency, timelines.
+
+#ifndef MACARON_SRC_SIM_RUN_RESULT_H_
+#define MACARON_SRC_SIM_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/common/stats.h"
+#include "src/pricing/cost_meter.h"
+
+namespace macaron {
+
+struct RunResult {
+  std::string trace_name;
+  std::string approach_name;
+
+  CostMeter costs;
+
+  // GET outcome counters.
+  uint64_t gets = 0;
+  uint64_t cluster_hits = 0;
+  uint64_t osc_hits = 0;
+  uint64_t remote_fetches = 0;
+  uint64_t delayed_hits = 0;  // coalesced onto in-flight fetches
+  uint64_t egress_bytes = 0;
+
+  // GET latency distribution (only when measure_latency was set).
+  PercentileTracker latency_ms;
+  double MeanLatencyMs() const { return latency_ms.Mean(); }
+
+  // Reconfiguration history.
+  int reconfigs = 0;
+  double total_reconfig_seconds = 0.0;
+  double total_analysis_seconds = 0.0;
+  // (time, OSC target capacity) after each optimization.
+  std::vector<std::pair<SimTime, uint64_t>> osc_capacity_timeline;
+  std::vector<std::pair<SimTime, size_t>> cluster_nodes_timeline;
+  std::vector<std::pair<SimTime, SimDuration>> ttl_timeline;
+  uint64_t first_optimized_capacity = 0;
+  SimDuration first_optimized_ttl = 0;
+
+  // Capacity statistics.
+  double mean_stored_bytes = 0.0;  // time-averaged OSC resident bytes
+  uint64_t dataset_bytes = 0;      // total data size observed in the trace
+
+  std::string Summary() const;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_SIM_RUN_RESULT_H_

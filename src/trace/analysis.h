@@ -1,0 +1,44 @@
+// Trace analysis utilities beyond basic statistics: time-binned request
+// series, working-set growth, and access-recency structure. These power the
+// Table 2 characterization, trace debugging, and the workload studies of
+// §3.2 (diurnal patterns, dark-data share, reuse horizons).
+
+#ifndef MACARON_SRC_TRACE_ANALYSIS_H_
+#define MACARON_SRC_TRACE_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+// Requests per time bin (e.g. hourly series for spotting diurnal shapes and
+// bursts). The final bin covers the trace tail.
+std::vector<uint64_t> RequestRateSeries(const Trace& trace, SimDuration bin);
+
+// Cumulative unique bytes touched by the end of each bin (working-set
+// growth; flat tails indicate a closed working set, linear growth indicates
+// streaming ingestion).
+std::vector<uint64_t> WorkingSetGrowth(const Trace& trace, SimDuration bin);
+
+// Distribution of reuse intervals: for every non-first GET, the time since
+// the previous access to the same object, bucketed by the given bounds.
+// Returns counts per bucket (last bucket = beyond all bounds). This is the
+// quantity a TTL must cover: a TTL of `bounds[i]` would hit everything in
+// buckets 0..i.
+std::vector<uint64_t> ReuseIntervalHistogram(const Trace& trace,
+                                             const std::vector<SimDuration>& bounds);
+
+// Fraction of the dataset (by bytes) never read after being written — the
+// trace-visible analogue of the dark-data share (§3.1).
+double WriteOnlyByteFraction(const Trace& trace);
+
+// Peak-to-mean request rate ratio over the given bin (burstiness; IBM 9's
+// hourly bursts give large values, steady traces are near 1).
+double BurstinessRatio(const Trace& trace, SimDuration bin);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_ANALYSIS_H_

@@ -1,0 +1,24 @@
+#include "src/trace/concat.h"
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+
+namespace macaron {
+
+Trace ConcatenateTraces(const Trace& first, const Trace& second, SimDuration gap) {
+  MACARON_CHECK(gap >= 0);
+  Trace out;
+  out.name = first.name + "->" + second.name;
+  out.requests.reserve(first.size() + second.size());
+  out.requests = first.requests;
+  const SimTime offset = first.end_time() + gap - second.start_time();
+  // Remap ids by flipping the top bit (trace generators keep ids below 2^62).
+  constexpr ObjectId kRemapBit = 1ull << 62;
+  for (const Request& r : second.requests) {
+    MACARON_CHECK((r.id & kRemapBit) == 0);
+    out.requests.push_back(Request{r.time + offset, r.id | kRemapBit, r.size, r.op});
+  }
+  return out;
+}
+
+}  // namespace macaron

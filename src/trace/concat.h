@@ -1,0 +1,17 @@
+// Trace concatenation: builds the abrupt-workload-change traces of §7.3 by
+// appending a second trace (time-shifted, id-remapped) after a first.
+
+#ifndef MACARON_SRC_TRACE_CONCAT_H_
+#define MACARON_SRC_TRACE_CONCAT_H_
+
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+// The second trace starts `gap` after the first ends; its object ids are
+// remapped into a disjoint id space so the workloads share no data.
+Trace ConcatenateTraces(const Trace& first, const Trace& second, SimDuration gap);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_CONCAT_H_

@@ -1,0 +1,39 @@
+// Trace record types: a single object-storage request.
+
+#ifndef MACARON_SRC_TRACE_REQUEST_H_
+#define MACARON_SRC_TRACE_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/common/sim_time.h"
+
+namespace macaron {
+
+using ObjectId = uint64_t;
+
+enum class Op : uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kDelete = 2,
+};
+
+const char* OpName(Op op);
+
+// One request against the remote data lake. Objects larger than the caching
+// block size are split into multiple Requests by the trace splitter before
+// they reach any cache (paper §7.1: 4 MB blocks for IBM/VMware, 1 MB for
+// Uber).
+struct Request {
+  SimTime time = 0;
+  ObjectId id = 0;
+  uint64_t size = 0;
+  Op op = Op::kGet;
+};
+
+inline bool operator==(const Request& a, const Request& b) {
+  return a.time == b.time && a.id == b.id && a.size == b.size && a.op == b.op;
+}
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_REQUEST_H_

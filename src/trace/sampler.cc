@@ -1,0 +1,29 @@
+#include "src/trace/sampler.h"
+
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+SpatialSampler::SpatialSampler(double ratio, uint64_t salt) : ratio_(ratio), salt_(salt) {
+  MACARON_CHECK(ratio > 0.0 && ratio <= 1.0);
+  if (ratio >= 1.0) {
+    threshold_ = ~0ull;
+  } else {
+    threshold_ = static_cast<uint64_t>(std::ldexp(ratio, 64));
+  }
+}
+
+Trace SampleTrace(const Trace& trace, const SpatialSampler& sampler) {
+  Trace out;
+  out.name = trace.name + "-sampled";
+  for (const Request& r : trace.requests) {
+    if (sampler.Admit(r.id)) {
+      out.requests.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace macaron

@@ -1,0 +1,39 @@
+// Spatial sampling: hash-based object sampling (the SHARDS construction)
+// used both for trace collection (Uber trace, Appendix A.1) and by the
+// miniature-simulation workload analyzer (§5.2).
+
+#ifndef MACARON_SRC_TRACE_SAMPLER_H_
+#define MACARON_SRC_TRACE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "src/common/hash.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+// Admits objects whose hashed id falls below ratio * 2^64; every request on
+// an admitted object is kept, preserving per-object access sequences.
+class SpatialSampler {
+ public:
+  // ratio in (0, 1]; salt decorrelates independent samplers.
+  SpatialSampler(double ratio, uint64_t salt);
+
+  bool Admit(ObjectId id) const {
+    return Mix64(id ^ salt_) <= threshold_;
+  }
+
+  double ratio() const { return ratio_; }
+
+ private:
+  double ratio_;
+  uint64_t salt_;
+  uint64_t threshold_;
+};
+
+// Returns the subset of `trace` admitted by the sampler.
+Trace SampleTrace(const Trace& trace, const SpatialSampler& sampler);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_SAMPLER_H_

@@ -1,0 +1,29 @@
+#include "src/trace/splitter.h"
+
+#include "src/common/check.h"
+
+namespace macaron {
+
+Trace SplitObjects(const Trace& trace, uint64_t block_bytes) {
+  MACARON_CHECK(block_bytes > 0);
+  Trace out;
+  out.name = trace.name;
+  out.requests.reserve(trace.requests.size());
+  for (const Request& r : trace.requests) {
+    if (r.size <= block_bytes) {
+      out.requests.push_back(Request{r.time, SplitPartId(r.id, 0), r.size, r.op});
+      continue;
+    }
+    const uint64_t parts = (r.size + block_bytes - 1) / block_bytes;
+    MACARON_CHECK(parts <= kMaxSplitParts);
+    uint64_t remaining = r.size;
+    for (uint64_t p = 0; p < parts; ++p) {
+      const uint64_t part_size = remaining < block_bytes ? remaining : block_bytes;
+      out.requests.push_back(Request{r.time, SplitPartId(r.id, p), part_size, r.op});
+      remaining -= part_size;
+    }
+  }
+  return out;
+}
+
+}  // namespace macaron

@@ -1,0 +1,32 @@
+// Object splitting: large objects are divided into fixed-size blocks, with
+// each block cached independently (paper §7.1: 4 MB for IBM/VMware, 1 MB for
+// Uber). Split parts keep deterministic derived ids.
+
+#ifndef MACARON_SRC_TRACE_SPLITTER_H_
+#define MACARON_SRC_TRACE_SPLITTER_H_
+
+#include <cstdint>
+
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+// Maximum number of parts a single object may split into (supports objects
+// up to part_limit * block_size).
+inline constexpr uint64_t kMaxSplitParts = 1ull << 12;
+
+// Derived id of part `part` of object `id`. Part 0 of an unsplit object is
+// the object itself.
+inline constexpr ObjectId SplitPartId(ObjectId id, uint64_t part) {
+  return (id << 12) | part;
+}
+
+// Returns a trace in which every request on an object larger than
+// `block_bytes` is replaced by consecutive same-timestamp requests on its
+// parts. All ids (split or not) are remapped through SplitPartId so id
+// spaces cannot collide.
+Trace SplitObjects(const Trace& trace, uint64_t block_bytes);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_SPLITTER_H_

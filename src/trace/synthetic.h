@@ -1,0 +1,100 @@
+// Synthetic workload generation.
+//
+// The paper evaluates on 19 proprietary traces (15 IBM, 3 Uber, 1 VMware).
+// Those traces are not redistributable at TB scale, so this module generates
+// synthetic workloads reproducing every characteristic Table 2 and §3.2
+// report: Zipf popularity skew, object-size distribution, put/get/delete
+// mix, bytes-accessed-to-dataset ratios (reuse), compulsory-miss structure,
+// arrival patterns (steady, diurnal, 15-minute hourly bursts, multi-day
+// gaps, periodic jobs), short-lived objects, recency-biased reads of fresh
+// writes, and daily hot-set drift. Workloads are generated at roughly
+// 1/1000 of the paper's byte scale (TB -> GB) with proportional request
+// counts; since every cost term is linear in bytes, relative results are
+// preserved.
+
+#ifndef MACARON_SRC_TRACE_SYNTHETIC_H_
+#define MACARON_SRC_TRACE_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+// Request arrival rate shape over the trace duration.
+enum class ArrivalPattern {
+  kSteady,       // homogeneous rate
+  kDiurnal,      // sinusoidal with 24 h period (IBM 55)
+  kHourlyBurst,  // active 15 min per hour, idle otherwise (IBM 9)
+  kPeriodicJobs, // steady background + sharp job spikes every 6 h (Uber)
+};
+
+struct WorkloadProfile {
+  std::string name;
+  SimDuration duration = 7 * kDay;
+  uint64_t seed = 1;
+
+  // Dataset: initial objects present in the remote data lake and accessed by
+  // the workload. Object sizes are log-normal around the mean, clamped to
+  // [1 KB, block size].
+  uint64_t dataset_bytes = 4ull * 1000 * 1000 * 1000;
+  uint64_t mean_object_bytes = 1ull * 1000 * 1000;
+  double object_size_sigma = 0.8;  // sigma of the underlying normal
+  uint64_t max_object_bytes = 4ull * 1000 * 1000;  // split block size
+
+  // Volume targets (approximate; generation is stochastic).
+  uint64_t get_bytes = 16ull * 1000 * 1000 * 1000;
+  uint64_t put_bytes = 0;
+  double delete_fraction = 0.0;  // fraction of all requests that are deletes
+
+  // Popularity.
+  double zipf_alpha = 0.5;
+  // Fraction of GETs that target recently PUT objects (recency bias; drives
+  // low compulsory miss ratios in put-heavy traces like IBM 55).
+  double recent_get_fraction = 0.0;
+  // How far back recency-biased GETs reach, as the mean (in objects) of the
+  // exponential recency distribution: small = only the newest writes, large
+  // = a working set spanning many hours of ingestion.
+  double recent_get_spread = 64.0;
+  // Fraction of GETs that first-touch brand-new objects written to the lake
+  // by external producers (streaming ingestion read by analytics, as in the
+  // Uber/Presto workload). Sustains the compulsory miss rate over time.
+  double fresh_get_fraction = 0.0;
+  // Fraction of the popularity permutation that rotates per day (hot-set
+  // drift; high for dynamic traces like IBM 80).
+  double daily_shift = 0.0;
+
+  // Arrival structure.
+  ArrivalPattern arrival = ArrivalPattern::kSteady;
+  // Short-lived objects (IBM 9): each burst touches a fresh object set and
+  // never returns to prior sets.
+  bool short_lifetime = false;
+  // Days with zero traffic, e.g. {4, 5} for IBM 80's two-day quiet period.
+  std::vector<int> quiet_days;
+
+  // Derived.
+  uint64_t NumInitialObjects() const {
+    return dataset_bytes / mean_object_bytes > 0 ? dataset_bytes / mean_object_bytes : 1;
+  }
+};
+
+// Generates the trace for a profile. Deterministic in the profile seed.
+Trace GenerateTrace(const WorkloadProfile& profile);
+
+// The 19-workload suite mirroring the paper's evaluation set:
+// IBM 4, 9, 11, 12, 18, 27, 34, 45, 55, 58, 66, 75, 80, 83, 96,
+// Uber 1-3, VMware. Profiles encode the Table 2 characteristics.
+std::vector<WorkloadProfile> AllProfiles();
+
+// Lookup by name (e.g. "ibm55", "uber1", "vmware"); aborts if unknown.
+WorkloadProfile ProfileByName(const std::string& name);
+
+// The 6 representative IBM traces of Table 2 plus Uber and VMware.
+std::vector<std::string> HeadlineProfileNames();
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_SYNTHETIC_H_

@@ -1,0 +1,140 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace macaron {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kGet:
+      return "GET";
+    case Op::kPut:
+      return "PUT";
+    case Op::kDelete:
+      return "DELETE";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+bool Trace::IsSorted() const {
+  for (size_t i = 1; i < requests.size(); ++i) {
+    if (requests[i].time < requests[i - 1].time) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Fits the Zipf exponent by least squares on log(frequency) vs log(rank),
+// using objects with at least 2 accesses (singletons flatten the tail and
+// are dominated by compulsory structure, not popularity skew).
+double FitZipfAlpha(const std::unordered_map<ObjectId, uint64_t>& freq) {
+  std::vector<uint64_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [id, c] : freq) {
+    counts.push_back(c);
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  // Regression over the head of the distribution.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  size_t n = 0;
+  for (size_t rank = 0; rank < counts.size(); ++rank) {
+    if (counts[rank] < 2) {
+      break;
+    }
+    const double x = std::log(static_cast<double>(rank + 1));
+    const double y = std::log(static_cast<double>(counts[rank]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 8) {
+    return 0.0;
+  }
+  const double nd = static_cast<double>(n);
+  const double denom = nd * sxx - sx * sx;
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  const double slope = (nd * sxy - sx * sy) / denom;
+  return std::max(0.0, -slope);
+}
+
+}  // namespace
+
+TraceStats ComputeStats(const Trace& trace) {
+  TraceStats s;
+  std::unordered_map<ObjectId, uint64_t> sizes;
+  std::unordered_map<ObjectId, uint64_t> get_freq;
+  std::vector<uint64_t> all_sizes;
+  sizes.reserve(trace.size() / 4 + 16);
+  all_sizes.reserve(trace.size());
+  for (const Request& r : trace.requests) {
+    ++s.num_requests;
+    all_sizes.push_back(r.size);
+    switch (r.op) {
+      case Op::kGet: {
+        ++s.num_gets;
+        s.get_bytes += r.size;
+        auto [it, inserted] = sizes.try_emplace(r.id, r.size);
+        if (inserted) {
+          s.unique_bytes += r.size;
+          s.unique_get_bytes += r.size;
+        }
+        get_freq[r.id]++;
+        break;
+      }
+      case Op::kPut: {
+        ++s.num_puts;
+        s.put_bytes += r.size;
+        auto [it, inserted] = sizes.try_emplace(r.id, r.size);
+        if (inserted) {
+          s.unique_bytes += r.size;
+        }
+        break;
+      }
+      case Op::kDelete:
+        ++s.num_deletes;
+        break;
+    }
+  }
+  s.unique_objects = sizes.size();
+  s.compulsory_miss_ratio =
+      s.get_bytes == 0 ? 0.0
+                       : static_cast<double>(s.unique_get_bytes) / static_cast<double>(s.get_bytes);
+  s.zipf_alpha = FitZipfAlpha(get_freq);
+  const SimDuration span = trace.duration();
+  s.mean_request_rate =
+      span <= 0 ? 0.0 : static_cast<double>(s.num_requests) / DurationSeconds(span);
+  if (!all_sizes.empty()) {
+    const size_t mid = all_sizes.size() / 2;
+    std::nth_element(all_sizes.begin(), all_sizes.begin() + mid, all_sizes.end());
+    s.median_object_bytes = all_sizes[mid];
+  }
+  return s;
+}
+
+std::string TraceStats::Summary() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "reqs=%llu (get=%llu put=%llu del=%llu) get_bytes=%.2fGB put_bytes=%.2fGB "
+                "dataset=%.2fGB objs=%llu compulsory=%.3f alpha=%.2f rate=%.1f/s",
+                static_cast<unsigned long long>(num_requests),
+                static_cast<unsigned long long>(num_gets),
+                static_cast<unsigned long long>(num_puts),
+                static_cast<unsigned long long>(num_deletes), static_cast<double>(get_bytes) / 1e9,
+                static_cast<double>(put_bytes) / 1e9, static_cast<double>(unique_bytes) / 1e9,
+                static_cast<unsigned long long>(unique_objects), compulsory_miss_ratio, zipf_alpha,
+                mean_request_rate);
+  return buf;
+}
+
+}  // namespace macaron

@@ -1,0 +1,52 @@
+// In-memory trace container and derived statistics.
+
+#ifndef MACARON_SRC_TRACE_TRACE_H_
+#define MACARON_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/request.h"
+
+namespace macaron {
+
+// A time-ordered sequence of requests plus a workload name.
+struct Trace {
+  std::string name;
+  std::vector<Request> requests;
+
+  bool empty() const { return requests.empty(); }
+  size_t size() const { return requests.size(); }
+  SimTime start_time() const { return requests.empty() ? 0 : requests.front().time; }
+  SimTime end_time() const { return requests.empty() ? 0 : requests.back().time; }
+  SimDuration duration() const { return end_time() - start_time(); }
+
+  // Verifies the time ordering invariant.
+  bool IsSorted() const;
+};
+
+// Aggregate statistics over a trace (the columns of Table 2).
+struct TraceStats {
+  uint64_t num_requests = 0;
+  uint64_t num_gets = 0;
+  uint64_t num_puts = 0;
+  uint64_t num_deletes = 0;
+  uint64_t get_bytes = 0;       // total bytes fetched by GETs
+  uint64_t put_bytes = 0;       // total bytes written by PUTs
+  uint64_t unique_objects = 0;  // distinct object ids observed
+  uint64_t unique_bytes = 0;    // total data size: sum of distinct object sizes
+  uint64_t unique_get_bytes = 0;  // bytes of first-touch GETs (compulsory misses)
+  double compulsory_miss_ratio = 0.0;  // unique_get_bytes / get_bytes
+  double zipf_alpha = 0.0;             // least-squares fit of log freq vs log rank
+  double mean_request_rate = 0.0;      // requests per second over the trace span
+  uint64_t median_object_bytes = 0;
+
+  std::string Summary() const;
+};
+
+TraceStats ComputeStats(const Trace& trace);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_TRACE_H_

@@ -1,0 +1,139 @@
+#include "src/trace/trace_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace macaron {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'C', 'T', 'R'};
+constexpr uint32_t kVersion = 1;
+
+struct PackedRecord {
+  int64_t time;
+  uint64_t id;
+  uint64_t size;
+  uint8_t op;
+  uint8_t pad[7];
+};
+static_assert(sizeof(PackedRecord) == 32);
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool WriteTraceBinary(const Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return false;
+  }
+  if (std::fwrite(kMagic, 1, 4, f.get()) != 4) {
+    return false;
+  }
+  const uint32_t version = kVersion;
+  const uint64_t count = trace.requests.size();
+  if (std::fwrite(&version, sizeof(version), 1, f.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f.get()) != 1) {
+    return false;
+  }
+  for (const Request& r : trace.requests) {
+    PackedRecord rec{};
+    rec.time = r.time;
+    rec.id = r.id;
+    rec.size = r.size;
+    rec.op = static_cast<uint8_t>(r.op);
+    if (std::fwrite(&rec, sizeof(rec), 1, f.get()) != 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ReadTraceBinary(const std::string& path, Trace* out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return false;
+  }
+  char magic[4];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f.get()) != 4 || std::memcmp(magic, kMagic, 4) != 0 ||
+      std::fread(&version, sizeof(version), 1, f.get()) != 1 || version != kVersion ||
+      std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    return false;
+  }
+  out->requests.clear();
+  out->requests.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PackedRecord rec{};
+    if (std::fread(&rec, sizeof(rec), 1, f.get()) != 1) {
+      return false;
+    }
+    if (rec.op > static_cast<uint8_t>(Op::kDelete)) {
+      return false;
+    }
+    out->requests.push_back(
+        Request{rec.time, rec.id, rec.size, static_cast<Op>(rec.op)});
+  }
+  return true;
+}
+
+bool WriteTraceCsv(const Trace& trace, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f.get(), "time_ms,op,object_id,size_bytes\n");
+  for (const Request& r : trace.requests) {
+    std::fprintf(f.get(), "%" PRId64 ",%s,%" PRIu64 ",%" PRIu64 "\n", r.time, OpName(r.op), r.id,
+                 r.size);
+  }
+  return true;
+}
+
+bool ReadTraceCsv(const std::string& path, Trace* out) {
+  FilePtr f(std::fopen(path.c_str(), "r"));
+  if (f == nullptr) {
+    return false;
+  }
+  out->requests.clear();
+  char line[256];
+  // Header.
+  if (std::fgets(line, sizeof(line), f.get()) == nullptr) {
+    return false;
+  }
+  while (std::fgets(line, sizeof(line), f.get()) != nullptr) {
+    int64_t t = 0;
+    char opbuf[16];
+    uint64_t id = 0;
+    uint64_t size = 0;
+    if (std::sscanf(line, "%" SCNd64 ",%15[^,],%" SCNu64 ",%" SCNu64, &t, opbuf, &id, &size) !=
+        4) {
+      return false;
+    }
+    Op op;
+    if (std::strcmp(opbuf, "GET") == 0) {
+      op = Op::kGet;
+    } else if (std::strcmp(opbuf, "PUT") == 0) {
+      op = Op::kPut;
+    } else if (std::strcmp(opbuf, "DELETE") == 0) {
+      op = Op::kDelete;
+    } else {
+      return false;
+    }
+    out->requests.push_back(Request{t, id, size, op});
+  }
+  return true;
+}
+
+}  // namespace macaron

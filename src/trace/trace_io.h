@@ -1,0 +1,24 @@
+// Trace serialization: a compact binary format for replay and CSV for
+// interchange with external tooling (the released IBM/Uber traces are CSV).
+
+#ifndef MACARON_SRC_TRACE_TRACE_IO_H_
+#define MACARON_SRC_TRACE_TRACE_IO_H_
+
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace macaron {
+
+// Binary format: magic "MCTR", u32 version, u64 count, then packed records.
+// Returns false on I/O failure.
+bool WriteTraceBinary(const Trace& trace, const std::string& path);
+bool ReadTraceBinary(const std::string& path, Trace* out);
+
+// CSV format: header "time_ms,op,object_id,size_bytes", one row per request.
+bool WriteTraceCsv(const Trace& trace, const std::string& path);
+bool ReadTraceCsv(const std::string& path, Trace* out);
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,158 @@
+// Tests for trace analysis utilities and run-result export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/sim/replay_engine.h"
+#include "src/sim/report_io.h"
+#include "src/trace/analysis.h"
+#include "src/trace/splitter.h"
+#include "src/trace/synthetic.h"
+
+namespace macaron {
+namespace {
+
+Trace MakeTrace() {
+  Trace t;
+  t.requests = {
+      {0, 1, 100, Op::kPut},          {10 * kMinute, 1, 100, Op::kGet},
+      {20 * kMinute, 2, 200, Op::kPut}, {2 * kHour, 1, 100, Op::kGet},
+      {3 * kHour, 3, 300, Op::kGet},  {3 * kHour + 1, 3, 300, Op::kGet},
+  };
+  return t;
+}
+
+TEST(RequestRateSeriesTest, BinsCounts) {
+  const auto series = RequestRateSeries(MakeTrace(), kHour);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0], 3u);
+  EXPECT_EQ(series[1], 0u);
+  EXPECT_EQ(series[2], 1u);
+  EXPECT_EQ(series[3], 2u);
+}
+
+TEST(RequestRateSeriesTest, EmptyTrace) {
+  EXPECT_TRUE(RequestRateSeries(Trace{}, kHour).empty());
+}
+
+TEST(WorkingSetGrowthTest, CumulativeUniqueBytes) {
+  const auto series = WorkingSetGrowth(MakeTrace(), kHour);
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[0], 300u);  // objects 1 and 2
+  EXPECT_EQ(series[1], 300u);
+  EXPECT_EQ(series[2], 300u);
+  EXPECT_EQ(series[3], 600u);  // object 3 arrives in the final bin
+}
+
+TEST(ReuseIntervalHistogramTest, BucketsGaps) {
+  // Object 1: re-read 10 min after the put, then ~1h50m after that read.
+  // Object 3: re-read 1 ms after the first read.
+  const auto counts = ReuseIntervalHistogram(MakeTrace(), {kMinute, kHour, kDay});
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 1u);  // <= 1 min: object 3's immediate re-read
+  EXPECT_EQ(counts[1], 1u);  // <= 1 h: object 1's 10-min gap
+  EXPECT_EQ(counts[2], 1u);  // <= 1 day: the ~1h50m gap
+  EXPECT_EQ(counts[3], 0u);
+}
+
+TEST(ReuseIntervalHistogramTest, DeleteResetsRecency) {
+  Trace t;
+  t.requests = {{0, 1, 100, Op::kGet},
+                {kMinute, 1, 100, Op::kDelete},
+                {2 * kMinute, 1, 100, Op::kGet}};
+  const auto counts = ReuseIntervalHistogram(t, {kHour});
+  EXPECT_EQ(counts[0], 0u);  // the post-delete read is a first touch
+}
+
+TEST(WriteOnlyByteFractionTest, CountsUnreadWrites) {
+  Trace t;
+  t.requests = {{0, 1, 100, Op::kPut},  // read later
+                {1, 2, 300, Op::kPut},  // never read
+                {2, 1, 100, Op::kGet}};
+  EXPECT_DOUBLE_EQ(WriteOnlyByteFraction(t), 0.75);
+}
+
+TEST(WriteOnlyByteFractionTest, ReadOnlyTraceIsZero) {
+  Trace t;
+  t.requests = {{0, 1, 100, Op::kGet}};
+  EXPECT_DOUBLE_EQ(WriteOnlyByteFraction(t), 0.0);
+}
+
+TEST(BurstinessRatioTest, BurstTraceHasHighRatio) {
+  const Trace burst = GenerateTrace(ProfileByName("ibm9"));
+  const Trace steady = GenerateTrace(ProfileByName("ibm12"));
+  EXPECT_GT(BurstinessRatio(burst, 5 * kMinute), BurstinessRatio(steady, 5 * kMinute) * 1.5);
+}
+
+TEST(BurstinessRatioTest, UniformTraceNearOne) {
+  Trace t;
+  for (int i = 0; i < 240; ++i) {
+    t.requests.push_back({static_cast<SimTime>(i) * kMinute, static_cast<ObjectId>(i), 10,
+                          Op::kGet});
+  }
+  EXPECT_NEAR(BurstinessRatio(t, kHour), 1.0, 0.1);
+}
+
+// --- report export ---
+
+RunResult SampleResult() {
+  WorkloadProfile p = ProfileByName("ibm18");
+  p.dataset_bytes = 200'000'000;
+  p.get_bytes = 500'000'000;
+  p.duration = kDay + 2 * kHour;
+  EngineConfig cfg;
+  cfg.approach = Approach::kMacaronNoCluster;
+  cfg.num_minicaches = 8;
+  return ReplayEngine(cfg).Run(SplitObjects(GenerateTrace(p), p.max_object_bytes));
+}
+
+TEST(ReportIoTest, CsvRowColumnCountMatchesHeader) {
+  const RunResult r = SampleResult();
+  const std::string header = RunResultCsvHeader();
+  const std::string row = RunResultCsvRow(r);
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row));
+}
+
+TEST(ReportIoTest, CsvFileRoundTrip) {
+  const RunResult r = SampleResult();
+  const std::string path = testing::TempDir() + "/results.csv";
+  ASSERT_TRUE(WriteRunResultsCsv({r, r}, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  int lines = 0;
+  char buf[2048];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++lines;
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+  std::remove(path.c_str());
+}
+
+TEST(ReportIoTest, JsonContainsKeyFields) {
+  const RunResult r = SampleResult();
+  const std::string json = RunResultJson(r);
+  EXPECT_NE(json.find("\"approach\": \"macaron\""), std::string::npos);
+  EXPECT_NE(json.find("\"egress\""), std::string::npos);
+  EXPECT_NE(json.find("\"osc_capacity_timeline\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ReportIoTest, JsonFileWrite) {
+  const RunResult r = SampleResult();
+  const std::string path = testing::TempDir() + "/result.json";
+  ASSERT_TRUE(WriteRunResultJson(r, path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace macaron

@@ -1,0 +1,197 @@
+// Unit tests for the cache cluster: consistent hashing, scaling, priming.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/cluster/cache_cluster.h"
+#include "src/cluster/hash_ring.h"
+
+namespace macaron {
+namespace {
+
+TEST(HashRingTest, SingleNodeGetsEverything) {
+  HashRing ring;
+  ring.AddNode(1);
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_EQ(ring.Route(id), 1u);
+  }
+}
+
+TEST(HashRingTest, RoutingIsDeterministic) {
+  HashRing ring;
+  ring.AddNode(1);
+  ring.AddNode(2);
+  ring.AddNode(3);
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_EQ(ring.Route(id), ring.Route(id));
+  }
+}
+
+TEST(HashRingTest, LoadRoughlyBalanced) {
+  HashRing ring(/*virtual_replicas=*/128);
+  for (uint32_t n = 1; n <= 4; ++n) {
+    ring.AddNode(n);
+  }
+  std::map<uint32_t, int> counts;
+  const int total = 40000;
+  for (ObjectId id = 0; id < static_cast<ObjectId>(total); ++id) {
+    counts[ring.Route(id)]++;
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [node, c] : counts) {
+    EXPECT_GT(c, total / 4 / 2) << node;   // within 2x of fair share
+    EXPECT_LT(c, total / 4 * 2) << node;
+  }
+}
+
+TEST(HashRingTest, AddingNodeMovesMinimalShare) {
+  HashRing ring(128);
+  ring.AddNode(1);
+  ring.AddNode(2);
+  ring.AddNode(3);
+  std::map<ObjectId, uint32_t> before;
+  for (ObjectId id = 0; id < 10000; ++id) {
+    before[id] = ring.Route(id);
+  }
+  ring.AddNode(4);
+  int moved = 0;
+  int moved_elsewhere = 0;
+  for (ObjectId id = 0; id < 10000; ++id) {
+    const uint32_t now = ring.Route(id);
+    if (now != before[id]) {
+      ++moved;
+      if (now != 4) {
+        ++moved_elsewhere;
+      }
+    }
+  }
+  // Roughly 1/4 of keys move, and only to the new node.
+  EXPECT_NEAR(moved / 10000.0, 0.25, 0.08);
+  EXPECT_EQ(moved_elsewhere, 0);
+}
+
+TEST(HashRingTest, RemoveNodeRedistributes) {
+  HashRing ring(128);
+  ring.AddNode(1);
+  ring.AddNode(2);
+  ring.RemoveNode(2);
+  EXPECT_EQ(ring.num_nodes(), 1u);
+  for (ObjectId id = 0; id < 100; ++id) {
+    EXPECT_EQ(ring.Route(id), 1u);
+  }
+}
+
+TEST(CacheClusterTest, StartsEmpty) {
+  CacheCluster c(1000);
+  EXPECT_EQ(c.num_nodes(), 0u);
+  EXPECT_FALSE(c.Get(1));  // no nodes: trivially a miss
+}
+
+TEST(CacheClusterTest, ResizeUpReturnsNewNodes) {
+  CacheCluster c(1000);
+  const auto added = c.Resize(3);
+  EXPECT_EQ(added.size(), 3u);
+  EXPECT_EQ(c.num_nodes(), 3u);
+  EXPECT_EQ(c.total_capacity(), 3000u);
+}
+
+TEST(CacheClusterTest, ResizeDownRemoves) {
+  CacheCluster c(1000);
+  c.Resize(3);
+  const auto added = c.Resize(1);
+  EXPECT_TRUE(added.empty());
+  EXPECT_EQ(c.num_nodes(), 1u);
+}
+
+TEST(CacheClusterTest, PutGetRoundTrip) {
+  CacheCluster c(1000);
+  c.Resize(4);
+  for (ObjectId id = 0; id < 50; ++id) {
+    c.Put(id, 10);
+  }
+  for (ObjectId id = 0; id < 50; ++id) {
+    EXPECT_TRUE(c.Get(id)) << id;
+  }
+  EXPECT_EQ(c.used_bytes(), 500u);
+}
+
+TEST(CacheClusterTest, DeleteRemoves) {
+  CacheCluster c(1000);
+  c.Resize(2);
+  c.Put(1, 10);
+  c.Delete(1);
+  EXPECT_FALSE(c.Get(1));
+}
+
+TEST(CacheClusterTest, ScaleOutLosesRedistributedKeys) {
+  CacheCluster c(100000);
+  c.Resize(2);
+  for (ObjectId id = 0; id < 1000; ++id) {
+    c.Put(id, 10);
+  }
+  c.Resize(4);
+  int hits = 0;
+  for (ObjectId id = 0; id < 1000; ++id) {
+    if (c.Get(id)) {
+      ++hits;
+    }
+  }
+  // Keys routed to the new nodes now miss (cold), the rest still hit.
+  EXPECT_LT(hits, 1000);
+  EXPECT_GT(hits, 300);
+}
+
+TEST(CacheClusterTest, PrimingFillsNewNodesFromOscMruOrder) {
+  PackingConfig pc;
+  ObjectStorageCache osc(pc);
+  for (ObjectId id = 0; id < 200; ++id) {
+    osc.Admit(id, 100);
+  }
+  CacheCluster c(100000);  // plenty of room per node
+  c.Resize(1);
+  const auto added = c.Resize(3);
+  const uint64_t primed = c.Prime(osc, added);
+  EXPECT_GT(primed, 0u);
+  // Every primed object must actually hit now.
+  uint64_t hits = 0;
+  for (ObjectId id = 0; id < 200; ++id) {
+    if (c.Get(id)) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, primed);
+}
+
+TEST(CacheClusterTest, PrimingRespectsNodeCapacity) {
+  PackingConfig pc;
+  ObjectStorageCache osc(pc);
+  for (ObjectId id = 0; id < 1000; ++id) {
+    osc.Admit(id, 100);
+  }
+  CacheCluster c(500);  // tiny nodes: 5 objects each
+  const auto added = c.Resize(2);
+  c.Prime(osc, added);
+  EXPECT_LE(c.used_bytes(), 1000u);
+}
+
+TEST(CacheClusterTest, PrimeWithNoNewNodesIsNoOp) {
+  PackingConfig pc;
+  ObjectStorageCache osc(pc);
+  osc.Admit(1, 10);
+  CacheCluster c(1000);
+  c.Resize(1);
+  EXPECT_EQ(c.Prime(osc, {}), 0u);
+}
+
+TEST(CacheClusterTest, PerNodeCapacityIsEnforced) {
+  CacheCluster c(100);
+  c.Resize(2);
+  for (ObjectId id = 0; id < 100; ++id) {
+    c.Put(id, 30);
+  }
+  EXPECT_LE(c.used_bytes(), 200u);
+}
+
+}  // namespace
+}  // namespace macaron

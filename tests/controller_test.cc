@@ -1,0 +1,324 @@
+// Tests for the controller: expected-cost optimizer (§5.1), cluster sizer,
+// TTL optimizer (Appendix B), analyzer aggregation (§5.2), and the
+// end-to-end reconfiguration decision flow.
+
+#include <gtest/gtest.h>
+
+#include "src/cloudsim/latency.h"
+#include "src/controller/analyzer.h"
+#include "src/controller/cluster_sizer.h"
+#include "src/controller/controller.h"
+#include "src/controller/optimizer.h"
+#include "src/controller/ttl_optimizer.h"
+#include "src/trace/synthetic.h"
+
+namespace macaron {
+namespace {
+
+constexpr double kGB9 = 1e9;
+
+OptimizerInputs MakeInputs() {
+  OptimizerInputs in;
+  // Three capacities: 1, 10, 20 GB. MRC/BMC fall with capacity.
+  in.mrc = Curve({1 * kGB9, 10 * kGB9, 20 * kGB9}, {0.5, 0.1, 0.05});
+  in.bmc = Curve({1 * kGB9, 10 * kGB9, 20 * kGB9}, {50 * kGB9, 10 * kGB9, 5 * kGB9});
+  in.window_reads = 1000;
+  in.window_writes = 100;
+  in.objects_per_block = 40;
+  in.window = 15 * kMinute;
+  return in;
+}
+
+TEST(OptimizerTest, CostCurveHasAllThreeTerms) {
+  const OptimizerInputs in = MakeInputs();
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  const Curve c = ExpectedCostCurve(in, p);
+  // At 1 GB: capacity = 1GB * 0.023 * (15min/month), egress = 50GB * 0.09,
+  // op = 0.005/1000 * (100 + 1000*0.5)/40.
+  const double cap = 1.0 * 0.023 * DurationMonths(15 * kMinute);
+  const double egress = 50 * 0.09;
+  const double op = 0.005 / 1000.0 * (100 + 500) / 40.0;
+  EXPECT_NEAR(c.y(0), cap + egress + op, 1e-9);
+}
+
+TEST(OptimizerTest, HighEgressPriceFavorsLargeCache) {
+  const OptimizerInputs in = MakeInputs();
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  const CapacityDecision d = OptimizeCapacity(in, p);
+  EXPECT_EQ(d.capacity_bytes, static_cast<uint64_t>(20 * kGB9));
+}
+
+TEST(OptimizerTest, ZeroEgressPriceFavorsSmallCache) {
+  const OptimizerInputs in = MakeInputs();
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud).WithEgressScale(0.0);
+  const CapacityDecision d = OptimizeCapacity(in, p);
+  EXPECT_EQ(d.capacity_bytes, static_cast<uint64_t>(1 * kGB9));
+}
+
+TEST(OptimizerTest, DramPricingShrinksOptimalCapacity) {
+  // The ECPC effect: the same curves priced as DRAM pick a smaller cache.
+  OptimizerInputs in = MakeInputs();
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  in.pricing = CapacityPricing::kObjectStorage;
+  const CapacityDecision object_storage = OptimizeCapacity(in, p);
+  in.pricing = CapacityPricing::kDram;
+  const CapacityDecision dram = OptimizeCapacity(in, p);
+  EXPECT_LE(dram.capacity_bytes, object_storage.capacity_bytes);
+}
+
+TEST(OptimizerTest, GarbageAddsCapacityCost) {
+  OptimizerInputs in = MakeInputs();
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  const double before = ExpectedCostCurve(in, p).y(0);
+  in.garbage_bytes = static_cast<uint64_t>(5 * kGB9);
+  const double after = ExpectedCostCurve(in, p).y(0);
+  EXPECT_GT(after, before);
+}
+
+TEST(OptimizerTest, PackingDividesOpCost) {
+  OptimizerInputs in = MakeInputs();
+  in.bmc = in.bmc.Scaled(0.0);  // isolate the op term
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  in.objects_per_block = 1.0;
+  const double unpacked = ExpectedCostCurve(in, p).y(0);
+  in.objects_per_block = 40.0;
+  const double packed = ExpectedCostCurve(in, p).y(0);
+  // Only op cost differs; capacity is shared.
+  const double cap = 1.0 * 0.023 * DurationMonths(15 * kMinute);
+  EXPECT_NEAR((unpacked - cap) / (packed - cap), 40.0, 1e-6);
+}
+
+// --- Cluster sizer ---
+
+TEST(ClusterSizerTest, PicksMinimalCapacityMeetingTarget) {
+  const Curve alc({1e9, 2e9, 3e9, 4e9}, {100.0, 50.0, 20.0, 19.0});
+  const ClusterDecision d = SizeCluster(alc, 25.0, static_cast<uint64_t>(1e9), 100);
+  EXPECT_TRUE(d.met_target);
+  EXPECT_EQ(d.capacity_bytes, static_cast<uint64_t>(3e9));
+  EXPECT_EQ(d.nodes, 3u);
+}
+
+TEST(ClusterSizerTest, KneeWhenTargetUnreachable) {
+  // Sharp elbow at the second point, then flat.
+  const Curve alc({1e9, 2e9, 3e9, 4e9}, {100.0, 40.0, 39.0, 38.0});
+  const ClusterDecision d = SizeCluster(alc, 10.0, static_cast<uint64_t>(1e9), 100);
+  EXPECT_FALSE(d.met_target);
+  EXPECT_EQ(d.capacity_bytes, static_cast<uint64_t>(2e9));
+}
+
+TEST(ClusterSizerTest, FlatCurveScalesToMinimum) {
+  const Curve alc({1e9, 2e9, 3e9}, {100.0, 99.0, 98.0});
+  const ClusterDecision d = SizeCluster(alc, 10.0, static_cast<uint64_t>(1e9), 100);
+  EXPECT_FALSE(d.met_target);
+  EXPECT_EQ(d.nodes, 1u);
+}
+
+TEST(ClusterSizerTest, NodeCountRoundsUpAndCaps) {
+  const Curve alc({25e8}, {5.0});
+  const ClusterDecision d = SizeCluster(alc, 10.0, static_cast<uint64_t>(1e9), 2);
+  EXPECT_EQ(d.nodes, 2u);  // ceil(2.5) = 3, capped at 2
+}
+
+// --- TTL optimizer ---
+
+TEST(TtlOptimizerTest, BalancesEgressAgainstCapacity) {
+  TtlOptimizerInputs in;
+  const double h1 = static_cast<double>(kHour);
+  in.mrc = Curve({h1, 24 * h1, 168 * h1}, {0.5, 0.1, 0.08});
+  in.bmc = Curve({h1, 24 * h1, 168 * h1}, {50 * kGB9, 10 * kGB9, 8 * kGB9});
+  in.capacity = Curve({h1, 24 * h1, 168 * h1}, {1 * kGB9, 10 * kGB9, 60 * kGB9});
+  in.window_reads = 1000;
+  in.window_writes = 0;
+  in.objects_per_block = 40;
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  const TtlDecision d = OptimizeTtl(in, p);
+  // Egress dominates at cross-cloud prices: the longest TTL wins.
+  EXPECT_EQ(d.ttl, 168 * kHour);
+  // With free egress the shortest TTL wins.
+  const TtlDecision d0 = OptimizeTtl(in, p.WithEgressScale(0.0));
+  EXPECT_EQ(d0.ttl, kHour);
+}
+
+// --- Analyzer ---
+
+TEST(AnalyzerTest, ReportsAggregatedCurvesAndCounts) {
+  AnalyzerConfig cfg;
+  cfg.sampling_ratio = 1.0;
+  cfg.num_minicaches = 8;
+  cfg.min_capacity_bytes = 1000;
+  cfg.max_capacity_bytes = 100000;
+  WorkloadAnalyzer analyzer(cfg, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    analyzer.Process({i, static_cast<ObjectId>(i % 10), 500, Op::kGet});
+  }
+  analyzer.Process({100, 99, 500, Op::kPut});
+  const AnalyzerReport r = analyzer.EndWindow(15 * kMinute);
+  EXPECT_EQ(r.window_requests, 101u);
+  EXPECT_NEAR(r.expected_window_reads, 100.0, 1e-9);
+  EXPECT_NEAR(r.expected_window_writes, 1.0, 1e-9);
+  EXPECT_NEAR(r.mean_object_bytes, 500.0, 1e-9);
+  EXPECT_FALSE(r.aggregated_mrc.empty());
+  EXPECT_GT(r.lambda_gb_seconds, 0.0);
+}
+
+TEST(AnalyzerTest, DecayedAverageTracksShift) {
+  DecayedScalarAverage avg(0.2);
+  avg.Add(100.0, 1.0, 0.0);
+  avg.Add(100.0, 1.0, 1.0);
+  EXPECT_NEAR(avg.Average(), 100.0, 1e-9);
+  avg.Add(0.0, 1.0, 1.0);
+  avg.Add(0.0, 1.0, 1.0);
+  EXPECT_LT(avg.Average(), 10.0);
+}
+
+TEST(AnalyzerTest, TtlCurvesWhenEnabled) {
+  AnalyzerConfig cfg;
+  cfg.sampling_ratio = 1.0;
+  cfg.num_minicaches = 4;
+  cfg.min_capacity_bytes = 1000;
+  cfg.max_capacity_bytes = 10000;
+  cfg.enable_ttl = true;
+  cfg.max_ttl = 2 * kDay;
+  WorkloadAnalyzer analyzer(cfg, nullptr);
+  analyzer.Process({0, 1, 100, Op::kGet});
+  const AnalyzerReport r = analyzer.EndWindow(15 * kMinute);
+  ASSERT_TRUE(r.aggregated_ttl_mrc.has_value());
+  ASSERT_TRUE(r.aggregated_ttl_capacity.has_value());
+  EXPECT_EQ(r.aggregated_ttl_mrc->xs(), r.aggregated_ttl_capacity->xs());
+}
+
+// --- Controller decisions ---
+
+ControllerConfig BaseControllerConfig() {
+  ControllerConfig cc;
+  cc.window = 15 * kMinute;
+  cc.observation = kHour;
+  cc.analyzer.sampling_ratio = 1.0;
+  cc.analyzer.num_minicaches = 8;
+  cc.analyzer.min_capacity_bytes = 100'000;
+  cc.analyzer.max_capacity_bytes = 10'000'000;
+  return cc;
+}
+
+TEST(ControllerTest, NoOptimizationDuringObservation) {
+  MacaronController ctl(BaseControllerConfig(),
+                        PriceBook::Aws(DeploymentScenario::kCrossCloud), nullptr);
+  ctl.Observe({0, 1, 1000, Op::kGet});
+  const ReconfigDecision d = ctl.Reconfigure(15 * kMinute, 0);
+  EXPECT_FALSE(d.optimized);
+}
+
+TEST(ControllerTest, OptimizesAfterObservation) {
+  MacaronController ctl(BaseControllerConfig(),
+                        PriceBook::Aws(DeploymentScenario::kCrossCloud), nullptr);
+  for (int w = 0; w < 5; ++w) {
+    for (int i = 0; i < 200; ++i) {
+      ctl.Observe({w * 15 * kMinute + i, static_cast<ObjectId>(i % 50), 10'000, Op::kGet});
+    }
+    ctl.Reconfigure((w + 1) * 15 * kMinute, 0);
+  }
+  const ReconfigDecision d = ctl.Reconfigure(2 * kHour, 0);
+  EXPECT_TRUE(d.optimized);
+  EXPECT_GT(d.osc_capacity, 0u);
+  EXPECT_FALSE(d.cost_curve.empty());
+  EXPECT_GT(d.reconfig_seconds, 0.0);
+}
+
+TEST(ControllerTest, RepetitiveWorkloadGetsCacheCoveringWorkingSet) {
+  // 50 objects x 10 KB = 500 KB working set, accessed repeatedly, with
+  // cross-cloud egress: the decision must cover the working set.
+  MacaronController ctl(BaseControllerConfig(),
+                        PriceBook::Aws(DeploymentScenario::kCrossCloud), nullptr);
+  for (int w = 0; w < 8; ++w) {
+    for (int i = 0; i < 500; ++i) {
+      ctl.Observe({w * 15 * kMinute + i, static_cast<ObjectId>(i % 50), 10'000, Op::kGet});
+    }
+    ctl.Reconfigure((w + 1) * 15 * kMinute, 0);
+  }
+  const ReconfigDecision d = ctl.Reconfigure(3 * kHour, 0);
+  ASSERT_TRUE(d.optimized);
+  EXPECT_GE(d.osc_capacity, 500'000u);
+}
+
+TEST(ControllerTest, ObjectsPerBlockRespectsBothLimits) {
+  ControllerConfig cc = BaseControllerConfig();
+  cc.packing_block_bytes = 16'000'000;
+  cc.packing_max_objects = 40;
+  MacaronController ctl(cc, PriceBook::Aws(DeploymentScenario::kCrossCloud), nullptr);
+  EXPECT_DOUBLE_EQ(ctl.ObjectsPerBlock(100'000), 40.0);      // object-count bound
+  EXPECT_DOUBLE_EQ(ctl.ObjectsPerBlock(4'000'000), 4.0);     // byte bound
+  EXPECT_DOUBLE_EQ(ctl.ObjectsPerBlock(32'000'000), 1.0);    // floor
+}
+
+TEST(ControllerTest, PackingDisabledMeansOneObjectPerBlock) {
+  ControllerConfig cc = BaseControllerConfig();
+  cc.packing_enabled = false;
+  MacaronController ctl(cc, PriceBook::Aws(DeploymentScenario::kCrossCloud), nullptr);
+  EXPECT_DOUBLE_EQ(ctl.ObjectsPerBlock(1000), 1.0);
+}
+
+TEST(ControllerTest, TtlModeProducesTtlDecision) {
+  ControllerConfig cc = BaseControllerConfig();
+  cc.mode = OptimizationMode::kTtl;
+  cc.analyzer.enable_ttl = true;
+  cc.analyzer.max_ttl = 2 * kDay;
+  MacaronController ctl(cc, PriceBook::Aws(DeploymentScenario::kCrossCloud), nullptr);
+  for (int w = 0; w < 6; ++w) {
+    for (int i = 0; i < 100; ++i) {
+      ctl.Observe({w * 15 * kMinute + i, static_cast<ObjectId>(i % 20), 10'000, Op::kGet});
+    }
+    ctl.Reconfigure((w + 1) * 15 * kMinute, 0);
+  }
+  const ReconfigDecision d = ctl.Reconfigure(2 * kHour, 0);
+  ASSERT_TRUE(d.optimized);
+  EXPECT_GT(d.ttl, 0);
+}
+
+TEST(ControllerTest, ClusterDecisionWithAlc) {
+  ControllerConfig cc = BaseControllerConfig();
+  cc.enable_cluster = true;
+  cc.analyzer.enable_alc = true;
+  cc.cluster_latency_target_ms = 25.0;
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 5);
+  MacaronController ctl(cc, PriceBook::Aws(DeploymentScenario::kCrossCloud), &gen);
+  for (int w = 0; w < 6; ++w) {
+    for (int i = 0; i < 400; ++i) {
+      ctl.Observe({w * 15 * kMinute + i, static_cast<ObjectId>(i % 30), 10'000, Op::kGet});
+    }
+    ctl.Reconfigure((w + 1) * 15 * kMinute, 0);
+  }
+  const ReconfigDecision d = ctl.Reconfigure(2 * kHour, 0);
+  ASSERT_TRUE(d.optimized);
+  EXPECT_GE(d.cluster_nodes, 1u);
+  ASSERT_TRUE(d.latest_alc.has_value());
+}
+
+TEST(ControllerTest, ReconfigTimeLongerWhenClusterChanges) {
+  // §7.7: ~7 s metadata-only vs ~minutes with cluster scaling.
+  ControllerConfig cc = BaseControllerConfig();
+  cc.enable_cluster = true;
+  cc.analyzer.enable_alc = true;
+  cc.cluster_latency_target_ms = 25.0;
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 6);
+  MacaronController ctl(cc, PriceBook::Aws(DeploymentScenario::kCrossCloud), &gen);
+  for (int i = 0; i < 400; ++i) {
+    ctl.Observe({i, static_cast<ObjectId>(i % 30), 10'000, Op::kGet});
+  }
+  const ReconfigDecision first = ctl.Reconfigure(2 * kHour, 0);
+  ASSERT_TRUE(first.optimized);
+  ASSERT_TRUE(first.cluster_changed);  // 0 -> N nodes
+  EXPECT_GT(first.reconfig_seconds, 100.0);
+  // Same workload again: same decision, no cluster change, fast reconfig.
+  for (int i = 0; i < 400; ++i) {
+    ctl.Observe({2 * kHour + i, static_cast<ObjectId>(i % 30), 10'000, Op::kGet});
+  }
+  const ReconfigDecision second = ctl.Reconfigure(2 * kHour + 15 * kMinute, 0);
+  if (!second.cluster_changed) {
+    EXPECT_LT(second.reconfig_seconds, 60.0);
+  }
+}
+
+}  // namespace
+}  // namespace macaron

@@ -1,0 +1,121 @@
+// Tests for the Oracular offline optimal (§5.4).
+
+#include <gtest/gtest.h>
+
+#include "src/oracle/oracular.h"
+#include "src/trace/synthetic.h"
+
+namespace macaron {
+namespace {
+
+PriceBook CrossCloud() { return PriceBook::Aws(DeploymentScenario::kCrossCloud); }
+
+TEST(OracularTest, EmptyTrace) {
+  const OracularResult r = RunOracular(Trace{}, CrossCloud(), nullptr, 1);
+  EXPECT_EQ(r.costs.Total(), 0.0);
+}
+
+TEST(OracularTest, SingleAccessPaysEgressOnly) {
+  Trace t;
+  t.requests = {{0, 1, 1'000'000'000, Op::kGet}};
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 1);
+  EXPECT_EQ(r.remote_fetches, 1u);
+  EXPECT_EQ(r.osc_hits, 0u);
+  EXPECT_NEAR(r.costs.Get(CostCategory::kEgress), 0.09, 1e-9);
+  EXPECT_EQ(r.costs.Get(CostCategory::kCapacity), 0.0);  // never stored
+}
+
+TEST(OracularTest, QuickReaccessIsStoredAndHits) {
+  Trace t;
+  t.requests = {{0, 1, 1'000'000'000, Op::kGet}, {kHour, 1, 1'000'000'000, Op::kGet}};
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 1);
+  EXPECT_EQ(r.remote_fetches, 1u);
+  EXPECT_EQ(r.osc_hits, 1u);
+  // Storage for one hour is far cheaper than a second egress.
+  EXPECT_LT(r.costs.Get(CostCategory::kCapacity), 0.09);
+}
+
+TEST(OracularTest, ReaccessBeyondBreakEvenIsRefetched) {
+  const SimDuration far = CrossCloud().StorageEgressBreakEven() + kDay;
+  Trace t;
+  t.requests = {{0, 1, 1'000'000'000, Op::kGet}, {far, 1, 1'000'000'000, Op::kGet}};
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 1);
+  EXPECT_EQ(r.remote_fetches, 2u);
+  EXPECT_EQ(r.costs.Get(CostCategory::kCapacity), 0.0);
+}
+
+TEST(OracularTest, CrossRegionBreakEvenIsShorter) {
+  // 30 days between accesses: cheaper to store cross-cloud (116d break-even)
+  // but cheaper to refetch cross-region (26d break-even).
+  Trace t;
+  t.requests = {{0, 1, 1'000'000'000, Op::kGet}, {30 * kDay, 1, 1'000'000'000, Op::kGet}};
+  const OracularResult cc = RunOracular(t, CrossCloud(), nullptr, 1);
+  const OracularResult cr =
+      RunOracular(t, PriceBook::Aws(DeploymentScenario::kCrossRegion), nullptr, 1);
+  EXPECT_EQ(cc.remote_fetches, 1u);
+  EXPECT_EQ(cr.remote_fetches, 2u);
+}
+
+TEST(OracularTest, PutThenReadHitsWithoutEgress) {
+  Trace t;
+  t.requests = {{0, 1, 1'000'000, Op::kPut}, {kHour, 1, 1'000'000, Op::kGet}};
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 1);
+  EXPECT_EQ(r.remote_fetches, 0u);
+  EXPECT_EQ(r.osc_hits, 1u);
+  EXPECT_EQ(r.costs.Get(CostCategory::kEgress), 0.0);
+}
+
+TEST(OracularTest, DeleteBeforeNextGetMeansNoStorage) {
+  Trace t;
+  t.requests = {{0, 1, 1'000'000, Op::kGet},
+                {kHour, 1, 1'000'000, Op::kDelete},
+                {2 * kHour, 1, 1'000'000, Op::kGet}};
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 1);
+  // Both GETs are remote: storing until a deletion has no value, and the
+  // post-delete GET sees a fresh object.
+  EXPECT_EQ(r.remote_fetches, 2u);
+  EXPECT_EQ(r.costs.Get(CostCategory::kCapacity), 0.0);
+}
+
+TEST(OracularTest, NoOperationCosts) {
+  Trace t;
+  for (int i = 0; i < 100; ++i) {
+    t.requests.push_back({i * kMinute, static_cast<ObjectId>(i % 5), 1'000'000, Op::kGet});
+  }
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 1);
+  EXPECT_EQ(r.costs.Get(CostCategory::kOperation), 0.0);
+  EXPECT_EQ(r.costs.Get(CostCategory::kInfra), 0.0);
+}
+
+TEST(OracularTest, LatencyMeasuredWhenSamplerProvided) {
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 2);
+  Trace t;
+  t.requests = {{0, 1, 1000, Op::kGet}, {kMinute, 1, 1000, Op::kGet}};
+  const OracularResult r = RunOracular(t, CrossCloud(), &gen, 3);
+  EXPECT_EQ(r.latency_ms.count(), 2u);
+  // Second access (OSC hit) should usually be faster than the remote fetch.
+  EXPECT_LT(r.latency_ms.samples()[1], r.latency_ms.samples()[0]);
+}
+
+TEST(OracularTest, NeverCostsMoreEgressThanRemote) {
+  // Property: oracle egress <= total GET bytes (each byte fetched at most
+  // once per break-even window).
+  const Trace t = GenerateTrace(ProfileByName("ibm18"));
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 4);
+  const TraceStats s = ComputeStats(t);
+  EXPECT_LE(r.egress_bytes, s.get_bytes);
+  // And at least the compulsory bytes must be fetched.
+  EXPECT_GE(r.egress_bytes, s.unique_get_bytes);
+}
+
+TEST(OracularTest, MeanStoredBytesPositiveForReuseHeavyTrace) {
+  const Trace t = GenerateTrace(ProfileByName("ibm12"));
+  const OracularResult r = RunOracular(t, CrossCloud(), nullptr, 5);
+  EXPECT_GT(r.mean_stored_bytes, 0.0);
+  const TraceStats s = ComputeStats(t);
+  EXPECT_LT(r.mean_stored_bytes, static_cast<double>(s.unique_bytes) * 1.01);
+}
+
+}  // namespace
+}  // namespace macaron

@@ -1,0 +1,246 @@
+// Unit tests for the Object Storage Cache: packing, lazy eviction, GC,
+// capacity/garbage accounting (§6.1, Fig 6).
+
+#include <gtest/gtest.h>
+
+#include "src/osc/osc.h"
+
+namespace macaron {
+namespace {
+
+PackingConfig SmallBlocks() {
+  PackingConfig cfg;
+  cfg.block_bytes = 100;
+  cfg.max_objects_per_block = 4;
+  return cfg;
+}
+
+TEST(OscTest, MissOnEmpty) {
+  ObjectStorageCache osc(SmallBlocks());
+  EXPECT_FALSE(osc.Lookup(1));
+  EXPECT_FALSE(osc.Contains(1));
+}
+
+TEST(OscTest, AdmitThenHit) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  EXPECT_TRUE(osc.Contains(1));
+  EXPECT_TRUE(osc.Lookup(1));
+  EXPECT_EQ(osc.live_bytes(), 10u);
+}
+
+TEST(OscTest, PackingFlushesAtObjectLimit) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);
+  }
+  const auto ops = osc.TakeOps();
+  EXPECT_EQ(ops.puts, 1u);  // one block write for 4 objects
+}
+
+TEST(OscTest, PackingFlushesAtByteLimit) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 60);
+  osc.Admit(2, 60);  // 120 >= 100 -> flush
+  EXPECT_EQ(osc.TakeOps().puts, 1u);
+}
+
+TEST(OscTest, PartialBlockFlushedExplicitly) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  EXPECT_EQ(osc.TakeOps().puts, 0u);
+  osc.FlushOpenBlock();
+  EXPECT_EQ(osc.TakeOps().puts, 1u);
+}
+
+TEST(OscTest, PackingDisabledWritesPerObject) {
+  PackingConfig cfg = SmallBlocks();
+  cfg.packing_enabled = false;
+  ObjectStorageCache osc(cfg);
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);
+  }
+  EXPECT_EQ(osc.TakeOps().puts, 4u);
+}
+
+TEST(OscTest, PackingCutsWriteOpsByPackFactor) {
+  // §6.1: packing achieves up to max_objects_per_block x op reduction.
+  PackingConfig packed = SmallBlocks();
+  PackingConfig unpacked = SmallBlocks();
+  unpacked.packing_enabled = false;
+  ObjectStorageCache a(packed);
+  ObjectStorageCache b(unpacked);
+  for (ObjectId id = 1; id <= 400; ++id) {
+    a.Admit(id, 10);
+    b.Admit(id, 10);
+  }
+  a.FlushOpenBlock();
+  EXPECT_EQ(a.TakeOps().puts * 4, b.TakeOps().puts);
+}
+
+TEST(OscTest, LookupCountsGetOps) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  osc.Lookup(1);
+  osc.Lookup(1);
+  osc.Lookup(2);  // miss does not count
+  EXPECT_EQ(osc.TakeOps().gets, 2u);
+}
+
+TEST(OscTest, DeleteCreatesGarbage) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  osc.Admit(2, 10);
+  osc.FlushOpenBlock();
+  osc.Delete(1);
+  EXPECT_FALSE(osc.Contains(1));
+  EXPECT_EQ(osc.live_bytes(), 10u);
+  EXPECT_EQ(osc.garbage_bytes(), 10u);
+  EXPECT_EQ(osc.stored_bytes(), 20u);
+}
+
+TEST(OscTest, DeleteUnknownIsNoOp) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Delete(42);
+  EXPECT_EQ(osc.stored_bytes(), 0u);
+}
+
+TEST(OscTest, GcReclaimsMostlyDeadBlocks) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);  // one full block
+  }
+  osc.TakeOps();
+  osc.Delete(1);
+  osc.Delete(2);  // 50% dead -> GC eligible
+  osc.RunGc();
+  EXPECT_EQ(osc.garbage_bytes(), 0u);
+  EXPECT_TRUE(osc.Contains(3));
+  EXPECT_TRUE(osc.Contains(4));
+  const auto ops = osc.TakeOps();
+  EXPECT_EQ(ops.gc_block_reads, 1u);
+}
+
+TEST(OscTest, GcNotTriggeredBelowThreshold) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);
+  }
+  osc.Delete(1);  // only 25% dead
+  osc.RunGc();
+  EXPECT_EQ(osc.garbage_bytes(), 10u);
+  EXPECT_EQ(osc.TakeOps().gc_block_reads, 0u);
+}
+
+TEST(OscTest, GcSurvivorsKeepRecencyOrder) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);
+  }
+  osc.Admit(5, 10);  // new open block; 5 is MRU
+  osc.Delete(1);
+  osc.Delete(2);
+  osc.RunGc();  // 3 and 4 rewritten, but recency must not jump over 5
+  std::vector<ObjectId> order;
+  osc.ForEachMruToLru([&](ObjectId id, uint64_t) {
+    order.push_back(id);
+    return true;
+  });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 5u);
+}
+
+TEST(OscTest, EvictToCapacityMarksLruVictims) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 8; ++id) {
+    osc.Admit(id, 10);
+  }
+  osc.Lookup(1);  // promote 1
+  osc.EvictToCapacity(30);
+  EXPECT_LE(osc.live_bytes(), 30u);
+  EXPECT_TRUE(osc.Contains(1));  // recently used survives
+  EXPECT_FALSE(osc.Contains(2));
+}
+
+TEST(OscTest, EvictToCapacityNoOpWhenUnder) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  osc.EvictToCapacity(1000);
+  EXPECT_TRUE(osc.Contains(1));
+}
+
+TEST(OscTest, EvictionGarbageGcCycleReclaims) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 40; ++id) {
+    osc.Admit(id, 10);
+  }
+  osc.FlushOpenBlock();
+  EXPECT_EQ(osc.live_bytes(), 400u);
+  osc.EvictToCapacity(100);
+  EXPECT_LE(osc.live_bytes(), 100u);
+  // All fully-dead blocks are collected; garbage only in mixed blocks.
+  EXPECT_LE(osc.garbage_bytes(), 40u);
+  EXPECT_EQ(osc.stored_bytes(), osc.live_bytes() + osc.garbage_bytes());
+}
+
+TEST(OscTest, ReAdmissionAfterEviction) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);
+  }
+  osc.EvictToCapacity(0);
+  EXPECT_FALSE(osc.Contains(1));
+  osc.Admit(1, 10);
+  EXPECT_TRUE(osc.Contains(1));
+  EXPECT_EQ(osc.live_bytes(), 10u);
+}
+
+TEST(OscTest, AdmitExistingLiveRefreshesWithoutRewrite) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  osc.Admit(2, 10);
+  osc.FlushOpenBlock();
+  osc.TakeOps();
+  osc.Admit(1, 10);  // already live: recency refresh only
+  osc.FlushOpenBlock();
+  EXPECT_EQ(osc.TakeOps().puts, 0u);
+  EXPECT_EQ(osc.live_bytes(), 20u);
+}
+
+TEST(OscTest, StoredBytesInvariantUnderChurn) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (int round = 0; round < 50; ++round) {
+    for (ObjectId id = 1; id <= 20; ++id) {
+      osc.Admit(id * 31 + static_cast<ObjectId>(round), 7);
+    }
+    osc.EvictToCapacity(300);
+    ASSERT_EQ(osc.stored_bytes(), osc.live_bytes() + osc.garbage_bytes());
+    ASSERT_LE(osc.live_bytes(), 400u);
+  }
+}
+
+TEST(OscTest, PrimeOrderIteration) {
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  osc.Admit(2, 10);
+  osc.Lookup(1);
+  std::vector<ObjectId> order;
+  osc.ForEachMruToLru([&](ObjectId id, uint64_t) {
+    order.push_back(id);
+    return true;
+  });
+  EXPECT_EQ(order, (std::vector<ObjectId>{1, 2}));
+}
+
+TEST(OscTest, NumLiveObjectsAndBlocks) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 10; ++id) {
+    osc.Admit(id, 10);
+  }
+  osc.FlushOpenBlock();
+  EXPECT_EQ(osc.num_live_objects(), 10u);
+  EXPECT_EQ(osc.num_blocks(), 3u);  // 4 + 4 + 2
+}
+
+}  // namespace
+}  // namespace macaron

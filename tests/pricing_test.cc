@@ -1,0 +1,120 @@
+// Unit tests for src/pricing: price books (Table 1) and cost metering.
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+#include "src/common/units.h"
+#include "src/pricing/cost_meter.h"
+#include "src/pricing/price_book.h"
+
+namespace macaron {
+namespace {
+
+TEST(PriceBookTest, AwsCrossCloudMatchesTable1) {
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  EXPECT_DOUBLE_EQ(p.egress_per_gb, 0.09);
+  EXPECT_DOUBLE_EQ(p.object_storage_per_gb_month, 0.023);
+  EXPECT_NEAR(p.get_per_request * 1000.0, 0.0004, 1e-12);
+  EXPECT_NEAR(p.put_per_request * 1000.0, 0.005, 1e-12);
+}
+
+TEST(PriceBookTest, CrossRegionEgressIsTwoCents) {
+  EXPECT_DOUBLE_EQ(PriceBook::Aws(DeploymentScenario::kCrossRegion).egress_per_gb, 0.02);
+  EXPECT_DOUBLE_EQ(PriceBook::Azure(DeploymentScenario::kCrossRegion).egress_per_gb, 0.02);
+  EXPECT_DOUBLE_EQ(PriceBook::Gcp(DeploymentScenario::kCrossRegion).egress_per_gb, 0.02);
+}
+
+TEST(PriceBookTest, PutIsAboutTwelveTimesGet) {
+  // §6.1: object storage writes are 12.5-13x more expensive than reads.
+  for (const PriceBook& p :
+       {PriceBook::Aws(DeploymentScenario::kCrossCloud),
+        PriceBook::Azure(DeploymentScenario::kCrossCloud),
+        PriceBook::Gcp(DeploymentScenario::kCrossCloud)}) {
+    const double ratio = p.put_per_request / p.get_per_request;
+    EXPECT_GE(ratio, 12.0) << p.name;
+    EXPECT_LE(ratio, 13.5) << p.name;
+  }
+}
+
+TEST(PriceBookTest, DramIsHundredsOfTimesObjectStorage) {
+  // §4.1: object storage capacity is ~300x cheaper than DRAM.
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  const double ratio = p.dram_per_gb_month / p.object_storage_per_gb_month;
+  EXPECT_GT(ratio, 200.0);
+  EXPECT_LT(ratio, 600.0);
+}
+
+TEST(PriceBookTest, EgressCostLinearInBytes) {
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  EXPECT_DOUBLE_EQ(p.EgressCost(10 * kGB), 0.9);
+  EXPECT_DOUBLE_EQ(p.EgressCost(0), 0.0);
+}
+
+TEST(PriceBookTest, StorageCostProratesByMonth) {
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  EXPECT_NEAR(p.StorageCost(100 * kGB, kBillingMonth), 2.3, 1e-9);
+  EXPECT_NEAR(p.StorageCost(100 * kGB, kBillingMonth / 2), 1.15, 1e-9);
+}
+
+TEST(PriceBookTest, BreakEvenHorizons) {
+  // §5.2: storing an object costs as much as one egress after ~116 days
+  // cross-cloud and ~26 days cross-region.
+  const SimDuration cc = PriceBook::Aws(DeploymentScenario::kCrossCloud).StorageEgressBreakEven();
+  const SimDuration cr = PriceBook::Aws(DeploymentScenario::kCrossRegion).StorageEgressBreakEven();
+  EXPECT_NEAR(DurationDays(cc), 117.4, 1.0);
+  EXPECT_NEAR(DurationDays(cr), 26.1, 0.5);
+}
+
+TEST(PriceBookTest, WithEgressScale) {
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud).WithEgressScale(0.1);
+  EXPECT_NEAR(p.egress_per_gb, 0.009, 1e-12);
+}
+
+TEST(PriceBookTest, OperationCosts) {
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  EXPECT_NEAR(p.GetCost(1000), 0.0004, 1e-12);
+  EXPECT_NEAR(p.PutCost(1000), 0.005, 1e-12);
+}
+
+TEST(PriceBookTest, VmAndLambdaCosts) {
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  EXPECT_NEAR(p.VmCost(10 * kHour), 2.52, 1e-9);
+  EXPECT_NEAR(p.LambdaCost(1000.0), 0.0166667, 1e-6);
+  EXPECT_NEAR(p.CacheNodeCost(4, kHour), 4 * 0.252, 1e-9);
+}
+
+TEST(CostMeterTest, AddAndTotal) {
+  CostMeter m;
+  m.Add(CostCategory::kEgress, 1.5);
+  m.Add(CostCategory::kEgress, 0.5);
+  m.Add(CostCategory::kCapacity, 3.0);
+  EXPECT_DOUBLE_EQ(m.Get(CostCategory::kEgress), 2.0);
+  EXPECT_DOUBLE_EQ(m.Total(), 5.0);
+}
+
+TEST(CostMeterTest, Merge) {
+  CostMeter a;
+  CostMeter b;
+  a.Add(CostCategory::kInfra, 1.0);
+  b.Add(CostCategory::kInfra, 2.0);
+  b.Add(CostCategory::kServerless, 4.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Get(CostCategory::kInfra), 3.0);
+  EXPECT_DOUBLE_EQ(a.Total(), 7.0);
+}
+
+TEST(CostMeterTest, BreakdownMentionsEveryCategory) {
+  CostMeter m;
+  const std::string text = m.Breakdown();
+  for (int i = 0; i < static_cast<int>(CostCategory::kNumCategories); ++i) {
+    EXPECT_NE(text.find(CostCategoryName(static_cast<CostCategory>(i))), std::string::npos);
+  }
+}
+
+TEST(CostMeterTest, CategoryNames) {
+  EXPECT_STREQ(CostCategoryName(CostCategory::kEgress), "egress");
+  EXPECT_STREQ(CostCategoryName(CostCategory::kServerless), "serverless");
+}
+
+}  // namespace
+}  // namespace macaron
