@@ -24,6 +24,7 @@
 //   --admission-bypass      enable the admission-bypass extension
 //   --no-latency            skip latency sampling (cost-only, faster)
 //   --seed=7                root RNG seed
+//   --analyzer-threads=1    mini-sim fan-out threads (same curves any value)
 //   --verbose               print reconfiguration timelines
 
 #include <cstdio>
@@ -133,6 +134,8 @@ int main(int argc, char** argv) {
       cfg.static_ttl = static_cast<SimDuration>(std::atof(v.c_str()) * kHour);
     } else if (FlagValue(argv[i], "--seed", &v)) {
       cfg.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (FlagValue(argv[i], "--analyzer-threads", &v)) {
+      cfg.analyzer_threads = std::atoi(v.c_str());
     } else if (std::strcmp(argv[i], "--no-packing") == 0) {
       cfg.packing.packing_enabled = false;
     } else if (std::strcmp(argv[i], "--admission-bypass") == 0) {

@@ -1,0 +1,93 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace macaron {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 1) {
+    return;  // workerless: callers run inline
+  }
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and nothing left to drain
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // inline; the future still carries any exception
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) {
+    return;
+  }
+  const size_t workers = workers_.size();
+  if (workers <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Contiguous chunks, one per worker (the first n % chunks get one extra
+  // index). Grid points cost about the same, so static partitioning is
+  // enough and keeps the schedule deterministic.
+  const size_t chunks = std::min(n, workers);
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < extra ? 1 : 0);
+    futures.push_back(Submit([&fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }));
+    begin = end;
+  }
+  for (std::future<void>& f : futures) {
+    f.get();  // propagates the first task exception
+  }
+}
+
+}  // namespace macaron

@@ -1,0 +1,59 @@
+// Fixed-size thread pool for fanning independent work across cores.
+//
+// The miniature simulation replays each analysis window through a grid of
+// mini-caches; grid points share no mutable state, so the banks fan them
+// across a pool at window (or batch) boundaries. The pool is deliberately
+// simple — one shared FIFO queue, no work stealing — because grid points
+// process identical request batches and therefore cost roughly the same.
+// ParallelFor partitions [0, n) into contiguous chunks, one per worker, and
+// blocks until every index finished; with zero workers (threads <= 1 at
+// construction) it degenerates to a plain loop on the calling thread, so a
+// ThreadPool(1) behaves bit-identically to no pool at all.
+
+#ifndef MACARON_SRC_COMMON_THREAD_POOL_H_
+#define MACARON_SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace macaron {
+
+class ThreadPool {
+ public:
+  // threads <= 1 creates a workerless pool: Submit and ParallelFor run
+  // everything inline on the caller.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one task; the future resolves when it completes and rethrows
+  // anything the task threw.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs fn(i) for every i in [0, n) and blocks until all complete. The
+  // first task exception (if any) is rethrown on the caller.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_COMMON_THREAD_POOL_H_

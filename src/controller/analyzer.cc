@@ -40,6 +40,16 @@ WorkloadAnalyzer::WorkloadAnalyzer(const AnalyzerConfig& config, const LatencySa
     ttl_bmc_avg_ = std::make_unique<DecayedCurveAverage>(config.decay_per_day);
     ttl_cap_avg_ = std::make_unique<DecayedCurveAverage>(config.decay_per_day);
   }
+  if (config.threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(config.threads);
+    mrc_bank_.set_thread_pool(pool_.get());
+    if (alc_bank_ != nullptr) {
+      alc_bank_->set_thread_pool(pool_.get());
+    }
+    if (ttl_bank_ != nullptr) {
+      ttl_bank_->set_thread_pool(pool_.get());
+    }
+  }
 }
 
 void WorkloadAnalyzer::Process(const Request& r) {

@@ -21,6 +21,7 @@
 #include "src/cloudsim/latency.h"
 #include "src/common/curve.h"
 #include "src/common/sim_time.h"
+#include "src/common/thread_pool.h"
 #include "src/minisim/alc_bank.h"
 #include "src/minisim/mrc_bank.h"
 #include "src/minisim/ttl_bank.h"
@@ -62,6 +63,10 @@ struct AnalyzerConfig {
   bool enable_ttl = false;
   SimDuration max_ttl = 7 * kDay;
   uint64_t seed = 42;
+  // Mini-simulation fan-out: worker threads replaying mini-cache grid
+  // points at batch boundaries. <= 1 runs sequentially; any value produces
+  // bit-identical curves (grid points share no mutable state).
+  int threads = 1;
   // Serverless runtime model: seconds = base + per_request * sampled reqs.
   double lambda_base_seconds = 0.5;
   double lambda_seconds_per_request = 1e-4;
@@ -107,6 +112,10 @@ class WorkloadAnalyzer {
 
  private:
   AnalyzerConfig config_;
+  // Declared before the banks: they hold a raw pointer to it (every replay
+  // fan-out completes within the call that started it, so destruction order
+  // is not load-bearing, but keep the owner first anyway).
+  std::unique_ptr<ThreadPool> pool_;
   MrcBank mrc_bank_;
   std::unique_ptr<AlcBank> alc_bank_;
   std::unique_ptr<TtlBank> ttl_bank_;

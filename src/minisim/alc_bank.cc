@@ -6,6 +6,10 @@
 
 namespace macaron {
 
+namespace {
+constexpr size_t kBatchCapacity = 4096;  // sampled requests per replay fan-out
+}  // namespace
+
 AlcBank::AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, double ratio,
                  uint64_t salt, const LatencySampler* latency, uint64_t seed)
     : grid_(std::move(cluster_grid)),
@@ -15,6 +19,7 @@ AlcBank::AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, doub
       rng_(seed) {
   MACARON_CHECK(!grid_.empty());
   MACARON_CHECK(latency_ != nullptr);
+  batch_.reserve(kBatchCapacity);
   const uint64_t mini_osc = std::max<uint64_t>(
       1, static_cast<uint64_t>(static_cast<double>(osc_capacity) * ratio_));
   levels_.reserve(grid_.size());
@@ -27,6 +32,8 @@ AlcBank::AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, doub
 }
 
 void AlcBank::SetOscCapacity(uint64_t osc_capacity) {
+  // Resizing applies from this point in the stream: replay what came before.
+  FlushBatch();
   const uint64_t mini_osc = std::max<uint64_t>(
       1, static_cast<uint64_t>(static_cast<double>(osc_capacity) * ratio_));
   for (Level& level : levels_) {
@@ -41,58 +48,80 @@ void AlcBank::Process(const Request& r) {
   if (!sampler_.Admit(r.id)) {
     return;
   }
-  switch (r.op) {
-    case Op::kGet: {
-      // One latency draw per source, shared across grid points, so curves
-      // differ only through cache behaviour (lower variance, one RNG pass).
-      const double lat_cluster = latency_->SampleMs(DataSource::kCacheCluster, r.size, rng_);
-      const double lat_osc = latency_->SampleMs(DataSource::kOsc, r.size, rng_);
-      const double lat_remote = latency_->SampleMs(DataSource::kRemoteLake, r.size, rng_);
-      for (Level& level : levels_) {
+  SampledOp op;
+  op.req = r;
+  if (r.op == Op::kGet) {
+    op.lat_cluster = latency_->SampleMs(DataSource::kCacheCluster, r.size, rng_);
+    op.lat_osc = latency_->SampleMs(DataSource::kOsc, r.size, rng_);
+    op.lat_remote = latency_->SampleMs(DataSource::kRemoteLake, r.size, rng_);
+  }
+  batch_.push_back(op);
+  if (batch_.size() >= kBatchCapacity) {
+    FlushBatch();
+  }
+}
+
+void AlcBank::ReplayGridPoint(size_t i) {
+  Level& level = levels_[i];
+  for (const SampledOp& op : batch_) {
+    const Request& r = op.req;
+    switch (r.op) {
+      case Op::kGet: {
         if (auto completion = level.inflight.Pending(r.id, r.time)) {
           // The object was admitted at request time but its fetch is still
           // in flight: the duplicate access waits for that completion (the
           // false-positive-hit correction of Fig 5b).
           level.latency_sum_ms += static_cast<double>(*completion - r.time);
           ++level.counts.delayed_hits;
-          continue;
+          break;
         }
         if (level.cluster.Get(r.id)) {
-          level.latency_sum_ms += lat_cluster;
+          level.latency_sum_ms += op.lat_cluster;
           ++level.counts.cluster_hits;
-          continue;
+          break;
         }
         if (level.osc.Get(r.id)) {
-          level.latency_sum_ms += lat_osc;
+          level.latency_sum_ms += op.lat_osc;
           ++level.counts.osc_hits;
           level.cluster.Put(r.id, r.size);  // promote
-          continue;
+          break;
         }
-        level.latency_sum_ms += lat_remote;
+        level.latency_sum_ms += op.lat_remote;
         ++level.counts.remote_misses;
-        level.inflight.Insert(r.id, r.time + static_cast<SimTime>(lat_remote));
+        level.inflight.Insert(r.id, r.time + static_cast<SimTime>(op.lat_remote));
         level.osc.Put(r.id, r.size);
         level.cluster.Put(r.id, r.size);
+        break;
       }
-      break;
-    }
-    case Op::kPut:
-      for (Level& level : levels_) {
+      case Op::kPut:
         level.osc.Put(r.id, r.size);
         level.cluster.Put(r.id, r.size);
-      }
-      break;
-    case Op::kDelete:
-      for (Level& level : levels_) {
+        break;
+      case Op::kDelete:
         level.osc.Erase(r.id);
         level.cluster.Erase(r.id);
         level.inflight.Erase(r.id);
-      }
-      break;
+        break;
+    }
   }
 }
 
+void AlcBank::FlushBatch() {
+  if (batch_.empty()) {
+    return;
+  }
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(i); });
+  } else {
+    for (size_t i = 0; i < grid_.size(); ++i) {
+      ReplayGridPoint(i);
+    }
+  }
+  batch_.clear();
+}
+
 AlcWindow AlcBank::EndWindow() {
+  FlushBatch();
   AlcWindow out;
   std::vector<double> xs;
   std::vector<double> ys;

@@ -10,6 +10,12 @@
 // The bank also exposes per-level hit counters per grid point so callers can
 // construct the Symbiosis-style ALC (fixed per-level latencies multiplied by
 // hit ratios) for the accuracy comparison of Fig 5.
+//
+// Sampled requests are buffered into fixed-size batches; the per-source
+// latency draws happen at Process time (one RNG pass, in stream order,
+// shared across grid points), so each level's replay over the batch is pure
+// private-state work and an optional ThreadPool can fan levels across cores
+// with bit-identical results.
 
 #ifndef MACARON_SRC_MINISIM_ALC_BANK_H_
 #define MACARON_SRC_MINISIM_ALC_BANK_H_
@@ -22,6 +28,7 @@
 #include "src/cloudsim/latency.h"
 #include "src/common/curve.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/trace/request.h"
 #include "src/trace/sampler.h"
 
@@ -49,6 +56,10 @@ class AlcBank {
   AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, double ratio, uint64_t salt,
           const LatencySampler* latency, uint64_t seed);
 
+  // Fans grid points across `pool` at batch boundaries; nullptr (the
+  // default) replays sequentially. Curves are identical either way.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   // Updates the emulated OSC capacity (decided by the controller each
   // window); resizes the L2 mini-caches.
   void SetOscCapacity(uint64_t osc_capacity);
@@ -60,6 +71,16 @@ class AlcBank {
   const std::vector<uint64_t>& cluster_grid() const { return grid_; }
 
  private:
+  // One sampled request with its pre-drawn latencies (GETs only; one draw
+  // per source, shared across grid points, so curves differ only through
+  // cache behaviour — lower variance, one RNG pass).
+  struct SampledOp {
+    Request req;
+    double lat_cluster = 0.0;
+    double lat_osc = 0.0;
+    double lat_remote = 0.0;
+  };
+
   struct Level {
     LruCache cluster;
     LruCache osc;
@@ -68,11 +89,16 @@ class AlcBank {
     AlcLevelCounts counts;
   };
 
+  void FlushBatch();
+  void ReplayGridPoint(size_t i);
+
   std::vector<uint64_t> grid_;
   double ratio_;
   SpatialSampler sampler_;
   const LatencySampler* latency_;
   Rng rng_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<SampledOp> batch_;
   std::vector<Level> levels_;
   uint64_t window_gets_ = 0;
 };

@@ -6,11 +6,20 @@
 
 namespace macaron {
 
+namespace {
+// Sampled requests buffered before a replay fan-out. Bounds batch memory
+// while keeping per-grid-point replay runs long enough to amortize the
+// fan-out; at the default 5% sampling this is ~80k raw requests.
+constexpr size_t kBatchCapacity = 4096;
+}  // namespace
+
 MrcBank::MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
                  EvictionPolicyKind policy)
     : grid_(std::move(grid)), ratio_(ratio), sampler_(ratio, salt) {
   MACARON_CHECK(!grid_.empty());
   MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
+  MACARON_CHECK(ratio_ > 0.0 && ratio_ <= 1.0);
+  batch_.reserve(kBatchCapacity);
   caches_.reserve(grid_.size());
   for (uint64_t capacity : grid_) {
     const uint64_t mini = std::max<uint64_t>(
@@ -29,30 +38,52 @@ void MrcBank::Process(const Request& r) {
   if (!sampler_.Admit(r.id)) {
     return;
   }
-  switch (r.op) {
-    case Op::kGet:
-      for (size_t i = 0; i < caches_.size(); ++i) {
-        if (!caches_[i]->Get(r.id)) {
-          ++window_misses_[i];
-          window_missed_bytes_[i] += r.size;
-          caches_[i]->Put(r.id, r.size);  // admit on miss
-        }
-      }
-      break;
-    case Op::kPut:
-      for (auto& c : caches_) {
-        c->Put(r.id, r.size);
-      }
-      break;
-    case Op::kDelete:
-      for (auto& c : caches_) {
-        c->Erase(r.id);
-      }
-      break;
+  if (r.op == Op::kGet) {
+    ++window_sampled_gets_;
+  }
+  batch_.push_back(r);
+  if (batch_.size() >= kBatchCapacity) {
+    FlushBatch();
   }
 }
 
+void MrcBank::ReplayGridPoint(size_t i) {
+  EvictionCache& cache = *caches_[i];
+  for (const Request& r : batch_) {
+    switch (r.op) {
+      case Op::kGet:
+        if (!cache.Get(r.id)) {
+          ++window_misses_[i];
+          window_missed_bytes_[i] += r.size;
+          cache.Put(r.id, r.size);  // admit on miss
+        }
+        break;
+      case Op::kPut:
+        cache.Put(r.id, r.size);
+        break;
+      case Op::kDelete:
+        cache.Erase(r.id);
+        break;
+    }
+  }
+}
+
+void MrcBank::FlushBatch() {
+  if (batch_.empty()) {
+    return;
+  }
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(i); });
+  } else {
+    for (size_t i = 0; i < grid_.size(); ++i) {
+      ReplayGridPoint(i);
+    }
+  }
+  batch_.clear();
+}
+
 WindowCurves MrcBank::EndWindow() {
+  FlushBatch();
   WindowCurves out;
   std::vector<double> xs;
   std::vector<double> mrc_ys;
@@ -60,30 +91,33 @@ WindowCurves MrcBank::EndWindow() {
   xs.reserve(grid_.size());
   mrc_ys.reserve(grid_.size());
   bmc_ys.reserve(grid_.size());
-  // Sampled GET count approximates ratio_ * window_gets_; use it for the
-  // ratio so MRC stays in [0,1] exactly.
-  uint64_t sampled_get_hits_plus_misses = 0;
-  for (size_t i = 0; i < grid_.size(); ++i) {
-    sampled_get_hits_plus_misses = std::max(sampled_get_hits_plus_misses, window_misses_[i]);
-  }
-  const double sampled_gets_est =
-      std::max<double>(static_cast<double>(sampled_get_hits_plus_misses),
-                       ratio_ * static_cast<double>(window_gets_));
+  // One realized admission rate normalizes both curves: the sampler admits
+  // ~ratio_ of objects, but on small windows the realized fraction drifts,
+  // and normalizing the MRC by the realized sampled-GET count while scaling
+  // the BMC by the nominal 1/ratio_ would bias the egress estimate in
+  // ExpectedCostCurve. With no (sampled) GETs the rate falls back to the
+  // nominal ratio, which keeps the curves at exact zero without dividing by
+  // zero.
+  const double realized_rate =
+      (window_gets_ > 0 && window_sampled_gets_ > 0)
+          ? static_cast<double>(window_sampled_gets_) / static_cast<double>(window_gets_)
+          : ratio_;
+  const double sampled_gets = static_cast<double>(window_sampled_gets_);
   for (size_t i = 0; i < grid_.size(); ++i) {
     xs.push_back(static_cast<double>(grid_[i]));
-    const double mr = sampled_gets_est <= 0.0
-                          ? 0.0
-                          : static_cast<double>(window_misses_[i]) / sampled_gets_est;
+    const double mr =
+        sampled_gets <= 0.0 ? 0.0 : static_cast<double>(window_misses_[i]) / sampled_gets;
     mrc_ys.push_back(std::min(1.0, mr));
-    bmc_ys.push_back(static_cast<double>(window_missed_bytes_[i]) / ratio_);
+    bmc_ys.push_back(static_cast<double>(window_missed_bytes_[i]) / realized_rate);
   }
   out.mrc = Curve(xs, std::move(mrc_ys));
   out.bmc = Curve(std::move(xs), std::move(bmc_ys));
-  out.sampled_gets = static_cast<uint64_t>(sampled_gets_est);
+  out.sampled_gets = window_sampled_gets_;
   out.window_requests = window_requests_;
   std::fill(window_misses_.begin(), window_misses_.end(), 0);
   std::fill(window_missed_bytes_.begin(), window_missed_bytes_.end(), 0);
   window_gets_ = 0;
+  window_sampled_gets_ = 0;
   window_requests_ = 0;
   return out;
 }

@@ -4,9 +4,16 @@
 // a mini-cache of capacity C * R processing the spatially sampled request
 // stream (sampling ratio R). Per window, the bank reports
 //   MRC(C) = sampled misses / sampled gets
-//   BMC(C) = sampled missed bytes / R   (approximate full-scale bytes)
-// Mini-cache state persists across windows (the paper stores it in EFS
-// between serverless invocations).
+//   BMC(C) = sampled missed bytes / realized admission rate
+// both normalized by the *realized* admission rate (sampled gets / gets),
+// so the two estimators stay consistent when the spatial sampler under- or
+// over-admits on a small window. Mini-cache state persists across windows
+// (the paper stores it in EFS between serverless invocations).
+//
+// Sampled requests are buffered into fixed-size batches and each grid point
+// replays the batch against its own mini-cache. Grid points share no mutable
+// state, so an optional ThreadPool fans them across cores; parallel and
+// sequential replay produce bit-identical curves.
 
 #ifndef MACARON_SRC_MINISIM_MRC_BANK_H_
 #define MACARON_SRC_MINISIM_MRC_BANK_H_
@@ -16,6 +23,7 @@
 
 #include "src/cache/eviction_policy.h"
 #include "src/common/curve.h"
+#include "src/common/thread_pool.h"
 #include "src/trace/request.h"
 #include "src/trace/sampler.h"
 
@@ -37,6 +45,10 @@ class MrcBank {
   MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
           EvictionPolicyKind policy = EvictionPolicyKind::kLru);
 
+  // Fans grid points across `pool` at batch boundaries; nullptr (the
+  // default) replays sequentially. Curves are identical either way.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   // Feeds one request (unsampled stream; the bank samples internally).
   void Process(const Request& r);
 
@@ -48,13 +60,19 @@ class MrcBank {
   double ratio() const { return ratio_; }
 
  private:
+  void FlushBatch();
+  void ReplayGridPoint(size_t i);
+
   std::vector<uint64_t> grid_;
   double ratio_;
   SpatialSampler sampler_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<Request> batch_;  // sampled requests awaiting replay
   std::vector<std::unique_ptr<EvictionCache>> caches_;
   std::vector<uint64_t> window_misses_;
   std::vector<uint64_t> window_missed_bytes_;
   uint64_t window_gets_ = 0;
+  uint64_t window_sampled_gets_ = 0;
   uint64_t window_requests_ = 0;
 };
 

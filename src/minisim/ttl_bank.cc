@@ -6,6 +6,10 @@
 
 namespace macaron {
 
+namespace {
+constexpr size_t kBatchCapacity = 4096;  // sampled requests per replay fan-out
+}  // namespace
+
 std::vector<SimDuration> StandardTtlGrid(SimDuration max_ttl) {
   std::vector<SimDuration> grid;
   grid.push_back(1 * kHour);
@@ -25,6 +29,8 @@ TtlBank::TtlBank(std::vector<SimDuration> ttl_grid, double ratio, uint64_t salt)
     : grid_(std::move(ttl_grid)), ratio_(ratio), sampler_(ratio, salt) {
   MACARON_CHECK(!grid_.empty());
   MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
+  MACARON_CHECK(ratio_ > 0.0 && ratio_ <= 1.0);
+  batch_.reserve(kBatchCapacity);
   entries_.reserve(grid_.size());
   for (SimDuration ttl : grid_) {
     entries_.push_back(Entry{TtlCache(ttl), 0, 0, 0.0, 0});
@@ -54,7 +60,18 @@ void TtlBank::Process(const Request& r) {
   if (!sampler_.Admit(r.id)) {
     return;
   }
-  for (Entry& e : entries_) {
+  if (r.op == Op::kGet) {
+    ++window_sampled_gets_;
+  }
+  batch_.push_back(r);
+  if (batch_.size() >= kBatchCapacity) {
+    FlushBatch();
+  }
+}
+
+void TtlBank::ReplayGridPoint(size_t i) {
+  Entry& e = entries_[i];
+  for (const Request& r : batch_) {
     Advance(e, r.time);
     switch (r.op) {
       case Op::kGet:
@@ -74,24 +91,46 @@ void TtlBank::Process(const Request& r) {
   }
 }
 
+void TtlBank::FlushBatch() {
+  if (batch_.empty()) {
+    return;
+  }
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(i); });
+  } else {
+    for (size_t i = 0; i < grid_.size(); ++i) {
+      ReplayGridPoint(i);
+    }
+  }
+  batch_.clear();
+}
+
 TtlWindowCurves TtlBank::EndWindow(SimDuration window) {
   MACARON_CHECK(window > 0);
+  FlushBatch();
   TtlWindowCurves out;
   std::vector<double> xs;
   std::vector<double> mrc_ys;
   std::vector<double> bmc_ys;
   std::vector<double> cap_ys;
   const SimTime window_end = window_start_ + window;
-  const double sampled_gets_est = ratio_ * static_cast<double>(window_gets_);
+  // Same realized-admission-rate normalization as MrcBank::EndWindow: one
+  // rate for the MRC, BMC, and capacity curve so the estimators stay
+  // consistent when the sampler under/over-admits on a small window.
+  const double realized_rate =
+      (window_gets_ > 0 && window_sampled_gets_ > 0)
+          ? static_cast<double>(window_sampled_gets_) / static_cast<double>(window_gets_)
+          : ratio_;
+  const double sampled_gets = static_cast<double>(window_sampled_gets_);
   for (size_t i = 0; i < grid_.size(); ++i) {
     Entry& e = entries_[i];
     Advance(e, window_end);
     xs.push_back(static_cast<double>(grid_[i]));
     const double mr =
-        sampled_gets_est <= 0.0 ? 0.0 : static_cast<double>(e.misses) / sampled_gets_est;
+        sampled_gets <= 0.0 ? 0.0 : static_cast<double>(e.misses) / sampled_gets;
     mrc_ys.push_back(std::min(1.0, mr));
-    bmc_ys.push_back(static_cast<double>(e.missed_bytes) / ratio_);
-    cap_ys.push_back(e.byte_time / static_cast<double>(window) / ratio_);
+    bmc_ys.push_back(static_cast<double>(e.missed_bytes) / realized_rate);
+    cap_ys.push_back(e.byte_time / static_cast<double>(window) / realized_rate);
     e.misses = 0;
     e.missed_bytes = 0;
     e.byte_time = 0.0;
@@ -99,9 +138,10 @@ TtlWindowCurves TtlBank::EndWindow(SimDuration window) {
   out.mrc = Curve(xs, std::move(mrc_ys));
   out.bmc = Curve(xs, std::move(bmc_ys));
   out.capacity = Curve(std::move(xs), std::move(cap_ys));
-  out.sampled_gets = static_cast<uint64_t>(sampled_gets_est);
+  out.sampled_gets = window_sampled_gets_;
   out.window_requests = window_requests_;
   window_gets_ = 0;
+  window_sampled_gets_ = 0;
   window_requests_ = 0;
   window_start_ = window_end;
   return out;

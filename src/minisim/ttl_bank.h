@@ -3,9 +3,15 @@
 // For Macaron-TTL the curves use TTL on the x axis instead of capacity.
 // Spatial sampling still applies, but mini-caches are *not* size-scaled
 // (TTL eviction is capacity-independent); instead, missed bytes and the
-// occupied capacity are divided by the sampling ratio afterwards. In
-// addition to MRC(TTL) and BMC(TTL) the bank reports the OSC Capacity Curve:
-// the time-averaged bytes resident for each candidate TTL.
+// occupied capacity are divided by the realized admission rate afterwards
+// (matching MrcBank's normalization — see mrc_bank.h). In addition to
+// MRC(TTL) and BMC(TTL) the bank reports the OSC Capacity Curve: the
+// time-averaged bytes resident for each candidate TTL.
+//
+// Like MrcBank, sampled requests are buffered into fixed-size batches and
+// each candidate TTL replays the batch against its own mini-cache; grid
+// points are independent, so an optional ThreadPool fans them across cores
+// with bit-identical results.
 
 #ifndef MACARON_SRC_MINISIM_TTL_BANK_H_
 #define MACARON_SRC_MINISIM_TTL_BANK_H_
@@ -16,6 +22,7 @@
 #include "src/cache/ttl_cache.h"
 #include "src/common/curve.h"
 #include "src/common/sim_time.h"
+#include "src/common/thread_pool.h"
 #include "src/trace/request.h"
 #include "src/trace/sampler.h"
 
@@ -37,6 +44,10 @@ class TtlBank {
  public:
   TtlBank(std::vector<SimDuration> ttl_grid, double ratio, uint64_t salt);
 
+  // Fans TTL grid points across `pool` at batch boundaries; nullptr (the
+  // default) replays sequentially. Curves are identical either way.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
   void Process(const Request& r);
 
   // `window`: the elapsed window duration, used for time-averaging capacity.
@@ -54,13 +65,18 @@ class TtlBank {
     SimTime last_update = 0;
   };
 
-  void Advance(Entry& e, SimTime now);
+  static void Advance(Entry& e, SimTime now);
+  void FlushBatch();
+  void ReplayGridPoint(size_t i);
 
   std::vector<SimDuration> grid_;
   double ratio_;
   SpatialSampler sampler_;
+  ThreadPool* pool_ = nullptr;
+  std::vector<Request> batch_;  // sampled requests awaiting replay
   std::vector<Entry> entries_;
   uint64_t window_gets_ = 0;
+  uint64_t window_sampled_gets_ = 0;
   uint64_t window_requests_ = 0;
   SimTime window_start_ = 0;
   SimTime last_time_ = 0;

@@ -183,6 +183,16 @@ void ObjectStorageCache::RunGc() {
   }
 }
 
+std::vector<ObjectStorageCache::BlockDebug> ObjectStorageCache::DebugBlocks() const {
+  std::vector<BlockDebug> out;
+  out.reserve(blocks_.size());
+  for (const auto& [id, block] : blocks_) {
+    out.push_back(BlockDebug{block.bytes, block.dead_bytes, block.objects, block.dead_objects,
+                             block.open});
+  }
+  return out;
+}
+
 ObjectStorageCache::OpCounts ObjectStorageCache::TakeOps() {
   const OpCounts out = ops_;
   ops_ = OpCounts{};

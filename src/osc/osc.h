@@ -78,6 +78,20 @@ class ObjectStorageCache {
   // Returns counters accumulated since the previous call and resets them.
   OpCounts TakeOps();
 
+  // Introspection for invariant checks (tests, debugging): per-block byte
+  // and deadness counters, and the number of blocks awaiting GC. A dead
+  // re-fetched object legitimately appears as dead bytes in two blocks (the
+  // stale copy and the re-admitted one) until GC rewrites them.
+  struct BlockDebug {
+    uint64_t bytes = 0;
+    uint64_t dead_bytes = 0;
+    uint32_t objects = 0;
+    uint32_t dead_objects = 0;
+    bool open = false;
+  };
+  std::vector<BlockDebug> DebugBlocks() const;
+  size_t gc_pending_blocks() const { return gc_list_.size(); }
+
   // Hottest-first iteration over live objects (used for cache priming).
   void ForEachMruToLru(const std::function<bool(ObjectId, uint64_t)>& fn) const {
     order_->ForEachHotOrder(fn);

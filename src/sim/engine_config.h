@@ -43,6 +43,10 @@ struct EngineConfig {
   double decay_per_day = 0.2;
   double sampling_ratio = 0.05;
   int num_minicaches = 64;
+  // Worker threads for the analyzer's mini-simulation fan-out (the local
+  // analogue of the paper's serverless fan-out, §6.3). <= 1 runs the banks
+  // sequentially; any value yields bit-identical curves.
+  int analyzer_threads = 1;
   size_t max_cluster_nodes = 256;
 
   // Static-configuration parameters.

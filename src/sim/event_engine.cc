@@ -70,6 +70,17 @@ void EventRunner::Setup() {
   const TraceStats stats = ComputeStats(trace_);
   result_.dataset_bytes = stats.unique_bytes;
 
+  // Same sampled-object-population floor as the replay engine (see
+  // Runner::Setup): small scaled-down traces need a higher ratio for stable
+  // curves, and the cross-validation of Table 3 assumes both engines feed
+  // their analyzers identically configured samplers.
+  double sampling_ratio = cfg_.sampling_ratio;
+  if (stats.unique_objects > 0) {
+    constexpr double kTargetSampledObjects = 2000.0;
+    const double needed = kTargetSampledObjects / static_cast<double>(stats.unique_objects);
+    sampling_ratio = std::clamp(needed, cfg_.sampling_ratio, 1.0);
+  }
+
   osc_ = std::make_unique<ObjectStorageCache>(cfg_.packing);
   if (cfg_.approach == Approach::kMacaronTtl) {
     ttl_shadow_ = std::make_unique<TtlCache>(trace_.end_time() + 2 * kDay);
@@ -85,13 +96,14 @@ void EventRunner::Setup() {
   ControllerConfig cc;
   cc.window = cfg_.window;
   cc.observation = cfg_.observation;
-  cc.analyzer.sampling_ratio = cfg_.sampling_ratio;
+  cc.analyzer.sampling_ratio = sampling_ratio;
   cc.analyzer.num_minicaches = cfg_.num_minicaches;
   cc.analyzer.min_capacity_bytes = cfg_.min_minicache_bytes;
   cc.analyzer.max_capacity_bytes =
       std::max<uint64_t>(stats.unique_bytes, cfg_.min_minicache_bytes * 2);
   cc.analyzer.decay_per_day = cfg_.decay_per_day;
   cc.analyzer.seed = cfg_.seed ^ 0xc0;
+  cc.analyzer.threads = cfg_.analyzer_threads;
   cc.packing_enabled = cfg_.packing.packing_enabled;
   cc.packing_block_bytes = cfg_.packing.block_bytes;
   cc.packing_max_objects = cfg_.packing.max_objects_per_block;

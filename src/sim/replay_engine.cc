@@ -226,6 +226,7 @@ void Runner::Setup() {
     cc.analyzer.decay_per_day = cfg_.decay_per_day;
     cc.analyzer.policy = cfg_.packing.policy;
     cc.analyzer.seed = cfg_.seed ^ 0xc0;
+    cc.analyzer.threads = cfg_.analyzer_threads;
     cc.packing_enabled = cfg_.packing.packing_enabled;
     cc.packing_block_bytes = cfg_.packing.block_bytes;
     cc.packing_max_objects = cfg_.packing.max_objects_per_block;

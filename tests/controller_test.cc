@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/cloudsim/latency.h"
 #include "src/controller/analyzer.h"
 #include "src/controller/cluster_sizer.h"
@@ -185,6 +187,67 @@ TEST(AnalyzerTest, TtlCurvesWhenEnabled) {
   ASSERT_TRUE(r.aggregated_ttl_mrc.has_value());
   ASSERT_TRUE(r.aggregated_ttl_capacity.has_value());
   EXPECT_EQ(r.aggregated_ttl_mrc->xs(), r.aggregated_ttl_capacity->xs());
+}
+
+TEST(AnalyzerTest, EmptyWindowYieldsFiniteCurvesAndOptimizerSafety) {
+  // A window with no requests at all must not leak NaN/inf into the report
+  // or into OptimizeCapacity (zero sampled GETs means zero-weight curve
+  // aggregation and a division-by-zero hazard in the estimators).
+  AnalyzerConfig cfg;
+  cfg.sampling_ratio = 0.05;
+  cfg.num_minicaches = 8;
+  cfg.min_capacity_bytes = 1000;
+  cfg.max_capacity_bytes = 100000;
+  cfg.enable_ttl = true;
+  cfg.max_ttl = 2 * kDay;
+  WorkloadAnalyzer analyzer(cfg, nullptr);
+  const AnalyzerReport r = analyzer.EndWindow(15 * kMinute);
+  EXPECT_EQ(r.window_requests, 0u);
+  ASSERT_FALSE(r.aggregated_mrc.empty());
+  for (size_t i = 0; i < r.aggregated_mrc.size(); ++i) {
+    EXPECT_EQ(r.aggregated_mrc.y(i), 0.0) << i;
+    EXPECT_EQ(r.aggregated_bmc.y(i), 0.0) << i;
+  }
+  EXPECT_EQ(r.expected_window_reads, 0.0);
+  EXPECT_EQ(r.mean_object_bytes, 0.0);
+  // Feeding the zeroed curves to the optimizer must produce a finite
+  // decision (the smallest capacity: nothing to cache).
+  OptimizerInputs in;
+  in.mrc = r.aggregated_mrc;
+  in.bmc = r.aggregated_bmc;
+  in.window_reads = r.expected_window_reads;
+  in.window_writes = r.expected_window_writes;
+  in.objects_per_block = 40;
+  in.window = 15 * kMinute;
+  const PriceBook p = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  const CapacityDecision d = OptimizeCapacity(in, p);
+  EXPECT_TRUE(std::isfinite(d.expected_cost));
+  EXPECT_EQ(d.capacity_bytes, static_cast<uint64_t>(r.aggregated_mrc.x(0)));
+}
+
+TEST(AnalyzerTest, EmptyWindowAfterTrafficKeepsAggregates) {
+  // An idle window between busy ones enters with zero weight: the decayed
+  // aggregates must carry the earlier knowledge, not divide by zero.
+  AnalyzerConfig cfg;
+  cfg.sampling_ratio = 1.0;
+  cfg.num_minicaches = 8;
+  cfg.min_capacity_bytes = 1000;
+  cfg.max_capacity_bytes = 100000;
+  WorkloadAnalyzer analyzer(cfg, nullptr);
+  for (int i = 0; i < 100; ++i) {
+    analyzer.Process({i, static_cast<ObjectId>(i % 10), 500, Op::kGet});
+  }
+  const AnalyzerReport busy = analyzer.EndWindow(15 * kMinute);
+  const AnalyzerReport idle = analyzer.EndWindow(15 * kMinute);
+  EXPECT_EQ(idle.window_requests, 0u);
+  ASSERT_EQ(idle.aggregated_mrc.size(), busy.aggregated_mrc.size());
+  for (size_t i = 0; i < idle.aggregated_mrc.size(); ++i) {
+    ASSERT_FALSE(std::isnan(idle.aggregated_mrc.y(i))) << i;
+    // Zero-weight window: the aggregate is unchanged (up to the rounding of
+    // decaying numerator and denominator by the same factor).
+    EXPECT_NEAR(idle.aggregated_mrc.y(i), busy.aggregated_mrc.y(i), 1e-12) << i;
+  }
+  EXPECT_LT(idle.expected_window_reads, busy.expected_window_reads);
 }
 
 // --- Controller decisions ---

@@ -1,0 +1,199 @@
+// Determinism tests for the parallel miniature-simulation engine: replaying
+// grid points on a thread pool must produce curves bit-identical to
+// sequential replay, for any thread count, across batch boundaries and
+// multiple windows (the headline guarantee of the batched fan-out design —
+// sampling, window counters, and latency draws all happen at Process time,
+// in stream order, so replay touches only private per-grid-point state).
+
+#include <gtest/gtest.h>
+
+#include "src/cloudsim/latency.h"
+#include "src/common/rng.h"
+#include "src/common/thread_pool.h"
+#include "src/common/zipf.h"
+#include "src/controller/analyzer.h"
+#include "src/minisim/alc_bank.h"
+#include "src/minisim/mrc_bank.h"
+#include "src/minisim/size_grid.h"
+#include "src/minisim/ttl_bank.h"
+#include "src/trace/synthetic.h"
+
+namespace macaron {
+namespace {
+
+// A Zipf stream with PUTs and DELETEs mixed in, long enough that at the
+// sampling ratios below the sampled stream crosses several 4096-request
+// batch boundaries (exercising mid-window flushes, not just EndWindow).
+Trace MixedStream(uint64_t objects, double alpha, uint64_t count, SimTime step, uint64_t seed) {
+  Trace t;
+  Rng rng(seed);
+  ZipfSampler zipf(objects, alpha);
+  for (uint64_t i = 0; i < count; ++i) {
+    const ObjectId id = zipf.Sample(rng);
+    Op op = Op::kGet;
+    if (i % 16 == 7) {
+      op = Op::kPut;
+    } else if (i % 16 == 13) {
+      op = Op::kDelete;
+    }
+    t.requests.push_back(
+        {static_cast<SimTime>(i * step), id, 500 + id % 1500, op});
+  }
+  return t;
+}
+
+void ExpectCurvesIdentical(const Curve& a, const Curve& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.x(i), b.x(i)) << "x[" << i << "]";
+    EXPECT_EQ(a.y(i), b.y(i)) << "y[" << i << "]";  // exact: bit-identical
+  }
+}
+
+TEST(ParallelDeterminismTest, MrcBankBitIdenticalToSequential) {
+  const Trace t = MixedStream(20000, 0.8, 60000, 1, 21);
+  const auto grid = UniformSizeGrid(100'000, 10'000'000, 16);
+  MrcBank seq(grid, 0.5, 17);
+  MrcBank par(grid, 0.5, 17);
+  ThreadPool pool(4);
+  par.set_thread_pool(&pool);
+  // Two windows, each with ~15k sampled requests (several batch flushes).
+  for (int w = 0; w < 2; ++w) {
+    for (size_t i = 0; i < 30000; ++i) {
+      const Request& r = t.requests[w * 30000 + i];
+      seq.Process(r);
+      par.Process(r);
+    }
+    const WindowCurves ws = seq.EndWindow();
+    const WindowCurves wp = par.EndWindow();
+    EXPECT_EQ(ws.sampled_gets, wp.sampled_gets);
+    EXPECT_EQ(ws.window_requests, wp.window_requests);
+    ExpectCurvesIdentical(ws.mrc, wp.mrc);
+    ExpectCurvesIdentical(ws.bmc, wp.bmc);
+  }
+}
+
+TEST(ParallelDeterminismTest, MrcBankInvariantAcrossThreadCounts) {
+  const Trace t = MixedStream(5000, 0.7, 20000, 1, 22);
+  const auto grid = UniformSizeGrid(50'000, 5'000'000, 12);
+  MrcBank reference(grid, 0.5, 3);
+  for (const Request& r : t.requests) {
+    reference.Process(r);
+  }
+  const WindowCurves ref = reference.EndWindow();
+  for (int threads : {2, 3, 8}) {
+    MrcBank bank(grid, 0.5, 3);
+    ThreadPool pool(threads);
+    bank.set_thread_pool(&pool);
+    for (const Request& r : t.requests) {
+      bank.Process(r);
+    }
+    const WindowCurves w = bank.EndWindow();
+    ExpectCurvesIdentical(ref.mrc, w.mrc);
+    ExpectCurvesIdentical(ref.bmc, w.bmc);
+  }
+}
+
+TEST(ParallelDeterminismTest, TtlBankBitIdenticalToSequential) {
+  // Half-minute steps spread the stream over ~8 hours so TTL expiry and the
+  // byte-time integral both engage.
+  const Trace t = MixedStream(8000, 0.8, 50000, 30 * kSecond, 23);
+  const std::vector<SimDuration> grid{kHour, 6 * kHour, kDay};
+  TtlBank seq(grid, 0.5, 9);
+  TtlBank par(grid, 0.5, 9);
+  ThreadPool pool(4);
+  par.set_thread_pool(&pool);
+  for (int w = 0; w < 2; ++w) {
+    for (size_t i = 0; i < 25000; ++i) {
+      const Request& r = t.requests[w * 25000 + i];
+      seq.Process(r);
+      par.Process(r);
+    }
+    const TtlWindowCurves ws = seq.EndWindow(4 * kHour);
+    const TtlWindowCurves wp = par.EndWindow(4 * kHour);
+    EXPECT_EQ(ws.sampled_gets, wp.sampled_gets);
+    ExpectCurvesIdentical(ws.mrc, wp.mrc);
+    ExpectCurvesIdentical(ws.bmc, wp.bmc);
+    ExpectCurvesIdentical(ws.capacity, wp.capacity);
+  }
+}
+
+TEST(ParallelDeterminismTest, AlcBankBitIdenticalToSequential) {
+  const Trace t = MixedStream(10000, 0.9, 40000, 10, 24);
+  const auto grid = UniformSizeGrid(20'000, 2'000'000, 10);
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 1);
+  // Same seed: each bank draws its latencies from its own Rng, in stream
+  // order, so the two sequences are identical.
+  AlcBank seq(grid, 2'000'000, 0.5, 31, &gen, 77);
+  AlcBank par(grid, 2'000'000, 0.5, 31, &gen, 77);
+  ThreadPool pool(4);
+  par.set_thread_pool(&pool);
+  for (int w = 0; w < 2; ++w) {
+    for (size_t i = 0; i < 20000; ++i) {
+      const Request& r = t.requests[w * 20000 + i];
+      seq.Process(r);
+      par.Process(r);
+    }
+    if (w == 0) {
+      // Mid-stream reconfiguration flushes pending batches on both sides.
+      seq.SetOscCapacity(1'000'000);
+      par.SetOscCapacity(1'000'000);
+    }
+    const AlcWindow ws = seq.EndWindow();
+    const AlcWindow wp = par.EndWindow();
+    EXPECT_EQ(ws.sampled_gets, wp.sampled_gets);
+    ExpectCurvesIdentical(ws.alc, wp.alc);
+    ASSERT_EQ(ws.level_counts.size(), wp.level_counts.size());
+    for (size_t i = 0; i < ws.level_counts.size(); ++i) {
+      EXPECT_EQ(ws.level_counts[i].cluster_hits, wp.level_counts[i].cluster_hits);
+      EXPECT_EQ(ws.level_counts[i].osc_hits, wp.level_counts[i].osc_hits);
+      EXPECT_EQ(ws.level_counts[i].remote_misses, wp.level_counts[i].remote_misses);
+      EXPECT_EQ(ws.level_counts[i].delayed_hits, wp.level_counts[i].delayed_hits);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, AnalyzerThreadsConfigBitIdentical) {
+  const Trace t = MixedStream(10000, 0.8, 40000, kSecond, 25);
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 2);
+  AnalyzerConfig cfg;
+  cfg.sampling_ratio = 0.5;
+  cfg.num_minicaches = 16;
+  cfg.min_capacity_bytes = 100'000;
+  cfg.max_capacity_bytes = 10'000'000;
+  cfg.enable_alc = true;
+  cfg.enable_ttl = true;
+  cfg.max_ttl = 2 * kDay;
+  AnalyzerConfig cfg4 = cfg;
+  cfg4.threads = 4;
+  WorkloadAnalyzer sequential(cfg, &gen);
+  WorkloadAnalyzer threaded(cfg4, &gen);
+  for (int w = 0; w < 2; ++w) {
+    for (size_t i = 0; i < 20000; ++i) {
+      const Request& r = t.requests[w * 20000 + i];
+      sequential.Process(r);
+      threaded.Process(r);
+    }
+    const AnalyzerReport rs = sequential.EndWindow(15 * kMinute);
+    const AnalyzerReport rp = threaded.EndWindow(15 * kMinute);
+    ExpectCurvesIdentical(rs.aggregated_mrc, rp.aggregated_mrc);
+    ExpectCurvesIdentical(rs.aggregated_bmc, rp.aggregated_bmc);
+    ASSERT_EQ(rs.latest_alc.has_value(), rp.latest_alc.has_value());
+    if (rs.latest_alc.has_value()) {
+      ExpectCurvesIdentical(*rs.latest_alc, *rp.latest_alc);
+    }
+    ASSERT_TRUE(rs.aggregated_ttl_mrc.has_value());
+    ASSERT_TRUE(rp.aggregated_ttl_mrc.has_value());
+    ExpectCurvesIdentical(*rs.aggregated_ttl_mrc, *rp.aggregated_ttl_mrc);
+    ExpectCurvesIdentical(*rs.aggregated_ttl_bmc, *rp.aggregated_ttl_bmc);
+    ExpectCurvesIdentical(*rs.aggregated_ttl_capacity, *rp.aggregated_ttl_capacity);
+    EXPECT_EQ(rs.expected_window_reads, rp.expected_window_reads);
+    EXPECT_EQ(rs.expected_window_writes, rp.expected_window_writes);
+    EXPECT_EQ(rs.window_requests, rp.window_requests);
+  }
+}
+
+}  // namespace
+}  // namespace macaron

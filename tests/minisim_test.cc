@@ -239,6 +239,91 @@ TEST(TtlBankTest, LongerTtlMoreResidentBytes) {
   EXPECT_LT(w.capacity.y(0), w.capacity.y(1));
 }
 
+// --- Empty analysis windows ---
+//
+// A window can legitimately see no requests, no GETs (PUT/DELETE only), or
+// no sampled requests at all (low ratio, few objects). The estimators must
+// return zeroed curves — never NaN or infinity from dividing by a zero
+// sampled-GET count — because these values feed straight into
+// ExpectedCostCurve/OptimizeCapacity.
+
+void ExpectAllFinite(const Curve& c, double expected) {
+  for (size_t i = 0; i < c.size(); ++i) {
+    ASSERT_FALSE(std::isnan(c.y(i))) << i;
+    ASSERT_FALSE(std::isinf(c.y(i))) << i;
+    EXPECT_EQ(c.y(i), expected) << i;
+  }
+}
+
+TEST(MrcBankTest, EmptyWindowProducesZeroCurves) {
+  MrcBank bank(UniformSizeGrid(1000, 10000, 4), 0.1, 0);
+  const WindowCurves w = bank.EndWindow();
+  EXPECT_EQ(w.sampled_gets, 0u);
+  ExpectAllFinite(w.mrc, 0.0);
+  ExpectAllFinite(w.bmc, 0.0);
+}
+
+TEST(MrcBankTest, PutOnlyWindowProducesZeroCurves) {
+  // window_gets_ == 0 while requests (and sampled requests) are nonzero.
+  MrcBank bank(UniformSizeGrid(1000, 10000, 4), 1.0, 0);
+  for (ObjectId id = 0; id < 50; ++id) {
+    bank.Process({static_cast<SimTime>(id), id, 100, Op::kPut});
+  }
+  const WindowCurves w = bank.EndWindow();
+  EXPECT_EQ(w.sampled_gets, 0u);
+  EXPECT_EQ(w.window_requests, 50u);
+  ExpectAllFinite(w.mrc, 0.0);
+  ExpectAllFinite(w.bmc, 0.0);
+}
+
+TEST(MrcBankTest, SamplerAdmitsNothingProducesZeroCurves) {
+  // GETs arrive but the spatial sampler admits none of them
+  // (window_sampled_gets_ == 0 with window_gets_ > 0). Ids start above the
+  // salt: id == salt hashes to Mix64(0) == 0, which every ratio admits.
+  MrcBank bank(UniformSizeGrid(1000, 10000, 4), 1e-9, 1);
+  for (ObjectId id = 1000; id < 1200; ++id) {
+    bank.Process({static_cast<SimTime>(id), id, 100, Op::kGet});
+  }
+  const WindowCurves w = bank.EndWindow();
+  EXPECT_EQ(w.sampled_gets, 0u);
+  ExpectAllFinite(w.mrc, 0.0);
+  ExpectAllFinite(w.bmc, 0.0);
+}
+
+TEST(TtlBankTest, EmptyWindowProducesZeroCurves) {
+  TtlBank bank({kHour, kDay}, 0.1, 0);
+  const TtlWindowCurves w = bank.EndWindow(15 * kMinute);
+  EXPECT_EQ(w.sampled_gets, 0u);
+  ExpectAllFinite(w.mrc, 0.0);
+  ExpectAllFinite(w.bmc, 0.0);
+  ExpectAllFinite(w.capacity, 0.0);
+}
+
+TEST(TtlBankTest, PutOnlyWindowHasFiniteCapacityCurve) {
+  TtlBank bank({kHour, kDay}, 1.0, 0);
+  for (ObjectId id = 0; id < 20; ++id) {
+    bank.Process({static_cast<SimTime>(id), id, 1000, Op::kPut});
+  }
+  const TtlWindowCurves w = bank.EndWindow(kHour);
+  ExpectAllFinite(w.mrc, 0.0);
+  ExpectAllFinite(w.bmc, 0.0);
+  // PUTs still occupy capacity; the curve must be finite and positive.
+  for (size_t i = 0; i < w.capacity.size(); ++i) {
+    ASSERT_FALSE(std::isnan(w.capacity.y(i))) << i;
+    ASSERT_FALSE(std::isinf(w.capacity.y(i))) << i;
+    EXPECT_GT(w.capacity.y(i), 0.0) << i;
+  }
+}
+
+TEST(AlcBankTest, EmptyWindowProducesZeroLatencyCurve) {
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 8);
+  AlcBank bank(UniformSizeGrid(1000, 10000, 4), 10000, 0.1, 0, &gen, 15);
+  const AlcWindow w = bank.EndWindow();
+  EXPECT_EQ(w.sampled_gets, 0u);
+  ExpectAllFinite(w.alc, 0.0);
+}
+
 TEST(TtlBankTest, CapacityScalesBySamplingRatio) {
   TtlBank full({kDay}, 1.0, 0);
   TtlBank half({kDay}, 0.5, 123);

@@ -242,5 +242,147 @@ TEST(OscTest, NumLiveObjectsAndBlocks) {
   EXPECT_EQ(osc.num_blocks(), 3u);  // 4 + 4 + 2
 }
 
+// --- Dead-copy re-admission (evict → re-fetch → delete) ---
+//
+// When an Evicted object is re-fetched, objects_[id] is repointed at the
+// open block while the stale copy keeps its dead_bytes/dead_objects in the
+// old block. These regressions pin down that the global garbage counter,
+// the per-block dead counters, and GC scheduling all count each physical
+// copy exactly once through the full evict → re-fetch → delete → GC cycle.
+
+// Σ per-block dead bytes must always equal the global garbage counter.
+uint64_t SumBlockDeadBytes(const ObjectStorageCache& osc) {
+  uint64_t dead = 0;
+  for (const ObjectStorageCache::BlockDebug& b : osc.DebugBlocks()) {
+    dead += b.dead_bytes;
+  }
+  return dead;
+}
+
+TEST(OscReadmissionTest, EvictRefetchDeleteClosedBlockCopy) {
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);  // flushes one closed block of 40 bytes
+  }
+  osc.EvictToCapacity(30);  // evicts id 1 (LRU): 10 bytes dead, below GC threshold
+  EXPECT_EQ(osc.live_bytes(), 30u);
+  EXPECT_EQ(osc.garbage_bytes(), 10u);
+  EXPECT_EQ(osc.gc_pending_blocks(), 0u);
+
+  osc.Admit(1, 10);  // re-fetch: new copy in the open block
+  EXPECT_TRUE(osc.Contains(1));
+  EXPECT_EQ(osc.live_bytes(), 40u);
+  EXPECT_EQ(osc.garbage_bytes(), 10u);  // stale copy still garbage, counted once
+  EXPECT_EQ(SumBlockDeadBytes(osc), osc.garbage_bytes());
+
+  osc.Delete(1);  // kills the *new* copy; the stale one must not double-count
+  EXPECT_EQ(osc.live_bytes(), 30u);
+  EXPECT_EQ(osc.garbage_bytes(), 20u);
+  EXPECT_EQ(SumBlockDeadBytes(osc), osc.garbage_bytes());
+  // Each block carries exactly one dead copy of object 1.
+  for (const ObjectStorageCache::BlockDebug& b : osc.DebugBlocks()) {
+    EXPECT_EQ(b.dead_objects, 1u);
+    EXPECT_EQ(b.dead_bytes, 10u);
+  }
+
+  // Push the closed block over the GC threshold and collect: both dead
+  // copies leave, survivors are rewritten, nothing is counted twice.
+  osc.Delete(2);  // closed block now 20/40 dead -> scheduled
+  EXPECT_EQ(osc.gc_pending_blocks(), 1u);
+  osc.TakeOps();
+  osc.RunGc();
+  EXPECT_EQ(osc.gc_pending_blocks(), 0u);
+  EXPECT_EQ(osc.live_bytes(), 20u);  // ids 3 and 4 survive
+  EXPECT_EQ(SumBlockDeadBytes(osc), osc.garbage_bytes());
+  EXPECT_EQ(osc.TakeOps().gc_block_reads, 1u);  // the closed block, once
+  EXPECT_TRUE(osc.Contains(3));
+  EXPECT_TRUE(osc.Contains(4));
+  EXPECT_FALSE(osc.Contains(1));
+  // Drain the remaining stale copy of 1 (the open re-admission block).
+  osc.FlushOpenBlock();
+  osc.Delete(3);
+  osc.Delete(4);
+  osc.RunGc();
+  EXPECT_EQ(osc.garbage_bytes(), 0u);
+  EXPECT_EQ(osc.live_bytes(), 0u);
+  EXPECT_EQ(SumBlockDeadBytes(osc), 0u);
+}
+
+TEST(OscReadmissionTest, EvictRefetchDeleteWithinOpenBlock) {
+  // The stale copy and the re-admitted copy share the still-open block:
+  // members lists the id twice, and both physical copies must be accounted.
+  ObjectStorageCache osc(SmallBlocks());
+  osc.Admit(1, 10);
+  osc.Admit(2, 10);
+  osc.EvictToCapacity(10);  // evicts id 1 inside the open block
+  EXPECT_EQ(osc.garbage_bytes(), 10u);
+  EXPECT_EQ(osc.gc_pending_blocks(), 0u);  // open blocks are never scheduled
+
+  osc.Admit(1, 10);  // re-fetch into the same open block
+  EXPECT_EQ(osc.live_bytes(), 20u);
+  EXPECT_EQ(osc.garbage_bytes(), 10u);
+  osc.Delete(1);
+  EXPECT_EQ(osc.live_bytes(), 10u);
+  EXPECT_EQ(osc.garbage_bytes(), 20u);  // two dead copies, one per admission
+  EXPECT_EQ(SumBlockDeadBytes(osc), osc.garbage_bytes());
+
+  osc.Admit(3, 10);  // fourth member: block flushes, 20/40 dead -> scheduled
+  EXPECT_EQ(osc.gc_pending_blocks(), 1u);
+  osc.TakeOps();
+  osc.RunGc();
+  EXPECT_EQ(osc.gc_pending_blocks(), 0u);
+  EXPECT_EQ(osc.garbage_bytes(), 0u);
+  EXPECT_EQ(osc.live_bytes(), 20u);
+  EXPECT_EQ(SumBlockDeadBytes(osc), 0u);
+  EXPECT_EQ(osc.TakeOps().gc_block_reads, 1u);
+  EXPECT_TRUE(osc.Contains(2));
+  EXPECT_TRUE(osc.Contains(3));
+  EXPECT_FALSE(osc.Contains(1));
+  EXPECT_EQ(osc.num_live_objects(), 2u);
+}
+
+TEST(OscReadmissionTest, RefetchedCopySurvivesGcOfStaleBlock) {
+  // GC of the old block must skip the id (its meta points at the new
+  // block) without disturbing the live re-admitted copy. Deletes leave the
+  // block on the GC list without collecting it (the TTL-shadow eviction
+  // path: GC only runs at window boundaries), opening the window where a
+  // re-fetch races a scheduled GC.
+  ObjectStorageCache osc(SmallBlocks());
+  for (ObjectId id = 1; id <= 4; ++id) {
+    osc.Admit(id, 10);
+  }
+  osc.Delete(1);
+  osc.Delete(2);  // 20/40 dead -> scheduled, not yet collected
+  EXPECT_EQ(osc.gc_pending_blocks(), 1u);
+  osc.Admit(1, 10);  // re-fetch before the GC runs
+  osc.RunGc();
+  EXPECT_TRUE(osc.Contains(1));
+  EXPECT_TRUE(osc.Contains(3));
+  EXPECT_TRUE(osc.Contains(4));
+  EXPECT_FALSE(osc.Contains(2));
+  EXPECT_EQ(osc.live_bytes(), 30u);
+  EXPECT_EQ(osc.garbage_bytes(), 0u);
+  EXPECT_EQ(SumBlockDeadBytes(osc), 0u);
+  // The re-admitted copy must still hit.
+  EXPECT_TRUE(osc.Lookup(1));
+}
+
+TEST(OscReadmissionTest, ChurnWithRefetchHoldsGarbageInvariant) {
+  // Random-ish evict/re-fetch/delete churn: the block-level dead counters
+  // must stay exactly in sync with the global garbage counter throughout.
+  ObjectStorageCache osc(SmallBlocks());
+  for (int round = 0; round < 40; ++round) {
+    for (ObjectId id = 1; id <= 12; ++id) {
+      osc.Admit(id, 7 + (id % 3));  // re-admits anything evicted last round
+    }
+    osc.EvictToCapacity(60);
+    if (round % 3 == 0) {
+      osc.Delete(static_cast<ObjectId>(1 + round % 12));
+    }
+    ASSERT_EQ(SumBlockDeadBytes(osc), osc.garbage_bytes()) << "round " << round;
+    ASSERT_EQ(osc.stored_bytes(), osc.live_bytes() + osc.garbage_bytes());
+  }
+}
+
 }  // namespace
 }  // namespace macaron

@@ -1,0 +1,80 @@
+// Tests for the fixed-size thread pool behind the parallel miniature
+// simulation: inline degeneration, full index coverage, exception
+// propagation, and concurrent counting.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace macaron {
+namespace {
+
+TEST(ThreadPoolTest, WorkerlessPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 0);
+  int calls = 0;
+  pool.Submit([&calls] { ++calls; }).get();
+  pool.ParallelFor(5, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 6);  // no workers: everything ran on this thread
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  std::vector<std::atomic<int>> hits(103);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&calls](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);  // single index runs inline
+}
+
+TEST(ThreadPoolTest, ParallelForMoreIndicesThanWorkers) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(1000, [&sum](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000ull * 999 / 2);
+}
+
+TEST(ThreadPoolTest, SubmitFutureCarriesException) {
+  ThreadPool pool(2);
+  auto f = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(16,
+                       [](size_t i) {
+                         if (i == 7) {
+                           throw std::runtime_error("grid point failed");
+                         }
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyRounds) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(8, [&total](size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 1600);
+}
+
+}  // namespace
+}  // namespace macaron
