@@ -78,6 +78,7 @@ int main() {
         50'000'000, static_cast<uint64_t>(stats.unique_bytes * 1.15), 12);
     MrcBank full(grid, 1.0, 0);
     ReuseDistanceAnalyzer exact;
+    exact.ReserveObjects(stats.unique_objects, stats.num_gets);
     for (const Request& r : t.requests) {
       full.Process(r);
       exact.Process(r);

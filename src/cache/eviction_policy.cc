@@ -1,11 +1,11 @@
 #include "src/cache/eviction_policy.h"
 
+#include <algorithm>
 #include <deque>
-#include <list>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "src/cache/flat_index.h"
 #include "src/cache/lru_cache.h"
+#include "src/cache/slab_lru.h"
 #include "src/common/check.h"
 
 namespace macaron {
@@ -27,6 +27,12 @@ const char* EvictionPolicyName(EvictionPolicyKind kind) {
 
 namespace {
 
+// All policies share the slab cache core (slab_lru.h): entries are NodeSlab
+// slots threaded onto IntrusiveLists, looked up through a FlatIndex. The
+// policies reproduce the exact semantics (eviction order, callback
+// sequence) of the original std::list + std::unordered_map implementations;
+// the differential test suite pins this.
+
 // --- LRU: delegates to LruCache ---
 
 class LruPolicy : public EvictionCache {
@@ -41,12 +47,14 @@ class LruPolicy : public EvictionCache {
   uint64_t capacity() const override { return cache_.capacity(); }
   uint64_t used_bytes() const override { return cache_.used_bytes(); }
   size_t num_entries() const override { return cache_.num_entries(); }
+  size_t allocated_nodes() const override { return cache_.allocated_nodes(); }
   void set_evict_callback(EvictCallback cb) override {
     cache_.set_evict_callback(std::move(cb));
   }
   void ForEachEvictOrder(const VisitFn& fn) const override { cache_.ForEachLruToMru(fn); }
   void ForEachHotOrder(const VisitFn& fn) const override { cache_.ForEachMruToLru(fn); }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kLru; }
+  LruCache* AsLruCache() override { return &cache_; }
 
  private:
   LruCache cache_;
@@ -58,15 +66,16 @@ class FifoPolicy : public EvictionCache {
  public:
   explicit FifoPolicy(uint64_t capacity) : capacity_(capacity) {}
 
-  bool Get(ObjectId id) override { return index_.contains(id); }
-  bool Contains(ObjectId id) const override { return index_.contains(id); }
+  bool Get(ObjectId id) override { return index_.Contains(id); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
   void Put(ObjectId id, uint64_t size) override {
-    const auto it = index_.find(id);
-    if (it != index_.end()) {
-      used_ -= it->second->size;
+    const uint32_t n = index_.Find(id);
+    if (n != FlatIndex::kEmpty) {
+      SlabNode& e = slab_.node(n);
+      used_ -= e.size;
       used_ += size;
-      it->second->size = size;  // refresh size, keep position
+      e.size = size;  // refresh size, keep position
       EvictToFit(0);
       return;
     }
@@ -74,19 +83,21 @@ class FifoPolicy : public EvictionCache {
       return;
     }
     EvictToFit(size);
-    queue_.push_front(Entry{id, size});
-    index_[id] = queue_.begin();
+    const uint32_t fresh = slab_.Allocate(id, size);
+    queue_.PushFront(slab_, fresh);
+    index_.Insert(id, fresh, &slab_);
     used_ += size;
   }
 
   bool Erase(ObjectId id) override {
-    const auto it = index_.find(id);
-    if (it == index_.end()) {
+    const uint32_t n = index_.Find(id);
+    if (n == FlatIndex::kEmpty) {
       return false;
     }
-    used_ -= it->second->size;
-    queue_.erase(it->second);
-    index_.erase(it);
+    used_ -= slab_.node(n).size;
+    queue_.Remove(slab_, n);
+    index_.EraseCell(slab_.node(n).cell, &slab_);
+    slab_.Free(n);
     return true;
   }
 
@@ -98,46 +109,38 @@ class FifoPolicy : public EvictionCache {
   uint64_t capacity() const override { return capacity_; }
   uint64_t used_bytes() const override { return used_; }
   size_t num_entries() const override { return index_.size(); }
+  size_t allocated_nodes() const override { return slab_.allocated_nodes(); }
   void set_evict_callback(EvictCallback cb) override { evict_cb_ = std::move(cb); }
 
   void ForEachEvictOrder(const VisitFn& fn) const override {
-    for (auto it = queue_.rbegin(); it != queue_.rend(); ++it) {
-      if (!fn(it->id, it->size)) {
-        return;
-      }
-    }
+    queue_.ForEachBackToFront(slab_, fn);
   }
   void ForEachHotOrder(const VisitFn& fn) const override {
-    for (const Entry& e : queue_) {
-      if (!fn(e.id, e.size)) {
-        return;
-      }
-    }
+    queue_.ForEachFrontToBack(slab_, fn);
   }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kFifo; }
 
  private:
-  struct Entry {
-    ObjectId id;
-    uint64_t size;
-  };
-
   void EvictToFit(uint64_t incoming) {
     while (used_ + incoming > capacity_ && !queue_.empty()) {
-      const Entry victim = queue_.back();
-      queue_.pop_back();
-      index_.erase(victim.id);
-      used_ -= victim.size;
+      const uint32_t victim = queue_.tail();
+      const ObjectId victim_id = slab_.node(victim).id;
+      const uint64_t victim_size = slab_.node(victim).size;
+      queue_.Remove(slab_, victim);
+      index_.EraseCell(slab_.node(victim).cell, &slab_);
+      slab_.Free(victim);
+      used_ -= victim_size;
       if (evict_cb_) {
-        evict_cb_(victim.id, victim.size);
+        evict_cb_(victim_id, victim_size);
       }
     }
   }
 
   uint64_t capacity_;
   uint64_t used_ = 0;
-  std::list<Entry> queue_;  // front = newest
-  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  NodeSlab slab_;
+  IntrusiveList queue_;  // front = newest
+  FlatIndex index_;
   EvictCallback evict_cb_;
 };
 
@@ -148,33 +151,34 @@ class SlruPolicy : public EvictionCache {
   explicit SlruPolicy(uint64_t capacity) { SetCapacity(capacity); }
 
   bool Get(ObjectId id) override {
-    const auto it = index_.find(id);
-    if (it == index_.end()) {
+    const uint32_t n = index_.Find(id);
+    if (n == FlatIndex::kEmpty) {
       return false;
     }
-    if (it->second.protected_segment) {
-      protected_.splice(protected_.begin(), protected_, it->second.pos);
+    SlabNode& e = slab_.node(n);
+    if (e.stamp == kProtectedSeg) {
+      protected_.MoveToFront(slab_, n);
     } else {
       // Promote probation -> protected.
-      const Entry e = *it->second.pos;
-      probation_.erase(it->second.pos);
+      probation_.Remove(slab_, n);
       probation_bytes_ -= e.size;
-      protected_.push_front(e);
+      protected_.PushFront(slab_, n);
       protected_bytes_ += e.size;
-      it->second = Slot{true, protected_.begin()};
+      e.stamp = kProtectedSeg;
       DemoteProtectedOverflow();
     }
     return true;
   }
 
-  bool Contains(ObjectId id) const override { return index_.contains(id); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
   void Put(ObjectId id, uint64_t size) override {
-    const auto it = index_.find(id);
-    if (it != index_.end()) {
-      const uint64_t old_size = it->second.pos->size;
-      it->second.pos->size = size;
-      if (it->second.protected_segment) {
+    const uint32_t n = index_.Find(id);
+    if (n != FlatIndex::kEmpty) {
+      SlabNode& e = slab_.node(n);
+      const uint64_t old_size = e.size;
+      e.size = size;
+      if (e.stamp == kProtectedSeg) {
         protected_bytes_ += size - old_size;
       } else {
         probation_bytes_ += size - old_size;
@@ -187,24 +191,27 @@ class SlruPolicy : public EvictionCache {
       return;
     }
     EvictProbationToFit(size);
-    probation_.push_front(Entry{id, size});
+    const uint32_t fresh = slab_.Allocate(id, size, kProbationSeg);
+    probation_.PushFront(slab_, fresh);
     probation_bytes_ += size;
-    index_[id] = Slot{false, probation_.begin()};
+    index_.Insert(id, fresh, &slab_);
   }
 
   bool Erase(ObjectId id) override {
-    const auto it = index_.find(id);
-    if (it == index_.end()) {
+    const uint32_t n = index_.Find(id);
+    if (n == FlatIndex::kEmpty) {
       return false;
     }
-    if (it->second.protected_segment) {
-      protected_bytes_ -= it->second.pos->size;
-      protected_.erase(it->second.pos);
+    SlabNode& e = slab_.node(n);
+    if (e.stamp == kProtectedSeg) {
+      protected_bytes_ -= e.size;
+      protected_.Remove(slab_, n);
     } else {
-      probation_bytes_ -= it->second.pos->size;
-      probation_.erase(it->second.pos);
+      probation_bytes_ -= e.size;
+      probation_.Remove(slab_, n);
     }
-    index_.erase(it);
+    index_.EraseCell(e.cell, &slab_);
+    slab_.Free(n);
     return true;
   }
 
@@ -217,43 +224,34 @@ class SlruPolicy : public EvictionCache {
   uint64_t capacity() const override { return capacity_; }
   uint64_t used_bytes() const override { return probation_bytes_ + protected_bytes_; }
   size_t num_entries() const override { return index_.size(); }
+  size_t allocated_nodes() const override { return slab_.allocated_nodes(); }
   void set_evict_callback(EvictCallback cb) override { evict_cb_ = std::move(cb); }
 
   void ForEachEvictOrder(const VisitFn& fn) const override {
-    for (auto it = probation_.rbegin(); it != probation_.rend(); ++it) {
-      if (!fn(it->id, it->size)) {
-        return;
-      }
-    }
-    for (auto it = protected_.rbegin(); it != protected_.rend(); ++it) {
-      if (!fn(it->id, it->size)) {
-        return;
-      }
+    bool keep_going = true;
+    probation_.ForEachBackToFront(slab_, [&](ObjectId id, uint64_t size) {
+      keep_going = fn(id, size);
+      return keep_going;
+    });
+    if (keep_going) {
+      protected_.ForEachBackToFront(slab_, fn);
     }
   }
   void ForEachHotOrder(const VisitFn& fn) const override {
-    for (const Entry& e : protected_) {
-      if (!fn(e.id, e.size)) {
-        return;
-      }
-    }
-    for (const Entry& e : probation_) {
-      if (!fn(e.id, e.size)) {
-        return;
-      }
+    bool keep_going = true;
+    protected_.ForEachFrontToBack(slab_, [&](ObjectId id, uint64_t size) {
+      keep_going = fn(id, size);
+      return keep_going;
+    });
+    if (keep_going) {
+      probation_.ForEachFrontToBack(slab_, fn);
     }
   }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kSlru; }
 
  private:
-  struct Entry {
-    ObjectId id;
-    uint64_t size;
-  };
-  struct Slot {
-    bool protected_segment;
-    std::list<Entry>::iterator pos;
-  };
+  static constexpr uint64_t kProbationSeg = 0;
+  static constexpr uint64_t kProtectedSeg = 1;
 
   void SetCapacity(uint64_t capacity) {
     capacity_ = capacity;
@@ -263,35 +261,37 @@ class SlruPolicy : public EvictionCache {
   // Protected overflow demotes cold protected entries to probation MRU.
   void DemoteProtectedOverflow() {
     while (protected_bytes_ > protected_cap_ && !protected_.empty()) {
-      const Entry e = protected_.back();
-      protected_.pop_back();
+      const uint32_t n = protected_.tail();
+      SlabNode& e = slab_.node(n);
+      protected_.Remove(slab_, n);
       protected_bytes_ -= e.size;
-      probation_.push_front(e);
+      probation_.PushFront(slab_, n);
       probation_bytes_ += e.size;
-      index_[e.id] = Slot{false, probation_.begin()};
+      e.stamp = kProbationSeg;
     }
     EvictProbationToFit(0);
   }
 
   void EvictProbationToFit(uint64_t incoming) {
     while (used_bytes() + incoming > capacity_ && !probation_.empty()) {
-      const Entry victim = probation_.back();
-      probation_.pop_back();
-      probation_bytes_ -= victim.size;
-      index_.erase(victim.id);
-      if (evict_cb_) {
-        evict_cb_(victim.id, victim.size);
-      }
+      EvictBack(probation_, probation_bytes_);
     }
     // Degenerate case: everything sits in protected and still over budget.
     while (used_bytes() + incoming > capacity_ && !protected_.empty()) {
-      const Entry victim = protected_.back();
-      protected_.pop_back();
-      protected_bytes_ -= victim.size;
-      index_.erase(victim.id);
-      if (evict_cb_) {
-        evict_cb_(victim.id, victim.size);
-      }
+      EvictBack(protected_, protected_bytes_);
+    }
+  }
+
+  void EvictBack(IntrusiveList& list, uint64_t& segment_bytes) {
+    const uint32_t victim = list.tail();
+    const ObjectId victim_id = slab_.node(victim).id;
+    const uint64_t victim_size = slab_.node(victim).size;
+    list.Remove(slab_, victim);
+    segment_bytes -= victim_size;
+    index_.EraseCell(slab_.node(victim).cell, &slab_);
+    slab_.Free(victim);
+    if (evict_cb_) {
+      evict_cb_(victim_id, victim_size);
     }
   }
 
@@ -299,9 +299,10 @@ class SlruPolicy : public EvictionCache {
   uint64_t protected_cap_ = 0;
   uint64_t probation_bytes_ = 0;
   uint64_t protected_bytes_ = 0;
-  std::list<Entry> probation_;  // front = MRU
-  std::list<Entry> protected_;
-  std::unordered_map<ObjectId, Slot> index_;
+  NodeSlab slab_;  // node stamp = segment
+  IntrusiveList probation_;  // front = MRU
+  IntrusiveList protected_;
+  FlatIndex index_;
   EvictCallback evict_cb_;
 };
 
@@ -312,21 +313,21 @@ class S3FifoPolicy : public EvictionCache {
   explicit S3FifoPolicy(uint64_t capacity) { SetCapacity(capacity); }
 
   bool Get(ObjectId id) override {
-    const auto it = index_.find(id);
-    if (it == index_.end()) {
+    const uint32_t n = index_.Find(id);
+    if (n == FlatIndex::kEmpty) {
       return false;
     }
-    if (it->second.pos->freq < 3) {
-      ++it->second.pos->freq;
+    SlabNode& e = slab_.node(n);
+    if (Freq(e) < 3) {
+      e.stamp += 1;  // freq lives in the low stamp bits
     }
     return true;
   }
 
-  bool Contains(ObjectId id) const override { return index_.contains(id); }
+  bool Contains(ObjectId id) const override { return index_.Contains(id); }
 
   void Put(ObjectId id, uint64_t size) override {
-    const auto it = index_.find(id);
-    if (it != index_.end()) {
+    if (index_.Contains(id)) {
       Get(id);
       return;  // immutable objects: size is stable
     }
@@ -334,31 +335,35 @@ class S3FifoPolicy : public EvictionCache {
       return;
     }
     EvictToFit(size);
-    if (ghost_.contains(id)) {
+    if (ghost_.Contains(id)) {
       GhostErase(id);
-      main_.push_front(Entry{id, size, 0});
+      const uint32_t fresh = slab_.Allocate(id, size, kInMainBit);
+      main_.PushFront(slab_, fresh);
       main_bytes_ += size;
-      index_[id] = Slot{true, main_.begin()};
+      index_.Insert(id, fresh, &slab_);
     } else {
-      small_.push_front(Entry{id, size, 0});
+      const uint32_t fresh = slab_.Allocate(id, size, 0);
+      small_.PushFront(slab_, fresh);
       small_bytes_ += size;
-      index_[id] = Slot{false, small_.begin()};
+      index_.Insert(id, fresh, &slab_);
     }
   }
 
   bool Erase(ObjectId id) override {
-    const auto it = index_.find(id);
-    if (it == index_.end()) {
+    const uint32_t n = index_.Find(id);
+    if (n == FlatIndex::kEmpty) {
       return false;
     }
-    if (it->second.in_main) {
-      main_bytes_ -= it->second.pos->size;
-      main_.erase(it->second.pos);
+    SlabNode& e = slab_.node(n);
+    if (InMain(e)) {
+      main_bytes_ -= e.size;
+      main_.Remove(slab_, n);
     } else {
-      small_bytes_ -= it->second.pos->size;
-      small_.erase(it->second.pos);
+      small_bytes_ -= e.size;
+      small_.Remove(slab_, n);
     }
-    index_.erase(it);
+    index_.EraseCell(e.cell, &slab_);
+    slab_.Free(n);
     return true;
   }
 
@@ -370,44 +375,38 @@ class S3FifoPolicy : public EvictionCache {
   uint64_t capacity() const override { return capacity_; }
   uint64_t used_bytes() const override { return small_bytes_ + main_bytes_; }
   size_t num_entries() const override { return index_.size(); }
+  size_t allocated_nodes() const override { return slab_.allocated_nodes(); }
   void set_evict_callback(EvictCallback cb) override { evict_cb_ = std::move(cb); }
 
   void ForEachEvictOrder(const VisitFn& fn) const override {
-    for (auto it = small_.rbegin(); it != small_.rend(); ++it) {
-      if (!fn(it->id, it->size)) {
-        return;
-      }
-    }
-    for (auto it = main_.rbegin(); it != main_.rend(); ++it) {
-      if (!fn(it->id, it->size)) {
-        return;
-      }
+    bool keep_going = true;
+    small_.ForEachBackToFront(slab_, [&](ObjectId id, uint64_t size) {
+      keep_going = fn(id, size);
+      return keep_going;
+    });
+    if (keep_going) {
+      main_.ForEachBackToFront(slab_, fn);
     }
   }
   void ForEachHotOrder(const VisitFn& fn) const override {
-    for (const Entry& e : main_) {
-      if (!fn(e.id, e.size)) {
-        return;
-      }
-    }
-    for (const Entry& e : small_) {
-      if (!fn(e.id, e.size)) {
-        return;
-      }
+    bool keep_going = true;
+    main_.ForEachFrontToBack(slab_, [&](ObjectId id, uint64_t size) {
+      keep_going = fn(id, size);
+      return keep_going;
+    });
+    if (keep_going) {
+      small_.ForEachFrontToBack(slab_, fn);
     }
   }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kS3Fifo; }
 
  private:
-  struct Entry {
-    ObjectId id;
-    uint64_t size;
-    int freq;
-  };
-  struct Slot {
-    bool in_main;
-    std::list<Entry>::iterator pos;
-  };
+  // stamp layout: low bits = access frequency (capped at 3), kInMainBit set
+  // while the node sits in the main queue.
+  static constexpr uint64_t kInMainBit = 1ull << 8;
+
+  static uint64_t Freq(const SlabNode& e) { return e.stamp & (kInMainBit - 1); }
+  static bool InMain(const SlabNode& e) { return (e.stamp & kInMainBit) != 0; }
 
   void SetCapacity(uint64_t capacity) {
     capacity_ = capacity;
@@ -428,19 +427,23 @@ class S3FifoPolicy : public EvictionCache {
 
   void EvictSmall() {
     MACARON_CHECK(!small_.empty());
-    const Entry e = small_.back();
-    small_.pop_back();
+    const uint32_t n = small_.tail();
+    SlabNode& e = slab_.node(n);
+    small_.Remove(slab_, n);
     small_bytes_ -= e.size;
-    index_.erase(e.id);
-    if (e.freq > 0) {
-      // Promote to main.
-      main_.push_front(Entry{e.id, e.size, 0});
+    if (Freq(e) > 0) {
+      // Promote to main with a fresh frequency.
+      e.stamp = kInMainBit;
+      main_.PushFront(slab_, n);
       main_bytes_ += e.size;
-      index_[e.id] = Slot{true, main_.begin()};
     } else {
-      GhostInsert(e.id);
+      const ObjectId victim_id = e.id;
+      const uint64_t victim_size = e.size;
+      index_.EraseCell(e.cell, &slab_);
+      slab_.Free(n);
+      GhostInsert(victim_id);
       if (evict_cb_) {
-        evict_cb_(e.id, e.size);
+        evict_cb_(victim_id, victim_size);
       }
     }
   }
@@ -448,47 +451,52 @@ class S3FifoPolicy : public EvictionCache {
   void EvictMain() {
     MACARON_CHECK(!main_.empty());
     for (;;) {
-      Entry e = main_.back();
-      main_.pop_back();
-      if (e.freq > 0) {
+      const uint32_t n = main_.tail();
+      SlabNode& e = slab_.node(n);
+      main_.Remove(slab_, n);
+      if (Freq(e) > 0) {
         // Second chance: reinsert at the head with decremented frequency.
-        e.freq -= 1;
-        main_.push_front(e);
-        index_[e.id] = Slot{true, main_.begin()};
+        e.stamp -= 1;
+        main_.PushFront(slab_, n);
         continue;
       }
-      main_bytes_ -= e.size;
-      index_.erase(e.id);
+      const ObjectId victim_id = e.id;
+      const uint64_t victim_size = e.size;
+      main_bytes_ -= victim_size;
+      index_.EraseCell(e.cell, &slab_);
+      slab_.Free(n);
       if (evict_cb_) {
-        evict_cb_(e.id, e.size);
+        evict_cb_(victim_id, victim_size);
       }
       return;
     }
   }
 
   void GhostInsert(ObjectId id) {
-    if (ghost_.insert(id).second) {
+    if (!ghost_.Contains(id)) {
+      ghost_.Insert(id, 0);
       ghost_order_.push_back(id);
     }
-    const size_t ghost_cap = std::max<size_t>(main_.size() + small_.size(), 1024);
+    const size_t ghost_cap = std::max<size_t>(num_entries(), 1024);
     while (ghost_order_.size() > ghost_cap) {
-      ghost_.erase(ghost_order_.front());
+      ghost_.Erase(ghost_order_.front());
       ghost_order_.pop_front();
     }
   }
 
   void GhostErase(ObjectId id) {
-    ghost_.erase(id);  // stale deque entry is skipped when it ages out
+    ghost_.Erase(id);  // stale deque entry is skipped when it ages out
   }
 
   uint64_t capacity_ = 0;
   uint64_t small_cap_ = 0;
   uint64_t small_bytes_ = 0;
   uint64_t main_bytes_ = 0;
-  std::list<Entry> small_;  // front = newest
-  std::list<Entry> main_;
-  std::unordered_map<ObjectId, Slot> index_;
-  std::unordered_set<ObjectId> ghost_;
+  NodeSlab slab_;
+  IntrusiveList small_;  // front = newest
+  IntrusiveList main_;
+  FlatIndex index_;
+  FlatIndex ghost_;  // membership only (value unused)
   std::deque<ObjectId> ghost_order_;
   EvictCallback evict_cb_;
 };

@@ -26,6 +26,8 @@
 
 namespace macaron {
 
+class LruCache;
+
 enum class EvictionPolicyKind {
   kLru,
   kFifo,
@@ -54,6 +56,9 @@ class EvictionCache {
   virtual uint64_t capacity() const = 0;
   virtual uint64_t used_bytes() const = 0;
   virtual size_t num_entries() const = 0;
+  // Slab slots ever materialized (live + freelist); stops growing once the
+  // cache reaches steady state (see slab_lru.h).
+  virtual size_t allocated_nodes() const = 0;
 
   virtual void set_evict_callback(EvictCallback cb) = 0;
 
@@ -64,6 +69,12 @@ class EvictionCache {
   virtual void ForEachHotOrder(const VisitFn& fn) const = 0;
 
   virtual EvictionPolicyKind kind() const = 0;
+
+  // Returns the underlying LruCache for kLru, nullptr otherwise. The
+  // mini-cache banks replay millions of requests per window against the
+  // default policy; resolving the concrete cache once per batch lets that
+  // loop skip per-operation virtual dispatch.
+  virtual LruCache* AsLruCache() { return nullptr; }
 };
 
 // Factory. Capacity in bytes.

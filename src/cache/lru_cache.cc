@@ -5,26 +5,27 @@
 namespace macaron {
 
 bool LruCache::Get(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) {
+  const uint32_t n = index_.Find(id);
+  if (n == FlatIndex::kEmpty) {
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  lru_.MoveToFront(slab_, n);
   return true;
 }
 
 uint64_t LruCache::SizeOf(ObjectId id) const {
-  const auto it = index_.find(id);
-  return it == index_.end() ? 0 : it->second->size;
+  const uint32_t n = index_.Find(id);
+  return n == FlatIndex::kEmpty ? 0 : slab_.node(n).size;
 }
 
 void LruCache::Put(ObjectId id, uint64_t size) {
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    used_ -= it->second->size;
+  const uint32_t n = index_.Find(id);
+  if (n != FlatIndex::kEmpty) {
+    SlabNode& e = slab_.node(n);
+    used_ -= e.size;
     used_ += size;
-    it->second->size = size;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    e.size = size;
+    lru_.MoveToFront(slab_, n);
     if (used_ > capacity_) {
       EvictToFit(0);
     }
@@ -34,19 +35,21 @@ void LruCache::Put(ObjectId id, uint64_t size) {
     return;  // cannot admit
   }
   EvictToFit(size);
-  lru_.push_front(Entry{id, size});
-  index_[id] = lru_.begin();
+  const uint32_t fresh = slab_.Allocate(id, size);
+  lru_.PushFront(slab_, fresh);
+  index_.Insert(id, fresh, &slab_);
   used_ += size;
 }
 
 bool LruCache::Erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) {
+  const uint32_t n = index_.Find(id);
+  if (n == FlatIndex::kEmpty) {
     return false;
   }
-  used_ -= it->second->size;
-  lru_.erase(it->second);
-  index_.erase(it);
+  used_ -= slab_.node(n).size;
+  lru_.Remove(slab_, n);
+  index_.EraseCell(slab_.node(n).cell, &slab_);
+  slab_.Free(n);
   return true;
 }
 
@@ -55,33 +58,33 @@ void LruCache::Resize(uint64_t capacity_bytes) {
   EvictToFit(0);
 }
 
+void LruCache::ReserveEntries(size_t n) {
+  slab_.Reserve(n);
+  index_.Reserve(n, &slab_);
+}
+
 void LruCache::EvictToFit(uint64_t incoming) {
   while (used_ + incoming > capacity_ && !lru_.empty()) {
-    const Entry victim = lru_.back();
-    lru_.pop_back();
-    index_.erase(victim.id);
-    used_ -= victim.size;
+    const uint32_t victim = lru_.tail();
+    const ObjectId victim_id = slab_.node(victim).id;
+    const uint64_t victim_size = slab_.node(victim).size;
+    lru_.Remove(slab_, victim);
+    index_.EraseCell(slab_.node(victim).cell, &slab_);
+    slab_.Free(victim);
+    used_ -= victim_size;
     if (evict_cb_) {
-      evict_cb_(victim.id, victim.size);
+      evict_cb_(victim_id, victim_size);
     }
   }
   MACARON_CHECK(used_ + incoming <= capacity_ || lru_.empty());
 }
 
 void LruCache::ForEachMruToLru(const std::function<bool(ObjectId, uint64_t)>& fn) const {
-  for (const Entry& e : lru_) {
-    if (!fn(e.id, e.size)) {
-      return;
-    }
-  }
+  lru_.ForEachFrontToBack(slab_, fn);
 }
 
 void LruCache::ForEachLruToMru(const std::function<bool(ObjectId, uint64_t)>& fn) const {
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    if (!fn(it->id, it->size)) {
-      return;
-    }
-  }
+  lru_.ForEachBackToFront(slab_, fn);
 }
 
 }  // namespace macaron

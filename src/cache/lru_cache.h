@@ -4,15 +4,21 @@
 // DRAM cache nodes, ghost caches, and the miniature-simulation mini-caches.
 // Capacity is in bytes; entries carry their object size. Eviction callbacks
 // let owners account for evicted bytes.
+//
+// Entries live in a NodeSlab with an intrusive recency list and a FlatIndex
+// lookup (see slab_lru.h): no per-entry heap allocation once the slab has
+// grown to the steady-state population, which is what lets the mini-cache
+// banks replay hundreds of millions of requests without touching the
+// allocator.
 
 #ifndef MACARON_SRC_CACHE_LRU_CACHE_H_
 #define MACARON_SRC_CACHE_LRU_CACHE_H_
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <unordered_map>
 
+#include "src/cache/flat_index.h"
+#include "src/cache/slab_lru.h"
 #include "src/trace/request.h"
 
 namespace macaron {
@@ -26,7 +32,9 @@ class LruCache {
   // Looks up `id`, promoting it to MRU on hit. Returns true on hit.
   bool Get(ObjectId id);
   // Looks up without promoting (for inspection).
-  bool Contains(ObjectId id) const { return index_.contains(id); }
+  bool Contains(ObjectId id) const { return index_.Contains(id); }
+  // Hints the CPU to load `id`'s index cell; see FlatIndex::Prefetch.
+  void Prefetch(ObjectId id) const { index_.Prefetch(id); }
   // Returns the stored size of `id`, or 0 if absent.
   uint64_t SizeOf(ObjectId id) const;
 
@@ -39,9 +47,15 @@ class LruCache {
   // Changes capacity; evicts immediately if shrinking.
   void Resize(uint64_t capacity_bytes);
 
+  // Pre-sizes the slab and index for `n` entries (optional).
+  void ReserveEntries(size_t n);
+
   uint64_t capacity() const { return capacity_; }
   uint64_t used_bytes() const { return used_; }
   size_t num_entries() const { return index_.size(); }
+  // Slab slots ever materialized (live + freelist); stops growing once the
+  // cache reaches its steady-state population.
+  size_t allocated_nodes() const { return slab_.allocated_nodes(); }
 
   void set_evict_callback(EvictCallback cb) { evict_cb_ = std::move(cb); }
 
@@ -51,17 +65,13 @@ class LruCache {
   void ForEachLruToMru(const std::function<bool(ObjectId, uint64_t)>& fn) const;
 
  private:
-  struct Entry {
-    ObjectId id;
-    uint64_t size;
-  };
-
   void EvictToFit(uint64_t incoming);
 
   uint64_t capacity_;
   uint64_t used_ = 0;
-  std::list<Entry> lru_;  // front = MRU
-  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  NodeSlab slab_;
+  IntrusiveList lru_;  // front = MRU
+  FlatIndex index_;
   EvictCallback evict_cb_;
 };
 

@@ -1,0 +1,24 @@
+#include "src/cache/slab_lru.h"
+
+namespace macaron {
+
+void NodeSlab::Clear() {
+  nodes_.clear();
+  free_head_ = kNilNode;
+  live_ = 0;
+}
+
+size_t IntrusiveList::CheckConsistent(const NodeSlab& slab) const {
+  size_t count = 0;
+  uint32_t prev = kNilNode;
+  for (uint32_t i = head_; i != kNilNode; i = slab.node(i).next) {
+    MACARON_CHECK(slab.node(i).prev == prev);
+    prev = i;
+    ++count;
+    MACARON_CHECK(count <= slab.allocated_nodes());  // cycle guard
+  }
+  MACARON_CHECK(tail_ == prev);
+  return count;
+}
+
+}  // namespace macaron

@@ -6,50 +6,57 @@ namespace macaron {
 
 bool TtlCache::Get(ObjectId id, SimTime now) {
   Expire(now);
-  const auto it = index_.find(id);
-  if (it == index_.end()) {
+  const uint32_t n = index_.Find(id);
+  if (n == FlatIndex::kEmpty) {
     return false;
   }
-  it->second->last_access = now;
-  order_.splice(order_.begin(), order_, it->second);
+  slab_.node(n).stamp = static_cast<uint64_t>(now);
+  order_.MoveToFront(slab_, n);
   return true;
 }
 
 void TtlCache::Put(ObjectId id, uint64_t size, SimTime now) {
   Expire(now);
-  const auto it = index_.find(id);
-  if (it != index_.end()) {
-    used_ -= it->second->size;
+  const uint32_t n = index_.Find(id);
+  if (n != FlatIndex::kEmpty) {
+    SlabNode& e = slab_.node(n);
+    used_ -= e.size;
     used_ += size;
-    it->second->size = size;
-    it->second->last_access = now;
-    order_.splice(order_.begin(), order_, it->second);
+    e.size = size;
+    e.stamp = static_cast<uint64_t>(now);
+    order_.MoveToFront(slab_, n);
     return;
   }
-  order_.push_front(Entry{id, size, now});
-  index_[id] = order_.begin();
+  const uint32_t fresh = slab_.Allocate(id, size, static_cast<uint64_t>(now));
+  order_.PushFront(slab_, fresh);
+  index_.Insert(id, fresh, &slab_);
   used_ += size;
 }
 
 bool TtlCache::Erase(ObjectId id) {
-  const auto it = index_.find(id);
-  if (it == index_.end()) {
+  const uint32_t n = index_.Find(id);
+  if (n == FlatIndex::kEmpty) {
     return false;
   }
-  used_ -= it->second->size;
-  order_.erase(it->second);
-  index_.erase(it);
+  used_ -= slab_.node(n).size;
+  order_.Remove(slab_, n);
+  index_.EraseCell(slab_.node(n).cell, &slab_);
+  slab_.Free(n);
   return true;
 }
 
 void TtlCache::Expire(SimTime now) {
-  while (!order_.empty() && order_.back().last_access + ttl_ < now) {
-    const Entry victim = order_.back();
-    order_.pop_back();
-    index_.erase(victim.id);
-    used_ -= victim.size;
+  while (!order_.empty() &&
+         static_cast<SimTime>(slab_.node(order_.tail()).stamp) + ttl_ < now) {
+    const uint32_t victim = order_.tail();
+    const ObjectId victim_id = slab_.node(victim).id;
+    const uint64_t victim_size = slab_.node(victim).size;
+    order_.Remove(slab_, victim);
+    index_.EraseCell(slab_.node(victim).cell, &slab_);
+    slab_.Free(victim);
+    used_ -= victim_size;
     if (evict_cb_) {
-      evict_cb_(victim.id, victim.size);
+      evict_cb_(victim_id, victim_size);
     }
   }
 }

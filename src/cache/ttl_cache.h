@@ -6,15 +6,19 @@
 // Used by Macaron-TTL (§5.1, Appendix B) and by the static-TTL baselines of
 // Fig 13. There is no capacity bound: object storage is elastic; the TTL is
 // the only eviction driver.
+//
+// Backed by the slab cache core (slab_lru.h): the node `stamp` field holds
+// the last-access time, and expired nodes return to the freelist for reuse,
+// so steady-state operation allocates nothing per request.
 
 #ifndef MACARON_SRC_CACHE_TTL_CACHE_H_
 #define MACARON_SRC_CACHE_TTL_CACHE_H_
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <unordered_map>
 
+#include "src/cache/flat_index.h"
+#include "src/cache/slab_lru.h"
 #include "src/common/sim_time.h"
 #include "src/trace/request.h"
 
@@ -43,20 +47,17 @@ class TtlCache {
   SimDuration ttl() const { return ttl_; }
   uint64_t used_bytes() const { return used_; }
   size_t num_entries() const { return index_.size(); }
+  // Slab slots ever materialized (live + freelist).
+  size_t allocated_nodes() const { return slab_.allocated_nodes(); }
 
   void set_evict_callback(EvictCallback cb) { evict_cb_ = std::move(cb); }
 
  private:
-  struct Entry {
-    ObjectId id;
-    uint64_t size;
-    SimTime last_access;
-  };
-
   SimDuration ttl_;
   uint64_t used_ = 0;
-  std::list<Entry> order_;  // front = most recently accessed
-  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  NodeSlab slab_;       // node stamp = last-access time
+  IntrusiveList order_;  // front = most recently accessed
+  FlatIndex index_;
   EvictCallback evict_cb_;
 };
 

@@ -1,14 +1,32 @@
 #include "src/cluster/hash_ring.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 #include "src/common/hash.h"
 
 namespace macaron {
 
+namespace {
+
+// lower_bound over the position field only.
+auto PositionLowerBound(std::vector<std::pair<uint64_t, uint32_t>>& ring, uint64_t pos) {
+  return std::lower_bound(
+      ring.begin(), ring.end(), pos,
+      [](const std::pair<uint64_t, uint32_t>& e, uint64_t p) { return e.first < p; });
+}
+
+}  // namespace
+
 void HashRing::AddNode(uint32_t node_id) {
   for (int r = 0; r < virtual_replicas_; ++r) {
     const uint64_t pos = Mix64(Mix64(node_id) + static_cast<uint64_t>(r));
-    ring_[pos] = node_id;
+    const auto it = PositionLowerBound(ring_, pos);
+    if (it != ring_.end() && it->first == pos) {
+      it->second = node_id;  // position collision: last add wins (map semantics)
+    } else {
+      ring_.insert(it, {pos, node_id});
+    }
   }
   ++num_nodes_;
 }
@@ -16,7 +34,10 @@ void HashRing::AddNode(uint32_t node_id) {
 void HashRing::RemoveNode(uint32_t node_id) {
   for (int r = 0; r < virtual_replicas_; ++r) {
     const uint64_t pos = Mix64(Mix64(node_id) + static_cast<uint64_t>(r));
-    ring_.erase(pos);
+    const auto it = PositionLowerBound(ring_, pos);
+    if (it != ring_.end() && it->first == pos) {
+      ring_.erase(it);
+    }
   }
   MACARON_CHECK(num_nodes_ > 0);
   --num_nodes_;
@@ -25,11 +46,10 @@ void HashRing::RemoveNode(uint32_t node_id) {
 uint32_t HashRing::Route(ObjectId id) const {
   MACARON_CHECK(!ring_.empty());
   const uint64_t h = Mix64(id);
-  auto it = ring_.lower_bound(h);
-  if (it == ring_.end()) {
-    it = ring_.begin();
-  }
-  return it->second;
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<uint64_t, uint32_t>& e, uint64_t p) { return e.first < p; });
+  return it == ring_.end() ? ring_.front().second : it->second;
 }
 
 }  // namespace macaron

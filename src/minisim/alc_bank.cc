@@ -120,6 +120,14 @@ void AlcBank::FlushBatch() {
   batch_.clear();
 }
 
+size_t AlcBank::allocated_nodes() const {
+  size_t total = 0;
+  for (const Level& level : levels_) {
+    total += level.cluster.allocated_nodes() + level.osc.allocated_nodes();
+  }
+  return total;
+}
+
 AlcWindow AlcBank::EndWindow() {
   FlushBatch();
   AlcWindow out;

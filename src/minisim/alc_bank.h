@@ -70,6 +70,10 @@ class AlcBank {
 
   const std::vector<uint64_t>& cluster_grid() const { return grid_; }
 
+  // Total slab slots ever materialized across all mini-caches (live +
+  // freelist); stops growing at steady state (see slab_lru.h).
+  size_t allocated_nodes() const;
+
  private:
   // One sampled request with its pre-drawn latencies (GETs only; one draw
   // per source, shared across grid points, so curves differ only through

@@ -59,6 +59,12 @@ class MrcBank {
   const std::vector<uint64_t>& grid() const { return grid_; }
   double ratio() const { return ratio_; }
 
+  // Total slab slots ever materialized across all mini-caches (live +
+  // freelist). Once the bank reaches steady state this stops growing:
+  // windows reuse slab nodes instead of allocating (see slab_lru.h). The
+  // slab-reuse regression test pins that property.
+  size_t allocated_nodes() const;
+
  private:
   void FlushBatch();
   void ReplayGridPoint(size_t i);

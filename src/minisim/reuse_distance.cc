@@ -6,6 +6,14 @@
 
 namespace macaron {
 
+void ReuseDistanceAnalyzer::ReserveObjects(size_t objects, size_t gets) {
+  last_slot_.reserve(objects);
+  sizes_.reserve(objects);
+  if (gets > 0) {
+    distances_.reserve(gets);
+  }
+}
+
 void ReuseDistanceAnalyzer::FenwickAdd(size_t pos, int64_t delta) {
   for (size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1)) {
     tree_[i - 1] += delta;

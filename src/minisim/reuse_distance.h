@@ -26,6 +26,11 @@ class ReuseDistanceAnalyzer {
  public:
   ReuseDistanceAnalyzer() = default;
 
+  // Pre-sizes the object tables for `objects` distinct ids and, optionally,
+  // the distance log for `gets` GETs — avoids rehash/regrow churn when the
+  // trace size is known up front.
+  void ReserveObjects(size_t objects, size_t gets = 0);
+
   // Feeds one request. GETs record a stack distance; PUTs and DELETEs update
   // the stack without being counted as accesses.
   void Process(const Request& r);

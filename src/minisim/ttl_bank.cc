@@ -105,6 +105,14 @@ void TtlBank::FlushBatch() {
   batch_.clear();
 }
 
+size_t TtlBank::allocated_nodes() const {
+  size_t total = 0;
+  for (const Entry& e : entries_) {
+    total += e.cache.allocated_nodes();
+  }
+  return total;
+}
+
 TtlWindowCurves TtlBank::EndWindow(SimDuration window) {
   MACARON_CHECK(window > 0);
   FlushBatch();

@@ -55,6 +55,10 @@ class TtlBank {
 
   const std::vector<SimDuration>& ttl_grid() const { return grid_; }
 
+  // Total slab slots ever materialized across all mini-caches (live +
+  // freelist); stops growing at steady state (see slab_lru.h).
+  size_t allocated_nodes() const;
+
  private:
   struct Entry {
     TtlCache cache;

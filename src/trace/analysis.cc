@@ -18,6 +18,11 @@ size_t NumBins(const Trace& trace, SimDuration bin) {
   return static_cast<size_t>(trace.end_time() / bin) + 1;
 }
 
+// Sizing heuristic shared with ComputeStats: distinct ids are typically a
+// small fraction of requests; reserving up front avoids rehashing the table
+// several times over a multi-million-request trace.
+size_t ExpectedObjects(const Trace& trace) { return trace.size() / 4 + 16; }
+
 }  // namespace
 
 std::vector<uint64_t> RequestRateSeries(const Trace& trace, SimDuration bin) {
@@ -31,6 +36,7 @@ std::vector<uint64_t> RequestRateSeries(const Trace& trace, SimDuration bin) {
 std::vector<uint64_t> WorkingSetGrowth(const Trace& trace, SimDuration bin) {
   std::vector<uint64_t> series(NumBins(trace, bin), 0);
   std::unordered_set<ObjectId> seen;
+  seen.reserve(ExpectedObjects(trace));
   uint64_t unique_bytes = 0;
   size_t current_bin = 0;
   for (const Request& r : trace.requests) {
@@ -53,6 +59,7 @@ std::vector<uint64_t> ReuseIntervalHistogram(const Trace& trace,
   MACARON_CHECK(std::is_sorted(bounds.begin(), bounds.end()));
   std::vector<uint64_t> counts(bounds.size() + 1, 0);
   std::unordered_map<ObjectId, SimTime> last_access;
+  last_access.reserve(ExpectedObjects(trace));
   for (const Request& r : trace.requests) {
     if (r.op == Op::kDelete) {
       last_access.erase(r.id);
@@ -73,6 +80,8 @@ std::vector<uint64_t> ReuseIntervalHistogram(const Trace& trace,
 double WriteOnlyByteFraction(const Trace& trace) {
   std::unordered_map<ObjectId, uint64_t> written;  // id -> size, erased on read
   std::unordered_set<ObjectId> read;
+  written.reserve(ExpectedObjects(trace));
+  read.reserve(ExpectedObjects(trace));
   uint64_t written_bytes = 0;
   for (const Request& r : trace.requests) {
     switch (r.op) {

@@ -76,6 +76,7 @@ TraceStats ComputeStats(const Trace& trace) {
   std::unordered_map<ObjectId, uint64_t> get_freq;
   std::vector<uint64_t> all_sizes;
   sizes.reserve(trace.size() / 4 + 16);
+  get_freq.reserve(trace.size() / 4 + 16);
   all_sizes.reserve(trace.size());
   for (const Request& r : trace.requests) {
     ++s.num_requests;

@@ -1,0 +1,327 @@
+// Differential tests: the slab/flat-index cache core vs the seed's
+// list+unordered_map reference implementations (src/cache/reference_caches.h).
+//
+// The flat core was required to be behavior-preserving, not just
+// "approximately LRU": identical hit/miss results, identical
+// eviction-callback sequences, identical iteration orders, identical byte
+// accounting, under randomized Zipf-skewed Get/Put/Erase/Resize mixes.
+// These tests replay the same operation stream against both implementations
+// and compare after every operation (cheap O(1) state) and at checkpoints
+// (full iteration order).
+//
+// A second group pins the allocation behavior the slab core exists for:
+// allocated_nodes() stops growing once a cache — or a whole mini-cache
+// bank — reaches its steady-state population, so windowed analysis does no
+// per-request heap allocation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/cache/eviction_policy.h"
+#include "src/cache/lru_cache.h"
+#include "src/cache/reference_caches.h"
+#include "src/cache/ttl_cache.h"
+#include "src/cloudsim/latency.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/minisim/alc_bank.h"
+#include "src/minisim/mrc_bank.h"
+#include "src/minisim/size_grid.h"
+#include "src/minisim/ttl_bank.h"
+#include "src/trace/request.h"
+
+namespace macaron {
+namespace {
+
+using EventLog = std::vector<std::pair<ObjectId, uint64_t>>;
+
+// Stable per-object size in [64, 4159]; both implementations see the same
+// stream, so any deterministic function works.
+uint64_t SizeOfId(ObjectId id) { return 64 + (id * 2654435761u) % 4096; }
+
+template <typename Cache>
+EventLog EvictOrder(const Cache& c) {
+  EventLog order;
+  c.ForEachEvictOrder([&](ObjectId id, uint64_t size) {
+    order.emplace_back(id, size);
+    return true;
+  });
+  return order;
+}
+
+template <typename Cache>
+EventLog HotOrder(const Cache& c) {
+  EventLog order;
+  c.ForEachHotOrder([&](ObjectId id, uint64_t size) {
+    order.emplace_back(id, size);
+    return true;
+  });
+  return order;
+}
+
+// Replays `ops` operations of a randomized Zipf mix against the flat and
+// reference builds of `kind`, asserting identical observable behavior.
+void RunPolicyDifferential(EvictionPolicyKind kind, uint64_t seed, uint64_t ops) {
+  SCOPED_TRACE(EvictionPolicyName(kind));
+  SCOPED_TRACE(seed);
+  constexpr uint64_t kObjects = 3000;
+  constexpr uint64_t kCapacity = 400'000;  // holds ~190 mean-size objects
+
+  auto flat = MakeEvictionCache(kind, kCapacity);
+  auto ref = MakeReferenceEvictionCache(kind, kCapacity);
+  EventLog flat_evicted;
+  EventLog ref_evicted;
+  flat->set_evict_callback(
+      [&](ObjectId id, uint64_t size) { flat_evicted.emplace_back(id, size); });
+  ref->set_evict_callback(
+      [&](ObjectId id, uint64_t size) { ref_evicted.emplace_back(id, size); });
+
+  Rng rng(seed);
+  ZipfSampler zipf(kObjects, 0.8);
+  const uint64_t capacities[] = {kCapacity, kCapacity / 2, kCapacity * 3 / 2,
+                                 kCapacity / 4};
+  size_t resize_cursor = 0;
+
+  for (uint64_t i = 0; i < ops; ++i) {
+    const ObjectId id = zipf.Sample(rng);
+    const uint64_t roll = rng.NextU64() % 100;
+    if (roll < 60) {
+      // GET with admit-on-miss, as the mini-cache banks replay it.
+      const bool f = flat->Get(id);
+      const bool r = ref->Get(id);
+      ASSERT_EQ(f, r) << "Get(" << id << ") at op " << i;
+      if (!f) {
+        flat->Put(id, SizeOfId(id));
+        ref->Put(id, SizeOfId(id));
+      }
+    } else if (roll < 80) {
+      flat->Put(id, SizeOfId(id));
+      ref->Put(id, SizeOfId(id));
+    } else if (roll < 95) {
+      const bool f = flat->Erase(id);
+      const bool r = ref->Erase(id);
+      ASSERT_EQ(f, r) << "Erase(" << id << ") at op " << i;
+    } else {
+      const uint64_t cap = capacities[resize_cursor++ % 4];
+      flat->Resize(cap);
+      ref->Resize(cap);
+    }
+    ASSERT_EQ(flat->used_bytes(), ref->used_bytes()) << "op " << i;
+    ASSERT_EQ(flat->num_entries(), ref->num_entries()) << "op " << i;
+    ASSERT_EQ(flat_evicted.size(), ref_evicted.size()) << "op " << i;
+    if ((i & 0xfff) == 0xfff) {
+      ASSERT_EQ(EvictOrder(*flat), EvictOrder(*ref)) << "op " << i;
+      ASSERT_EQ(HotOrder(*flat), HotOrder(*ref)) << "op " << i;
+    }
+  }
+  EXPECT_EQ(flat_evicted, ref_evicted);
+  EXPECT_EQ(EvictOrder(*flat), EvictOrder(*ref));
+  EXPECT_EQ(HotOrder(*flat), HotOrder(*ref));
+}
+
+TEST(CacheDifferentialTest, LruMatchesSeedReference) {
+  RunPolicyDifferential(EvictionPolicyKind::kLru, 1, 60'000);
+  RunPolicyDifferential(EvictionPolicyKind::kLru, 2, 60'000);
+}
+
+TEST(CacheDifferentialTest, FifoMatchesSeedReference) {
+  RunPolicyDifferential(EvictionPolicyKind::kFifo, 3, 60'000);
+  RunPolicyDifferential(EvictionPolicyKind::kFifo, 4, 60'000);
+}
+
+TEST(CacheDifferentialTest, SlruMatchesSeedReference) {
+  RunPolicyDifferential(EvictionPolicyKind::kSlru, 5, 60'000);
+  RunPolicyDifferential(EvictionPolicyKind::kSlru, 6, 60'000);
+}
+
+TEST(CacheDifferentialTest, S3FifoMatchesSeedReference) {
+  RunPolicyDifferential(EvictionPolicyKind::kS3Fifo, 7, 60'000);
+  RunPolicyDifferential(EvictionPolicyKind::kS3Fifo, 8, 60'000);
+}
+
+// LruCache used directly (not via the policy interface), with sizes that
+// change on refresh — exercises the used_-adjustment and over-capacity
+// paths of Put.
+TEST(CacheDifferentialTest, LruCacheWithChangingSizes) {
+  constexpr uint64_t kCapacity = 200'000;
+  LruCache flat(kCapacity);
+  RefLruCache ref(kCapacity);
+  EventLog flat_evicted;
+  EventLog ref_evicted;
+  flat.set_evict_callback(
+      [&](ObjectId id, uint64_t size) { flat_evicted.emplace_back(id, size); });
+  ref.set_evict_callback(
+      [&](ObjectId id, uint64_t size) { ref_evicted.emplace_back(id, size); });
+
+  Rng rng(42);
+  ZipfSampler zipf(1500, 0.9);
+  for (uint64_t i = 0; i < 80'000; ++i) {
+    const ObjectId id = zipf.Sample(rng);
+    const uint64_t roll = rng.NextU64() % 100;
+    if (roll < 55) {
+      ASSERT_EQ(flat.Get(id), ref.Get(id)) << "op " << i;
+    } else if (roll < 85) {
+      // Refresh with a new size each time (object overwritten).
+      const uint64_t size = 64 + rng.NextU64() % 8192;
+      flat.Put(id, size);
+      ref.Put(id, size);
+    } else if (roll < 95) {
+      ASSERT_EQ(flat.Erase(id), ref.Erase(id)) << "op " << i;
+    } else {
+      const uint64_t cap = 50'000 + rng.NextU64() % 300'000;
+      flat.Resize(cap);
+      ref.Resize(cap);
+      flat.Resize(kCapacity);
+      ref.Resize(kCapacity);
+    }
+    ASSERT_EQ(flat.SizeOf(id), ref.SizeOf(id)) << "op " << i;
+    ASSERT_EQ(flat.used_bytes(), ref.used_bytes()) << "op " << i;
+    ASSERT_EQ(flat.num_entries(), ref.num_entries()) << "op " << i;
+  }
+  EXPECT_EQ(flat_evicted, ref_evicted);
+
+  EventLog flat_order;
+  flat.ForEachLruToMru([&](ObjectId id, uint64_t size) {
+    flat_order.emplace_back(id, size);
+    return true;
+  });
+  EventLog ref_order;
+  ref.ForEachLruToMru([&](ObjectId id, uint64_t size) {
+    ref_order.emplace_back(id, size);
+    return true;
+  });
+  EXPECT_EQ(flat_order, ref_order);
+}
+
+TEST(CacheDifferentialTest, TtlCacheMatchesSeedReference) {
+  constexpr SimDuration kTtl = 10'000;
+  TtlCache flat(kTtl);
+  RefTtlCache ref(kTtl);
+  EventLog flat_evicted;
+  EventLog ref_evicted;
+  flat.set_evict_callback(
+      [&](ObjectId id, uint64_t size) { flat_evicted.emplace_back(id, size); });
+  ref.set_evict_callback(
+      [&](ObjectId id, uint64_t size) { ref_evicted.emplace_back(id, size); });
+
+  Rng rng(99);
+  ZipfSampler zipf(800, 0.7);
+  SimTime now = 0;
+  for (uint64_t i = 0; i < 60'000; ++i) {
+    now += rng.NextU64() % (kTtl / 16);
+    const ObjectId id = zipf.Sample(rng);
+    const uint64_t roll = rng.NextU64() % 100;
+    if (roll < 50) {
+      ASSERT_EQ(flat.Get(id, now), ref.Get(id, now)) << "op " << i;
+    } else if (roll < 85) {
+      flat.Put(id, SizeOfId(id), now);
+      ref.Put(id, SizeOfId(id), now);
+    } else if (roll < 95) {
+      ASSERT_EQ(flat.Erase(id), ref.Erase(id)) << "op " << i;
+    } else {
+      const SimDuration ttl = 1000 + rng.NextU64() % (2 * kTtl);
+      flat.SetTtl(ttl, now);
+      ref.SetTtl(ttl, now);
+      flat.SetTtl(kTtl, now);
+      ref.SetTtl(kTtl, now);
+    }
+    ASSERT_EQ(flat.used_bytes(), ref.used_bytes()) << "op " << i;
+    ASSERT_EQ(flat.num_entries(), ref.num_entries()) << "op " << i;
+  }
+  EXPECT_EQ(flat_evicted, ref_evicted);
+}
+
+// --- Slab reuse (the allocation-freedom the core exists for) ---
+
+TEST(SlabReuseTest, LruCacheChurnAllocatesOnlyPeakPopulation) {
+  LruCache c(1'000'000'000);
+  for (ObjectId id = 0; id < 1000; ++id) {
+    c.Put(id, 100);
+  }
+  const size_t after_fill = c.allocated_nodes();
+  EXPECT_EQ(after_fill, 1000u);
+  for (int round = 0; round < 5; ++round) {
+    for (ObjectId id = 0; id < 1000; ++id) {
+      c.Erase(id);
+    }
+    EXPECT_EQ(c.num_entries(), 0u);
+    for (ObjectId id = 0; id < 1000; ++id) {
+      c.Put(id, 100);
+    }
+  }
+  // Freed nodes were reused; churn allocated nothing new.
+  EXPECT_EQ(c.allocated_nodes(), after_fill);
+}
+
+TEST(SlabReuseTest, EvictionChurnBoundedByResidentSet) {
+  LruCache c(10'000);  // holds 100 objects of size 100
+  for (ObjectId id = 0; id < 100'000; ++id) {
+    c.Put(id, 100);  // each insert evicts the oldest
+  }
+  // 100k inserts, but only ~resident-set-many slab nodes ever existed.
+  EXPECT_LE(c.allocated_nodes(), c.num_entries() + 1);
+}
+
+// Replays the same one-window trace repeatedly; after the caches reach
+// steady state, later windows must not allocate.
+template <typename Bank>
+void ExpectSteadyStateAllocations(Bank& bank, const std::vector<Request>& window,
+                                  const std::function<void()>& end_window) {
+  for (int w = 0; w < 2; ++w) {
+    for (const Request& r : window) {
+      bank.Process(r);
+    }
+    end_window();
+  }
+  const size_t steady = bank.allocated_nodes();
+  EXPECT_GT(steady, 0u);
+  for (int w = 0; w < 3; ++w) {
+    for (const Request& r : window) {
+      bank.Process(r);
+    }
+    end_window();
+    EXPECT_EQ(bank.allocated_nodes(), steady) << "window " << w;
+  }
+}
+
+std::vector<Request> ZipfWindow(uint64_t objects, uint64_t count, uint64_t seed) {
+  std::vector<Request> reqs;
+  Rng rng(seed);
+  ZipfSampler zipf(objects, 0.8);
+  reqs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    reqs.push_back({static_cast<SimTime>(i * 10), zipf.Sample(rng), 1000, Op::kGet});
+  }
+  return reqs;
+}
+
+TEST(SlabReuseTest, MrcBankWindowsReuseSlabs) {
+  MrcBank bank(UniformSizeGrid(50'000, 2'000'000, 8), 1.0, 0);
+  ExpectSteadyStateAllocations(bank, ZipfWindow(4000, 30'000, 17),
+                               [&] { bank.EndWindow(); });
+}
+
+TEST(SlabReuseTest, TtlBankWindowsReuseSlabs) {
+  TtlBank bank({50'000, 200'000}, 1.0, 0);
+  const auto window = ZipfWindow(2000, 20'000, 18);
+  SimTime end = 0;
+  ExpectSteadyStateAllocations(bank, window, [&] {
+    end += 300'000;
+    bank.EndWindow(300'000);
+  });
+}
+
+TEST(SlabReuseTest, AlcBankWindowsReuseSlabs) {
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 1);
+  AlcBank bank(UniformSizeGrid(100'000, 1'000'000, 5), /*osc=*/2'000'000, 1.0,
+               0, &gen, 19);
+  ExpectSteadyStateAllocations(bank, ZipfWindow(3000, 25'000, 20),
+                               [&] { bank.EndWindow(); });
+}
+
+}  // namespace
+}  // namespace macaron
