@@ -7,45 +7,62 @@
 // Remote while leaving normal-price behaviour untouched.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-#include "src/sim/replay_engine.h"
 
 using namespace macaron;
 
 namespace {
 
-double RunAt(const Trace& t, double egress_scale, bool bypass, double* remote_out) {
+size_t SubmitAt(const std::string& name, double egress_scale, bool bypass) {
   EngineConfig cfg = macaron::bench::DefaultConfig(Approach::kMacaronNoCluster,
                                                    DeploymentScenario::kCrossCloud);
   cfg.prices = cfg.prices.WithEgressScale(egress_scale);
   cfg.enable_admission_bypass = bypass;
-  const double mac = ReplayEngine(cfg).Run(t).costs.Total();
-  if (remote_out != nullptr) {
-    EngineConfig rc =
-        macaron::bench::DefaultConfig(Approach::kRemote, DeploymentScenario::kCrossCloud);
-    rc.prices = rc.prices.WithEgressScale(egress_scale);
-    *remote_out = ReplayEngine(rc).Run(t).costs.Total();
-  }
-  return mac;
+  return macaron::bench::Submit(name, cfg);
+}
+
+size_t SubmitRemoteAt(const std::string& name, double egress_scale) {
+  EngineConfig rc =
+      macaron::bench::DefaultConfig(Approach::kRemote, DeploymentScenario::kCrossCloud);
+  rc.prices = rc.prices.WithEgressScale(egress_scale);
+  return macaron::bench::Submit(name, rc);
 }
 
 }  // namespace
 
-int main() {
+int RunAblationAdmissionBypass() {
   bench::PrintHeader("Admission-bypass extension under cheap egress", "extension (§7.6 regime)");
+  const double kScales[] = {1.0, 0.01};
+  const char* kTraces[] = {"ibm9", "ibm12", "ibm96", "uber1", "vmware"};
+  struct Cell {
+    size_t remote, mac, byp;
+  };
+  std::vector<std::vector<Cell>> grid;
+  for (double scale : kScales) {
+    std::vector<Cell> per_trace;
+    for (const char* name : kTraces) {
+      Cell c;
+      c.remote = SubmitRemoteAt(name, scale);
+      c.mac = SubmitAt(name, scale, false);
+      c.byp = SubmitAt(name, scale, true);
+      per_trace.push_back(c);
+    }
+    grid.push_back(std::move(per_trace));
+  }
   std::printf("%-8s %8s | %10s %12s %12s | %s\n", "trace", "egress", "remote$", "macaron$",
               "mac+bypass$", "bypass effect");
-  for (double scale : {1.0, 0.01}) {
+  for (size_t si = 0; si < grid.size(); ++si) {
+    const double scale = kScales[si];
     double sum_remote = 0;
     double sum_mac = 0;
     double sum_byp = 0;
-    for (const char* name : {"ibm9", "ibm12", "ibm96", "uber1", "vmware"}) {
-      const Trace& t = bench::GetTrace(name);
-      double remote = 0;
-      const double mac = RunAt(t, scale, false, &remote);
-      const double byp = RunAt(t, scale, true, nullptr);
-      std::printf("%-8s %7.0f%% | %10.4f %12.4f %12.4f | %+6.1f%%\n", name, scale * 100,
+    for (size_t ti = 0; ti < grid[si].size(); ++ti) {
+      const double remote = bench::Result(grid[si][ti].remote).costs.Total();
+      const double mac = bench::Result(grid[si][ti].mac).costs.Total();
+      const double byp = bench::Result(grid[si][ti].byp).costs.Total();
+      std::printf("%-8s %7.0f%% | %10.4f %12.4f %12.4f | %+6.1f%%\n", kTraces[ti], scale * 100,
                   remote, mac, byp, (byp / mac - 1.0) * 100);
       sum_remote += remote;
       sum_mac += mac;
@@ -59,3 +76,5 @@ int main() {
               "caching cannot pay, moving Macaron toward Remote-plus-VM.\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunAblationAdmissionBypass)

@@ -6,13 +6,13 @@
 // full Macaron pipeline with each policy ordering the OSC's lazy eviction.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-#include "src/sim/replay_engine.h"
 
 using namespace macaron;
 
-int main() {
+int RunAblationEvictionPolicy() {
   bench::PrintHeader("OSC replacement policy ablation", "§4.2 / §8 (design claim)");
   const EvictionPolicyKind policies[] = {
       EvictionPolicyKind::kLru,
@@ -20,22 +20,30 @@ int main() {
       EvictionPolicyKind::kSlru,
       EvictionPolicyKind::kS3Fifo,
   };
+  const char* kTraces[] = {"ibm9", "ibm12", "ibm18", "ibm55", "ibm83", "uber1", "vmware"};
+  std::vector<std::vector<size_t>> jobs;
+  for (const char* name : kTraces) {
+    std::vector<size_t> per_policy;
+    for (EvictionPolicyKind p : policies) {
+      EngineConfig cfg =
+          bench::DefaultConfig(Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
+      cfg.packing.policy = p;
+      per_policy.push_back(bench::Submit(name, cfg));
+    }
+    jobs.push_back(std::move(per_policy));
+  }
   std::printf("%-8s", "trace");
   for (EvictionPolicyKind p : policies) {
     std::printf(" %11s$", EvictionPolicyName(p));
   }
   std::printf(" | max spread\n");
   double worst_spread = 0.0;
-  for (const char* name : {"ibm9", "ibm12", "ibm18", "ibm55", "ibm83", "uber1", "vmware"}) {
-    const Trace& t = bench::GetTrace(name);
-    std::printf("%-8s", name);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    std::printf("%-8s", kTraces[i]);
     double mn = 1e18;
     double mx = 0.0;
-    for (EvictionPolicyKind p : policies) {
-      EngineConfig cfg =
-          bench::DefaultConfig(Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
-      cfg.packing.policy = p;
-      const double cost = ReplayEngine(cfg).Run(t).costs.Total();
+    for (size_t job : jobs[i]) {
+      const double cost = bench::Result(job).costs.Total();
       std::printf(" %12.4f", cost);
       mn = std::min(mn, cost);
       mx = std::max(mx, cost);
@@ -50,3 +58,5 @@ int main() {
               worst_spread * 100);
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunAblationEvictionPolicy)

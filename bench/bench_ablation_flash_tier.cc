@@ -6,26 +6,36 @@
 // DRAM+OSC combination — cost vs latency for each medium.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
 using namespace macaron;
 
-int main() {
+int RunAblationFlashTier() {
   bench::PrintHeader("Cache storage medium: DRAM vs flash vs object storage",
                      "§4.1 (future work)");
+  const char* kTraces[] = {"ibm12", "ibm55", "uber1", "vmware"};
+  constexpr Approach kApproaches[] = {Approach::kEcpc, Approach::kFlashEcpc,
+                                      Approach::kMacaronNoCluster, Approach::kMacaron};
+  std::vector<std::vector<size_t>> jobs;
+  for (const char* name : kTraces) {
+    std::vector<size_t> per_approach;
+    for (Approach a : kApproaches) {
+      per_approach.push_back(bench::Submit(name, a, DeploymentScenario::kCrossCloud, true));
+    }
+    jobs.push_back(std::move(per_approach));
+  }
   std::printf("capacity $/GB-month: DRAM %.2f | flash %.2f | object storage %.3f\n\n",
               PriceBook::Aws(DeploymentScenario::kCrossCloud).dram_per_gb_month,
               PriceBook::Aws(DeploymentScenario::kCrossCloud).flash_per_gb_month,
               PriceBook::Aws(DeploymentScenario::kCrossCloud).object_storage_per_gb_month);
-  for (const char* name : {"ibm12", "ibm55", "uber1", "vmware"}) {
-    const Trace& t = bench::GetTrace(name);
-    std::printf("%s:\n", name);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    std::printf("%s:\n", kTraces[i]);
     std::printf("  %-14s %10s %10s | %8s %8s\n", "medium", "total$", "egress$", "avg ms",
                 "p99 ms");
-    for (Approach a : {Approach::kEcpc, Approach::kFlashEcpc, Approach::kMacaronNoCluster,
-                       Approach::kMacaron}) {
-      const RunResult r = bench::RunApproach(t, a, DeploymentScenario::kCrossCloud, true);
+    for (size_t job : jobs[i]) {
+      const RunResult& r = bench::Result(job);
       std::printf("  %-14s %10.4f %10.4f | %8.1f %8.1f\n", r.approach_name.c_str(),
                   r.costs.Total(), r.costs.Get(CostCategory::kEgress), r.MeanLatencyMs(),
                   r.latency_ms.Quantile(0.99));
@@ -40,3 +50,5 @@ int main() {
               "paper's note that flash is a promising future extension.\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunAblationFlashTier)

@@ -6,12 +6,12 @@
 // should cut cluster hits and raise average latency for the same spend.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 #include "src/cluster/cache_cluster.h"
 #include "src/common/rng.h"
 #include "src/common/zipf.h"
-#include "src/sim/replay_engine.h"
 
 using namespace macaron;
 
@@ -54,19 +54,23 @@ void ScaleOutMicrobench() {
 
 }  // namespace
 
-int main() {
+int RunAblationPriming() {
   bench::PrintHeader("Cluster priming ablation (Macaron+CC)", "§6.2");
-  std::printf("%-8s | %12s %12s | %9s %9s | %10s %10s\n", "trace", "hits(primed)",
-              "hits(cold)", "ms(primed)", "ms(cold)", "$ (primed)", "$ (cold)");
-  for (const char* name : {"ibm9", "ibm11", "ibm12", "ibm55", "vmware"}) {
-    const Trace& t = bench::GetTrace(name);
+  const char* kTraces[] = {"ibm9", "ibm11", "ibm12", "ibm55", "vmware"};
+  std::vector<std::pair<size_t, size_t>> jobs;
+  for (const char* name : kTraces) {
     EngineConfig primed =
         bench::DefaultConfig(Approach::kMacaron, DeploymentScenario::kCrossCloud, true);
     EngineConfig cold = primed;
     cold.enable_priming = false;
-    const RunResult rp = ReplayEngine(primed).Run(t);
-    const RunResult rc = ReplayEngine(cold).Run(t);
-    std::printf("%-8s | %12llu %12llu | %9.1f %9.1f | %10.4f %10.4f\n", name,
+    jobs.emplace_back(bench::Submit(name, primed), bench::Submit(name, cold));
+  }
+  std::printf("%-8s | %12s %12s | %9s %9s | %10s %10s\n", "trace", "hits(primed)",
+              "hits(cold)", "ms(primed)", "ms(cold)", "$ (primed)", "$ (cold)");
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const RunResult& rp = bench::Result(jobs[i].first);
+    const RunResult& rc = bench::Result(jobs[i].second);
+    std::printf("%-8s | %12llu %12llu | %9.1f %9.1f | %10.4f %10.4f\n", kTraces[i],
                 static_cast<unsigned long long>(rp.cluster_hits),
                 static_cast<unsigned long long>(rc.cluster_hits), rp.MeanLatencyMs(),
                 rc.MeanLatencyMs(), rp.costs.Total(), rc.costs.Total());
@@ -77,3 +81,5 @@ int main() {
   ScaleOutMicrobench();
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunAblationPriming)

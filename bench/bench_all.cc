@@ -1,0 +1,206 @@
+// bench_all: regenerates the full figure/table suite in one process.
+//
+// Every figure submits its (trace, config) grid through the shared sweep
+// scheduler, so one process reuses trace generation across figures, fans
+// simulations across cores, deduplicates rows shared by several figures
+// (e.g. the default Macaron run appears in Fig 1, Fig 7, §5.3, §7.7), and
+// memoizes results into the persistent cache — a warm rerun does no
+// simulation work at all. Figure output is printed in canonical order and
+// is bit-identical to running the standalone binaries serially.
+//
+// Usage:
+//   bench_all [--threads N] [--cache-dir DIR] [--cold] [--only SUBSTR]
+//             [--json PATH] [--list]
+//
+//   --threads N    worker threads (default: MACARON_SWEEP_THREADS or cores)
+//   --cache-dir D  persistent result cache (default: MACARON_RESULT_CACHE
+//                  or .macaron-results; "off" disables)
+//   --cold         delete cached .run results first (forces simulation)
+//   --only S       run only figures whose name contains S (repeatable)
+//   --json PATH    per-figure wall-clock + scheduler stats
+//                  (default BENCH_sweep.json; "off" disables)
+//   --list         print figure names and exit
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/suite.h"
+#include "src/common/thread_pool.h"
+
+using namespace macaron;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+int WipeStore(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  int removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".run" && fs::remove(entry.path(), ec)) {
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+struct FigureTiming {
+  std::string name;
+  double seconds = 0.0;
+  int exit_code = 0;
+};
+
+void WriteJson(const std::string& path, int threads, double total_seconds,
+               const std::vector<FigureTiming>& timings, const sweep::SweepStats& stats) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_all: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"threads\": %d,\n  \"total_seconds\": %.3f,\n", threads,
+               total_seconds);
+  std::fprintf(f,
+               "  \"jobs\": {\"submitted\": %zu, \"unique\": %zu, \"executed\": %zu, "
+               "\"store_hits\": %zu, \"peak_in_flight\": %d, \"busy_seconds\": %.3f},\n",
+               stats.submitted, stats.unique, stats.executed, stats.store_hits,
+               stats.peak_in_flight, stats.busy_seconds);
+  std::fprintf(f, "  \"figures\": [\n");
+  for (size_t i = 0; i < timings.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"seconds\": %.3f, \"exit_code\": %d}%s\n",
+                 timings[i].name.c_str(), timings[i].seconds, timings[i].exit_code,
+                 i + 1 < timings.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int threads = -1;
+  std::string cache_dir;
+  bool cache_dir_set = false;
+  bool cold = false;
+  bool list = false;
+  std::string json_path = "BENCH_sweep.json";
+  std::vector<std::string> only;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept both --flag=value (the simulate CLI idiom) and --flag value.
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (const size_t eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      has_inline_value = true;
+      arg.resize(eq);
+    }
+    auto next = [&](const char* flag) -> std::string {
+      if (has_inline_value) {
+        return inline_value;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_all: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      threads = std::atoi(next("--threads").c_str());
+    } else if (arg == "--cache-dir") {
+      cache_dir = next("--cache-dir");
+      cache_dir_set = true;
+    } else if (arg == "--cold") {
+      cold = true;
+    } else if (arg == "--only") {
+      only.push_back(next("--only"));
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      std::fprintf(stderr, "bench_all: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const bench::SuiteEntry& e : bench::Suite()) {
+      std::printf("%-28s %s\n", e.name.c_str(), e.ref.c_str());
+    }
+    return 0;
+  }
+
+  // Resolve scheduler settings (flags beat the environment) before the
+  // first submission; the env path is handled by SharedSweep itself.
+  const char* env_dir = std::getenv("MACARON_RESULT_CACHE");
+  std::string dir = cache_dir_set ? cache_dir : (env_dir != nullptr ? env_dir : ".macaron-results");
+  if (dir == "off" || dir == "0") {
+    dir.clear();
+  }
+  if (threads >= 1 || cache_dir_set) {
+    if (threads < 1) {
+      const char* s = std::getenv("MACARON_SWEEP_THREADS");
+      threads = (s != nullptr && std::atoi(s) >= 1) ? std::atoi(s)
+                                                    : ThreadPool::HardwareConcurrency();
+    }
+    bench::ConfigureSweep(threads, dir);
+  }
+  if (cold && !dir.empty()) {
+    const int removed = WipeStore(dir);
+    std::fprintf(stderr, "bench_all: --cold removed %d cached results from %s\n", removed,
+                 dir.c_str());
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<FigureTiming> timings;
+  int failures = 0;
+  for (const bench::SuiteEntry& e : bench::Suite()) {
+    if (!only.empty()) {
+      bool match = false;
+      for (const std::string& pat : only) {
+        if (e.name.find(pat) != std::string::npos) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) {
+        continue;
+      }
+    }
+    const auto fig_start = std::chrono::steady_clock::now();
+    FigureTiming ft;
+    ft.name = e.name;
+    ft.exit_code = e.fn();
+    ft.seconds = SecondsSince(fig_start);
+    std::fflush(stdout);
+    std::fprintf(stderr, "bench_all: %-28s %7.2fs%s\n", e.name.c_str(), ft.seconds,
+                 ft.exit_code == 0 ? "" : "  [nonzero exit]");
+    if (ft.exit_code != 0) {
+      ++failures;
+    }
+    timings.push_back(ft);
+  }
+  const double total = SecondsSince(t0);
+
+  const sweep::SweepStats stats = bench::SharedSweep().stats();
+  std::fprintf(stderr,
+               "\nbench_all: %zu figures in %.2fs | threads %d | jobs: %zu submitted, "
+               "%zu unique, %zu simulated, %zu from cache, peak %d in flight, "
+               "%.1fs busy\n",
+               timings.size(), total, bench::SharedSweep().threads(), stats.submitted,
+               stats.unique, stats.executed, stats.store_hits, stats.peak_in_flight,
+               stats.busy_seconds);
+  if (json_path != "off" && !json_path.empty()) {
+    WriteJson(json_path, bench::SharedSweep().threads(), total, timings, stats);
+    std::fprintf(stderr, "bench_all: wrote %s\n", json_path.c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}

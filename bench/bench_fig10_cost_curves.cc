@@ -39,7 +39,7 @@ ReconfigDecision FinalDecision(const Trace& t) {
 
 }  // namespace
 
-int main() {
+int RunFig10CostCurves() {
   bench::PrintHeader("Expected-cost curves; penalty of sub-optimal sizing", "Fig 10");
   const Trace& t55 = bench::GetTrace("ibm55");
   const Trace& t83 = bench::GetTrace("ibm83");
@@ -71,3 +71,5 @@ int main() {
               transplanted, own, transplanted / own);
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig10CostCurves)

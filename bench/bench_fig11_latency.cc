@@ -3,6 +3,7 @@
 // Macaron+CC vs ECPC cost/latency comparison.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
@@ -19,27 +20,35 @@ void PrintDist(const char* name, const RunResult& r) {
 
 }  // namespace
 
-int main() {
+int RunFig11Latency() {
   bench::PrintHeader("Latency distributions by approach (ms)", "Fig 11 / §7.5");
+  struct Row {
+    const char* name;
+    size_t remote, repl, ecpc, mac, cc;
+  };
+  std::vector<Row> grid;
+  for (const char* name : {"vmware", "ibm9", "ibm11", "ibm55"}) {
+    Row r;
+    r.name = name;
+    r.remote = bench::Submit(name, Approach::kRemote, DeploymentScenario::kCrossCloud, true);
+    r.repl = bench::Submit(name, Approach::kReplicated, DeploymentScenario::kCrossCloud, true);
+    r.ecpc = bench::Submit(name, Approach::kEcpc, DeploymentScenario::kCrossCloud, true);
+    r.mac =
+        bench::Submit(name, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud, true);
+    r.cc = bench::Submit(name, Approach::kMacaron, DeploymentScenario::kCrossCloud, true);
+    grid.push_back(r);
+  }
   int cc_beats_replicated = 0;
   int traces = 0;
-  for (const char* name : {"vmware", "ibm9", "ibm11", "ibm55"}) {
-    const Trace& t = bench::GetTrace(name);
-    std::printf("%s:\n", name);
-    const RunResult remote =
-        bench::RunApproach(t, Approach::kRemote, DeploymentScenario::kCrossCloud, true);
-    const RunResult repl =
-        bench::RunApproach(t, Approach::kReplicated, DeploymentScenario::kCrossCloud, true);
-    const RunResult ecpc =
-        bench::RunApproach(t, Approach::kEcpc, DeploymentScenario::kCrossCloud, true);
-    const RunResult mac =
-        bench::RunApproach(t, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud, true);
-    const RunResult cc =
-        bench::RunApproach(t, Approach::kMacaron, DeploymentScenario::kCrossCloud, true);
-    PrintDist("remote", remote);
+  for (const Row& row : grid) {
+    std::printf("%s:\n", row.name);
+    const RunResult& repl = bench::Result(row.repl);
+    const RunResult& ecpc = bench::Result(row.ecpc);
+    const RunResult& cc = bench::Result(row.cc);
+    PrintDist("remote", bench::Result(row.remote));
     PrintDist("replicated", repl);
     PrintDist("ecpc", ecpc);
-    PrintDist("macaron", mac);
+    PrintDist("macaron", bench::Result(row.mac));
     PrintDist("macaron+cc", cc);
     std::printf("  macaron+cc vs ecpc: cost %s lower, latency %s lower\n",
                 bench::Percent(1.0 - cc.costs.Total() / ecpc.costs.Total()).c_str(),
@@ -55,3 +64,5 @@ int main() {
               cc_beats_replicated, traces);
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig11Latency)

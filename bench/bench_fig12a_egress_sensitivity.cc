@@ -3,47 +3,46 @@
 // stay cheapest across all pricing models.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-#include "src/sim/replay_engine.h"
 
 using namespace macaron;
 
-int main() {
+int RunFig12aEgressSensitivity() {
   bench::PrintHeader("Cost under scaled egress prices (all 19 traces, cross-cloud)",
                      "Fig 12a");
   const double scales[] = {1.0, 0.22, 0.10, 0.01};
+  constexpr Approach kApproaches[] = {Approach::kRemote, Approach::kReplicated, Approach::kEcpc,
+                                      Approach::kMacaronNoCluster};
+  // jobs[scale][approach] lists one job per trace.
+  std::vector<std::vector<std::vector<size_t>>> jobs;
+  for (double s : scales) {
+    std::vector<std::vector<size_t>> per_approach(4);
+    for (const std::string& name : bench::AllTraceNames()) {
+      for (int a = 0; a < 4; ++a) {
+        EngineConfig cfg = bench::DefaultConfig(kApproaches[a], DeploymentScenario::kCrossCloud);
+        cfg.prices = cfg.prices.WithEgressScale(s);
+        per_approach[a].push_back(bench::Submit(name, cfg));
+      }
+    }
+    jobs.push_back(std::move(per_approach));
+  }
   std::printf("%-10s %12s %12s %12s %12s | macaron cheapest?\n", "egress", "remote",
               "replicated", "ecpc", "macaron");
   bool always_cheapest = true;
-  for (double s : scales) {
-    double remote = 0;
-    double repl = 0;
-    double ecpc = 0;
-    double mac = 0;
-    for (const std::string& name : bench::AllTraceNames()) {
-      const Trace& t = bench::GetTrace(name);
-      for (Approach a : {Approach::kRemote, Approach::kReplicated, Approach::kEcpc,
-                         Approach::kMacaronNoCluster}) {
-        EngineConfig cfg = bench::DefaultConfig(a, DeploymentScenario::kCrossCloud);
-        cfg.prices = cfg.prices.WithEgressScale(s);
-        const double cost = ReplayEngine(cfg).Run(t).costs.Total();
-        switch (a) {
-          case Approach::kRemote:
-            remote += cost;
-            break;
-          case Approach::kReplicated:
-            repl += cost;
-            break;
-          case Approach::kEcpc:
-            ecpc += cost;
-            break;
-          default:
-            mac += cost;
-            break;
-        }
+  for (size_t si = 0; si < 4; ++si) {
+    const double s = scales[si];
+    double totals[4] = {0, 0, 0, 0};
+    for (int a = 0; a < 4; ++a) {
+      for (size_t job : jobs[si][a]) {
+        totals[a] += bench::Result(job).costs.Total();
       }
     }
+    const double remote = totals[0];
+    const double repl = totals[1];
+    const double ecpc = totals[2];
+    const double mac = totals[3];
     const bool cheapest = mac <= remote && mac <= repl && mac <= ecpc;
     if (s >= 0.05) {
       always_cheapest = always_cheapest && cheapest;
@@ -60,3 +59,5 @@ int main() {
               always_cheapest ? "reproduced" : "NOT reproduced");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig12aEgressSensitivity)

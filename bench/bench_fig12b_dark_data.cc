@@ -3,33 +3,44 @@
 // 99% it is orders of magnitude more expensive.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-#include "src/sim/replay_engine.h"
 
 using namespace macaron;
 
-int main() {
+int RunFig12bDarkData() {
   bench::PrintHeader("Replicated cost relative to Macaron vs dark-data fraction", "Fig 12b");
   const double fractions[] = {0.0, 0.3, 0.5, 0.7, 0.9, 0.99};
-  double mac = 0;
+  std::vector<size_t> mac_jobs;
   for (const std::string& name : HeadlineProfileNames()) {
-    mac += bench::RunApproach(bench::GetTrace(name), Approach::kMacaronNoCluster,
-                              DeploymentScenario::kCrossCloud)
-               .costs.Total();
+    mac_jobs.push_back(
+        bench::Submit(name, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud));
   }
-  std::printf("%-10s %14s %16s\n", "dark%", "replicated$", "ratio vs macaron");
-  std::vector<double> ratios;
+  std::vector<std::vector<size_t>> repl_jobs;
   for (double f : fractions) {
-    double repl = 0;
+    std::vector<size_t> per_trace;
     for (const std::string& name : HeadlineProfileNames()) {
       EngineConfig cfg =
           bench::DefaultConfig(Approach::kReplicated, DeploymentScenario::kCrossCloud);
       cfg.dark_data_fraction = f;
-      repl += ReplayEngine(cfg).Run(bench::GetTrace(name)).costs.Total();
+      per_trace.push_back(bench::Submit(name, cfg));
+    }
+    repl_jobs.push_back(std::move(per_trace));
+  }
+  double mac = 0;
+  for (size_t job : mac_jobs) {
+    mac += bench::Result(job).costs.Total();
+  }
+  std::printf("%-10s %14s %16s\n", "dark%", "replicated$", "ratio vs macaron");
+  std::vector<double> ratios;
+  for (size_t fi = 0; fi < repl_jobs.size(); ++fi) {
+    double repl = 0;
+    for (size_t job : repl_jobs[fi]) {
+      repl += bench::Result(job).costs.Total();
     }
     ratios.push_back(repl / mac);
-    std::printf("%8.0f%% %14.4f %15.1fx\n", f * 100, repl, repl / mac);
+    std::printf("%8.0f%% %14.4f %15.1fx\n", fractions[fi] * 100, repl, repl / mac);
   }
   const bool monotone = std::is_sorted(ratios.begin(), ratios.end());
   std::printf("\nMacaron total: %s. Ratio grows monotonically with dark data: %s\n"
@@ -37,3 +48,5 @@ int main() {
               bench::Dollars(mac).c_str(), monotone ? "yes" : "NO");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig12bDarkData)

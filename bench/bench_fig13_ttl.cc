@@ -3,44 +3,55 @@
 // Macaron-TTL should track Macaron closely.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-#include "src/sim/replay_engine.h"
 
 using namespace macaron;
 
 namespace {
 
-double RunStaticTtl(const Trace& t, SimDuration ttl) {
+size_t SubmitStaticTtl(const std::string& name, SimDuration ttl) {
   EngineConfig cfg =
       macaron::bench::DefaultConfig(Approach::kStaticTtl, DeploymentScenario::kCrossCloud);
   cfg.static_ttl = ttl;
-  return ReplayEngine(cfg).Run(t).costs.Total();
+  return macaron::bench::Submit(name, cfg);
 }
 
 }  // namespace
 
-int main() {
+int RunFig13Ttl() {
   bench::PrintHeader("Macaron / Macaron-TTL vs static TTL caches (cross-cloud)",
                      "Fig 13 / §7.8");
+  struct Row {
+    std::string name;
+    size_t h1, h12, h24, h72, mac, mttl;
+  };
+  std::vector<Row> grid;
+  for (const std::string& name : bench::AllTraceNames()) {
+    Row r;
+    r.name = name;
+    r.h1 = SubmitStaticTtl(name, kHour);
+    r.h12 = SubmitStaticTtl(name, 12 * kHour);
+    r.h24 = SubmitStaticTtl(name, 24 * kHour);
+    r.h72 = SubmitStaticTtl(name, 72 * kHour);
+    r.mac = bench::Submit(name, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
+    r.mttl = bench::Submit(name, Approach::kMacaronTtl, DeploymentScenario::kCrossCloud);
+    grid.push_back(r);
+  }
   std::printf("%-8s %10s %10s %10s %10s %12s %12s\n", "trace", "ttl=1h", "ttl=12h", "ttl=24h",
               "ttl=72h", "macaron", "macaron-ttl");
   double sum_1h = 0, sum_12h = 0, sum_24h = 0, sum_72h = 0, sum_mac = 0, sum_mttl = 0;
   double worst_gap = 0.0;
-  for (const std::string& name : bench::AllTraceNames()) {
-    const Trace& t = bench::GetTrace(name);
-    const double h1 = RunStaticTtl(t, kHour);
-    const double h12 = RunStaticTtl(t, 12 * kHour);
-    const double h24 = RunStaticTtl(t, 24 * kHour);
-    const double h72 = RunStaticTtl(t, 72 * kHour);
-    const double mac =
-        bench::RunApproach(t, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud)
-            .costs.Total();
-    const double mttl =
-        bench::RunApproach(t, Approach::kMacaronTtl, DeploymentScenario::kCrossCloud)
-            .costs.Total();
-    std::printf("%-8s %10.4f %10.4f %10.4f %10.4f %12.4f %12.4f\n", name.c_str(), h1, h12, h24,
-                h72, mac, mttl);
+  for (const Row& row : grid) {
+    const double h1 = bench::Result(row.h1).costs.Total();
+    const double h12 = bench::Result(row.h12).costs.Total();
+    const double h24 = bench::Result(row.h24).costs.Total();
+    const double h72 = bench::Result(row.h72).costs.Total();
+    const double mac = bench::Result(row.mac).costs.Total();
+    const double mttl = bench::Result(row.mttl).costs.Total();
+    std::printf("%-8s %10.4f %10.4f %10.4f %10.4f %12.4f %12.4f\n", row.name.c_str(), h1, h12,
+                h24, h72, mac, mttl);
     sum_1h += h1;
     sum_12h += h12;
     sum_24h += h24;
@@ -61,3 +72,5 @@ int main() {
               "Macaron-TTL within -0.8..3.3%% of Macaron (17%% outlier on IBM 80).\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig13Ttl)

@@ -11,7 +11,7 @@
 
 using namespace macaron;
 
-int main() {
+int RunFig15LatencyGenerator() {
   bench::PrintHeader("Gamma latency generator vs measured distributions",
                      "Fig 15 / Appendix A.5");
   GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
@@ -44,3 +44,5 @@ int main() {
               mape * 100);
   return mape < 0.05 ? 0 : 1;
 }
+
+MACARON_BENCH_MAIN(RunFig15LatencyGenerator)

@@ -3,31 +3,44 @@
 // ~66% vs ECPC; Oracular improves on Macaron by only ~9%.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
 using namespace macaron;
 
-int main() {
+int RunFig1TotalCost() {
   bench::PrintHeader("Total cost of 19 cross-cloud workloads by approach", "Fig 1b");
+  // Phase 1: submit the full grid; the sweep fans jobs across cores.
+  struct Row {
+    std::string name;
+    size_t remote, replicated, ecpc, macaron, oracular;
+  };
+  std::vector<Row> rows;
+  for (const std::string& name : bench::AllTraceNames()) {
+    Row r;
+    r.name = name;
+    r.remote = bench::Submit(name, Approach::kRemote, DeploymentScenario::kCrossCloud);
+    r.replicated = bench::Submit(name, Approach::kReplicated, DeploymentScenario::kCrossCloud);
+    r.ecpc = bench::Submit(name, Approach::kEcpc, DeploymentScenario::kCrossCloud);
+    r.macaron = bench::Submit(name, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
+    r.oracular = bench::SubmitOracle(name, DeploymentScenario::kCrossCloud);
+    rows.push_back(r);
+  }
+  // Phase 2: collect by submission index — totals accumulate in the exact
+  // order the serial loop used.
   double remote = 0.0;
   double replicated = 0.0;
   double ecpc = 0.0;
   double macaron = 0.0;
   double oracular = 0.0;
-  for (const std::string& name : bench::AllTraceNames()) {
-    const Trace& t = bench::GetTrace(name);
-    remote += bench::RunApproach(t, Approach::kRemote, DeploymentScenario::kCrossCloud)
-                  .costs.Total();
-    replicated += bench::RunApproach(t, Approach::kReplicated, DeploymentScenario::kCrossCloud)
-                      .costs.Total();
-    ecpc += bench::RunApproach(t, Approach::kEcpc, DeploymentScenario::kCrossCloud)
-                .costs.Total();
-    macaron +=
-        bench::RunApproach(t, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud)
-            .costs.Total();
-    oracular += bench::RunOracle(t, DeploymentScenario::kCrossCloud).costs.Total();
-    std::fprintf(stderr, "  done %s\n", name.c_str());
+  for (const Row& r : rows) {
+    remote += bench::Result(r.remote).costs.Total();
+    replicated += bench::Result(r.replicated).costs.Total();
+    ecpc += bench::Result(r.ecpc).costs.Total();
+    macaron += bench::Result(r.macaron).costs.Total();
+    oracular += bench::OracleResult(r.oracular).costs.Total();
+    std::fprintf(stderr, "  done %s\n", r.name.c_str());
   }
   std::printf("%-12s %12s %18s\n", "approach", "total", "vs. Macaron");
   std::printf("%-12s %12s %17.2fx\n", "remote", bench::Dollars(remote).c_str(),
@@ -47,3 +60,5 @@ int main() {
   std::printf("Paper: 73%% vs Remote, 81%% vs Replicated, 66%% vs ECPC, oracle gap ~9%%.\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig1TotalCost)

@@ -10,7 +10,7 @@
 
 using namespace macaron;
 
-int main() {
+int RunFig4Curves() {
   bench::PrintHeader("Optimizer input curves for IBM 55", "Fig 4");
   const Trace& t = bench::GetTrace("ibm55");
   const TraceStats stats = ComputeStats(t);
@@ -76,3 +76,5 @@ int main() {
               "hot set fits.\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig4Curves)

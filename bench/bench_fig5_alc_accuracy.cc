@@ -149,7 +149,7 @@ Errors RunCase(const Trace& trace, const char* label, double mean_bytes_at_start
 
 }  // namespace
 
-int main() {
+int RunFig5AlcAccuracy() {
   bench::PrintHeader("ALC estimation accuracy vs Symbiosis", "Fig 5");
   Rng rng(42);
 
@@ -189,3 +189,5 @@ int main() {
               ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
+
+MACARON_BENCH_MAIN(RunFig5AlcAccuracy)

@@ -2,6 +2,7 @@
 // for cross-region and cross-cloud deployments, with per-category breakdown.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
@@ -19,18 +20,32 @@ void PrintRow(const RunResult& r) {
 
 void RunScenario(DeploymentScenario scenario, const char* label) {
   std::printf("\n--- %s ---\n", label);
+  struct Row {
+    std::string name;
+    size_t remote, repl, ecpc, mac, oracle;
+  };
+  std::vector<Row> grid;
+  for (const std::string& name : macaron::bench::AllTraceNames()) {
+    Row r;
+    r.name = name;
+    r.remote = macaron::bench::Submit(name, Approach::kRemote, scenario);
+    r.repl = macaron::bench::Submit(name, Approach::kReplicated, scenario);
+    r.ecpc = macaron::bench::Submit(name, Approach::kEcpc, scenario);
+    r.mac = macaron::bench::Submit(name, Approach::kMacaronNoCluster, scenario);
+    r.oracle = macaron::bench::SubmitOracle(name, scenario);
+    grid.push_back(r);
+  }
   double wins = 0;
   double total = 0;
   double sum_red_remote = 0.0;
   double sum_red_repl = 0.0;
-  for (const std::string& name : macaron::bench::AllTraceNames()) {
-    const Trace& t = macaron::bench::GetTrace(name);
-    std::printf("%s:\n", name.c_str());
-    const RunResult remote = macaron::bench::RunApproach(t, Approach::kRemote, scenario);
-    const RunResult repl = macaron::bench::RunApproach(t, Approach::kReplicated, scenario);
-    const RunResult ecpc = macaron::bench::RunApproach(t, Approach::kEcpc, scenario);
-    const RunResult mac = macaron::bench::RunApproach(t, Approach::kMacaronNoCluster, scenario);
-    const OracularResult oracle = macaron::bench::RunOracle(t, scenario);
+  for (const Row& row : grid) {
+    std::printf("%s:\n", row.name.c_str());
+    const RunResult& remote = macaron::bench::Result(row.remote);
+    const RunResult& repl = macaron::bench::Result(row.repl);
+    const RunResult& ecpc = macaron::bench::Result(row.ecpc);
+    const RunResult& mac = macaron::bench::Result(row.mac);
+    const OracularResult oracle = macaron::bench::OracleResult(row.oracle);
     PrintRow(remote);
     PrintRow(repl);
     PrintRow(ecpc);
@@ -55,7 +70,7 @@ void RunScenario(DeploymentScenario scenario, const char* label) {
 
 }  // namespace
 
-int main() {
+int RunFig7CostBreakdown() {
   macaron::bench::PrintHeader("Per-trace cost comparison, all approaches", "Fig 7 / Fig 14");
   RunScenario(DeploymentScenario::kCrossRegion, "cross-region (2c/GB egress)");
   RunScenario(DeploymentScenario::kCrossCloud, "cross-cloud (9c/GB egress)");
@@ -63,3 +78,5 @@ int main() {
               "67%% / 78%% on low-compulsory traces, with IBM 27/66/96 near break-even.\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig7CostBreakdown)

@@ -3,40 +3,52 @@
 // SmallDecay (0.1) on the cost incurred during the second trace.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-#include "src/sim/replay_engine.h"
 #include "src/trace/concat.h"
 
 using namespace macaron;
 
 namespace {
 
-double RunWithDecay(const Trace& t, double decay) {
+size_t SubmitWithDecay(const Trace& t, double decay) {
   EngineConfig cfg = bench::DefaultConfig(Approach::kMacaronNoCluster,
                                           DeploymentScenario::kCrossCloud);
   cfg.decay_per_day = decay;
-  return ReplayEngine(cfg).Run(t).costs.Total();
+  return bench::Submit(t, cfg);  // ad-hoc trace: keyed by content hash
 }
 
 }  // namespace
 
-int main() {
+int RunFig8Adaptivity() {
   bench::PrintHeader("Adaptivity to workload changes (knowledge decay)", "Fig 8 / §7.3");
   const std::vector<std::pair<std::string, std::string>> pairs = {
       {"ibm55", "ibm83"}, {"ibm83", "ibm55"}, {"ibm9", "ibm12"},
       {"ibm12", "ibm9"},  {"ibm18", "ibm96"}, {"ibm96", "ibm18"},
   };
+  struct Row {
+    std::string name;
+    size_t none, def, small;
+  };
+  std::vector<Row> grid;
+  for (const auto& [first, second] : pairs) {
+    Trace combined = ConcatenateTraces(bench::GetTrace(first), bench::GetTrace(second), kHour);
+    Row r;
+    r.name = combined.name;
+    r.none = SubmitWithDecay(combined, 1.0);
+    r.def = SubmitWithDecay(combined, 0.2);
+    r.small = SubmitWithDecay(combined, 0.1);
+    grid.push_back(r);
+  }
   std::printf("%-16s %12s %12s %12s %18s\n", "concatenation", "NoDecay", "Default.2",
               "Small.1", "default vs nodecay");
   int default_wins = 0;
-  for (const auto& [first, second] : pairs) {
-    const Trace combined =
-        ConcatenateTraces(bench::GetTrace(first), bench::GetTrace(second), kHour);
-    const double none = RunWithDecay(combined, 1.0);
-    const double def = RunWithDecay(combined, 0.2);
-    const double small = RunWithDecay(combined, 0.1);
-    std::printf("%-16s %12.4f %12.4f %12.4f %17s\n", combined.name.c_str(), none, def, small,
+  for (const Row& row : grid) {
+    const double none = bench::Result(row.none).costs.Total();
+    const double def = bench::Result(row.def).costs.Total();
+    const double small = bench::Result(row.small).costs.Total();
+    std::printf("%-16s %12.4f %12.4f %12.4f %17s\n", row.name.c_str(), none, def, small,
                 bench::Percent(1.0 - def / none).c_str());
     if (def <= none * 1.001) {
       ++default_wins;
@@ -47,3 +59,5 @@ int main() {
               default_wins, pairs.size());
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig8Adaptivity)

@@ -5,21 +5,25 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
 using namespace macaron;
 
-int main() {
+int RunFig9OscCapacity() {
   bench::PrintHeader("Chosen OSC capacity vs total data size (15 IBM traces)", "Fig 9");
+  std::vector<std::pair<std::string, size_t>> jobs;
+  for (const std::string& name : bench::IbmTraceNames()) {
+    jobs.emplace_back(
+        name, bench::Submit(name, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud));
+  }
   std::printf("%-8s %10s %10s %10s %10s %12s\n", "trace", "dataGB", "avg%", "min%", "max%",
               "stddev(day%)");
   double changes = 0;
   double count = 0;
-  for (const std::string& name : bench::IbmTraceNames()) {
-    const Trace& t = bench::GetTrace(name);
-    const RunResult r =
-        bench::RunApproach(t, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
+  for (const auto& [name, job] : jobs) {
+    const RunResult& r = bench::Result(job);
     if (r.osc_capacity_timeline.empty()) {
       continue;
     }
@@ -70,3 +74,5 @@ int main() {
               changes, count);
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunFig9OscCapacity)

@@ -19,6 +19,10 @@
 #include "src/minisim/mrc_bank.h"
 #include "src/minisim/size_grid.h"
 #include "src/osc/osc.h"
+#include "src/sim/engine_config.h"
+#include "src/sweep/fingerprint.h"
+#include "src/sweep/result_store.h"
+#include "src/sweep/scheduler.h"
 #include "src/trace/sampler.h"
 
 namespace macaron {
@@ -214,6 +218,110 @@ void BM_LatencySample(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LatencySample);
+
+// --- Sweep scheduler building blocks ---
+
+void BM_SweepFingerprintConfig(benchmark::State& state) {
+  EngineConfig cfg;
+  cfg.prices = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    cfg.seed = ++seed;  // defeat caching; real sweeps fingerprint varied configs
+    benchmark::DoNotOptimize(sweep::FingerprintEngineConfig(cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepFingerprintConfig);
+
+void BM_SweepFingerprintTrace(benchmark::State& state) {
+  Trace t;
+  t.name = "bm";
+  for (int i = 0; i < 100000; ++i) {
+    t.requests.push_back(Request{i * 100, static_cast<ObjectId>(i * 31), 4096, Op::kGet});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep::FingerprintTraceContent(t));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(t.requests.size()));
+}
+BENCHMARK(BM_SweepFingerprintTrace);
+
+void BM_SweepResultStoreRoundTrip(benchmark::State& state) {
+  const std::string dir = "/tmp/macaron-bm-store";
+  sweep::ResultStore store(dir);
+  RunResult r;
+  r.trace_name = "bm";
+  r.approach_name = "macaron";
+  for (int i = 0; i < 1000; ++i) {
+    r.latency_ms.Add(static_cast<double>(i % 97));
+    r.osc_capacity_timeline.emplace_back(i * 1000, 1000000 + i);
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    // Rotate through a bounded key set so the directory stays small.
+    const std::string hex = sweep::Fingerprint{key % 256, ~(key % 256)}.Hex();
+    ++key;
+    store.Store(hex, r);
+    RunResult back;
+    benchmark::DoNotOptimize(store.Load(hex, &back));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepResultStoreRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// Dispatch overhead of the scheduler itself: tiny one-request jobs, unique
+// seeds so nothing deduplicates. Measures submit + execute + collect, not
+// simulation (the trace has one request).
+void BM_SweepSchedulerDispatch(benchmark::State& state) {
+  auto trace = std::make_shared<const Trace>([] {
+    Trace t;
+    t.name = "tiny";
+    t.requests.push_back(Request{0, 1, 1000, Op::kGet});
+    return t;
+  }());
+  const sweep::Fingerprint identity = sweep::FingerprintTraceContent(*trace);
+  sweep::SweepScheduler::Options opt;
+  opt.threads = static_cast<int>(state.range(0));
+  sweep::SweepScheduler sched(std::move(opt));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    sweep::SweepJobSpec spec;
+    spec.trace = trace;
+    spec.trace_name = trace->name;
+    spec.trace_identity = identity;
+    spec.config.approach = Approach::kRemote;
+    spec.config.seed = ++seed;
+    const size_t id = sched.Submit(std::move(spec));
+    benchmark::DoNotOptimize(sched.Result(id).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepSchedulerDispatch)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+// In-process dedup lookup cost: every submission after the first hits the
+// fingerprint map instead of running anything.
+void BM_SweepDedupLookup(benchmark::State& state) {
+  auto trace = std::make_shared<const Trace>([] {
+    Trace t;
+    t.name = "tiny";
+    t.requests.push_back(Request{0, 1, 1000, Op::kGet});
+    return t;
+  }());
+  sweep::SweepScheduler::Options opt;
+  opt.threads = 1;
+  sweep::SweepScheduler sched(std::move(opt));
+  sweep::SweepJobSpec spec;
+  spec.trace = trace;
+  spec.trace_name = trace->name;
+  spec.trace_identity = sweep::FingerprintTraceContent(*trace);
+  spec.config.approach = Approach::kRemote;
+  sched.Submit(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.Submit(spec));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SweepDedupLookup);
 
 }  // namespace
 }  // namespace macaron

@@ -12,7 +12,7 @@
 
 using namespace macaron;
 
-int main() {
+int RunSec52MinisimAccuracy() {
   bench::PrintHeader("Miniature simulation accuracy (MRC MAE / BMC MAPE)", "§5.2");
   std::printf("%-8s %8s %12s %12s\n", "trace", "ratio", "MRC MAE", "BMC MAPE");
   double worst_mae = 0.0;
@@ -96,3 +96,5 @@ int main() {
   }
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunSec52MinisimAccuracy)

@@ -3,20 +3,24 @@
 // share of the total bill.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
 using namespace macaron;
 
-int main() {
+int RunSec77Overhead() {
   bench::PrintHeader("Analysis & reconfiguration overheads", "§7.7");
+  std::vector<std::pair<std::string, size_t>> jobs;
+  for (const std::string& name : bench::AllTraceNames()) {
+    jobs.emplace_back(
+        name, bench::Submit(name, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud));
+  }
   std::printf("%-8s %8s %14s %16s %14s %14s\n", "trace", "reconfs", "avg analysis(s)",
               "avg reconfig(s)", "lambda$", "lambda share");
   double worst_share = 0.0;
-  for (const std::string& name : bench::AllTraceNames()) {
-    const Trace& t = bench::GetTrace(name);
-    const RunResult r =
-        bench::RunApproach(t, Approach::kMacaronNoCluster, DeploymentScenario::kCrossCloud);
+  for (const auto& [name, job] : jobs) {
+    const RunResult& r = bench::Result(job);
     const double share = r.costs.Get(CostCategory::kServerless) / r.costs.Total();
     worst_share = std::max(worst_share, share);
     std::printf("%-8s %8d %14.1f %16.1f %14.5f %13.2f%%\n", name.c_str(), r.reconfigs,
@@ -29,3 +33,5 @@ int main() {
               worst_share * 100);
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunSec77Overhead)

@@ -8,7 +8,7 @@
 
 using namespace macaron;
 
-int main() {
+int RunTable1Pricing() {
   bench::PrintHeader("Cloud storage pricing", "Table 1");
   std::printf("%-34s %10s %10s %10s\n", "Operation", "AWS", "Azure", "GCP");
   const PriceBook aws = PriceBook::Aws(DeploymentScenario::kCrossCloud);
@@ -41,3 +41,5 @@ int main() {
               DurationDays(aws_r.StorageEgressBreakEven()));
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunTable1Pricing)

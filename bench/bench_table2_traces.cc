@@ -8,7 +8,7 @@
 
 using namespace macaron;
 
-int main() {
+int RunTable2Traces() {
   bench::PrintHeader("Trace characteristics (synthetic suite, 1/1000 byte scale)", "Table 2");
   std::printf("%-8s %5s %5s %7s %10s %10s %10s %8s %7s\n", "trace", "put%", "get%", "zipf",
               "dataGB", "putGB", "getGB", "compuls", "medKB");
@@ -28,3 +28,5 @@ int main() {
               "compulsory misses; VMware tiny dataset with extreme reuse.\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunTable2Traces)

@@ -5,25 +5,38 @@
 
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
-#include "src/sim/event_engine.h"
-#include "src/sim/replay_engine.h"
 
 using namespace macaron;
 
-int main() {
+int RunTable3Validation() {
   bench::PrintHeader("Replay engine vs prototype-fidelity event engine", "Table 3 / §7.7");
+  const char* kTraces[] = {"ibm9", "ibm55", "ibm58"};
+  struct Row {
+    size_t sim, proto, plain;
+  };
+  std::vector<Row> grid;
+  for (const char* name : kTraces) {
+    const EngineConfig cfg =
+        bench::DefaultConfig(Approach::kMacaron, DeploymentScenario::kCrossCloud, true);
+    const EngineConfig plain_cfg =
+        bench::DefaultConfig(Approach::kMacaron, DeploymentScenario::kCrossCloud, false);
+    Row r;
+    r.sim = bench::Submit(name, cfg);
+    r.proto = bench::Submit(name, cfg, sweep::JobEngine::kEvent);
+    r.plain = bench::Submit(name, plain_cfg);  // for the reconfiguration table
+    grid.push_back(r);
+  }
   std::printf("%-8s | %10s %10s %7s | %-17s %-17s | %8s %8s %6s\n", "trace", "sim$", "proto$",
               "gap%", "sim cc:osc:rem", "proto cc:osc:rem", "sim ms", "proto ms", "gap%");
   double worst_cost_gap = 0.0;
   double worst_lat_gap = 0.0;
-  for (const char* name : {"ibm9", "ibm55", "ibm58"}) {
-    const Trace& t = bench::GetTrace(name);
-    const EngineConfig cfg =
-        bench::DefaultConfig(Approach::kMacaron, DeploymentScenario::kCrossCloud, true);
-    const RunResult sim = ReplayEngine(cfg).Run(t);
-    const RunResult proto = EventEngine(cfg).Run(t);
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const char* name = kTraces[i];
+    const RunResult& sim = bench::Result(grid[i].sim);
+    const RunResult& proto = bench::Result(grid[i].proto);
     const double cost_gap = std::abs(proto.costs.Total() / sim.costs.Total() - 1.0);
     const double lat_gap = std::abs(proto.MeanLatencyMs() / sim.MeanLatencyMs() - 1.0);
     worst_cost_gap = std::max(worst_cost_gap, cost_gap);
@@ -50,11 +63,10 @@ int main() {
   std::printf("\nReconfiguration overhead (replay engine):\n");
   std::printf("%-8s %8s %12s %14s %16s\n", "trace", "reconfs", "total (s)", "avg/reconf (s)",
               "share of runtime");
-  for (const char* name : {"ibm9", "ibm55", "ibm58"}) {
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const char* name = kTraces[i];
     const Trace& t = bench::GetTrace(name);
-    const EngineConfig cfg =
-        bench::DefaultConfig(Approach::kMacaron, DeploymentScenario::kCrossCloud, false);
-    const RunResult r = ReplayEngine(cfg).Run(t);
+    const RunResult& r = bench::Result(grid[i].plain);
     const double runtime_s = DurationSeconds(t.duration());
     std::printf("%-8s %8d %12.1f %14.1f %15.2f%%\n", name, r.reconfigs,
                 r.total_reconfig_seconds, r.total_reconfig_seconds / std::max(1, r.reconfigs),
@@ -63,3 +75,5 @@ int main() {
   std::printf("Paper: end-to-end reconfiguration 6-418 s (avg 71 s), <9%% of runtime.\n");
   return 0;
 }
+
+MACARON_BENCH_MAIN(RunTable3Validation)

@@ -1,22 +1,39 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 
-#include "src/sim/replay_engine.h"
+#include "src/common/thread_pool.h"
 #include "src/trace/splitter.h"
 
 namespace macaron {
 namespace bench {
 
 const Trace& GetTrace(const std::string& name) {
-  static std::map<std::string, Trace>* cache = new std::map<std::string, Trace>();
-  auto it = cache->find(name);
-  if (it == cache->end()) {
-    const WorkloadProfile p = ProfileByName(name);
-    it = cache->emplace(name, SplitObjects(GenerateTrace(p), p.max_object_bytes)).first;
+  // Node-based map: entries never move, so the returned references and the
+  // per-entry once_flags stay stable while other threads insert.
+  struct Entry {
+    std::once_flag once;
+    Trace trace;
+  };
+  static std::mutex mu;
+  static std::map<std::string, Entry>* cache = new std::map<std::string, Entry>();
+  Entry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    entry = &(*cache)[name];
   }
-  return it->second;
+  // Generation runs outside the map lock: distinct workloads generate
+  // concurrently, concurrent callers for the same name block on one winner.
+  std::call_once(entry->once, [&] {
+    const WorkloadProfile p = ProfileByName(name);
+    entry->trace = SplitObjects(GenerateTrace(p), p.max_object_bytes);
+  });
+  return entry->trace;
 }
 
 std::vector<std::string> AllTraceNames() {
@@ -48,19 +65,129 @@ EngineConfig DefaultConfig(Approach a, DeploymentScenario scenario, bool measure
   return cfg;
 }
 
+namespace {
+
+std::mutex g_sweep_mu;
+std::unique_ptr<sweep::SweepScheduler>* g_sweep = new std::unique_ptr<sweep::SweepScheduler>();
+bool g_configured = false;
+int g_threads = 0;
+std::string* g_cache_dir = new std::string();
+
+int EnvThreads() {
+  const char* s = std::getenv("MACARON_SWEEP_THREADS");
+  if (s != nullptr && *s != '\0') {
+    const int v = std::atoi(s);
+    if (v >= 1) {
+      return v;
+    }
+  }
+  return ThreadPool::HardwareConcurrency();
+}
+
+std::string EnvCacheDir() {
+  const char* s = std::getenv("MACARON_RESULT_CACHE");
+  if (s == nullptr) {
+    return ".macaron-results";
+  }
+  const std::string v = s;
+  if (v.empty() || v == "off" || v == "0") {
+    return "";  // persistence disabled
+  }
+  return v;
+}
+
+}  // namespace
+
+void ConfigureSweep(int threads, const std::string& cache_dir) {
+  std::lock_guard<std::mutex> lock(g_sweep_mu);
+  g_sweep->reset();  // drains any existing scheduler first
+  g_threads = threads;
+  *g_cache_dir = cache_dir;
+  g_configured = true;
+}
+
+sweep::SweepScheduler& SharedSweep() {
+  std::lock_guard<std::mutex> lock(g_sweep_mu);
+  if (*g_sweep == nullptr) {
+    sweep::SweepScheduler::Options opt;
+    opt.threads = g_configured ? g_threads : EnvThreads();
+    opt.store_dir = g_configured ? *g_cache_dir : EnvCacheDir();
+    opt.trace_provider = [](const std::string& n) -> const Trace& { return GetTrace(n); };
+    *g_sweep = std::make_unique<sweep::SweepScheduler>(std::move(opt));
+  }
+  return **g_sweep;
+}
+
+size_t Submit(const std::string& trace_name, const EngineConfig& config,
+              sweep::JobEngine engine) {
+  sweep::SweepJobSpec spec;
+  spec.trace_name = trace_name;
+  spec.trace_identity = sweep::FingerprintWorkloadProfile(ProfileByName(trace_name));
+  spec.config = config;
+  spec.engine = engine;
+  return SharedSweep().Submit(std::move(spec));
+}
+
+size_t Submit(Trace trace, const EngineConfig& config, sweep::JobEngine engine) {
+  sweep::SweepJobSpec spec;
+  auto owned = std::make_shared<const Trace>(std::move(trace));
+  spec.trace_name = owned->name;
+  spec.trace = std::move(owned);
+  spec.config = config;
+  spec.engine = engine;
+  return SharedSweep().Submit(std::move(spec));
+}
+
+size_t Submit(const std::string& trace_name, Approach a, DeploymentScenario scenario,
+              bool measure_latency) {
+  return Submit(trace_name, DefaultConfig(a, scenario, measure_latency));
+}
+
+size_t SubmitOracle(const std::string& trace_name, DeploymentScenario scenario,
+                    bool measure_latency) {
+  return Submit(trace_name, DefaultConfig(Approach::kRemote, scenario, measure_latency),
+                sweep::JobEngine::kOracle);
+}
+
+size_t SubmitOracle(Trace trace, DeploymentScenario scenario, bool measure_latency) {
+  return Submit(std::move(trace), DefaultConfig(Approach::kRemote, scenario, measure_latency),
+                sweep::JobEngine::kOracle);
+}
+
+const RunResult& Result(size_t index) { return SharedSweep().Result(index); }
+
+OracularResult OracleResult(size_t index) {
+  return sweep::RunResultToOracular(SharedSweep().Result(index));
+}
+
+namespace {
+
+// Non-owning handoff for the synchronous Run* helpers: the caller's trace
+// outlives the immediate Result() await, so no copy is needed.
+std::shared_ptr<const Trace> Borrow(const Trace& t) {
+  return std::shared_ptr<const Trace>(&t, [](const Trace*) {});
+}
+
+}  // namespace
+
 RunResult RunApproach(const Trace& t, Approach a, DeploymentScenario scenario,
                       bool measure_latency) {
-  return ReplayEngine(DefaultConfig(a, scenario, measure_latency)).Run(t);
+  sweep::SweepJobSpec spec;
+  spec.trace_name = t.name;
+  spec.trace = Borrow(t);
+  spec.config = DefaultConfig(a, scenario, measure_latency);
+  sweep::SweepScheduler& s = SharedSweep();
+  return s.Result(s.Submit(std::move(spec)));
 }
 
 OracularResult RunOracle(const Trace& t, DeploymentScenario scenario, bool measure_latency) {
-  const EngineConfig cfg = DefaultConfig(Approach::kRemote, scenario, measure_latency);
-  if (!measure_latency) {
-    return RunOracular(t, cfg.prices, nullptr, cfg.seed);
-  }
-  GroundTruthLatency truth(cfg.scenario);
-  FittedLatencyGenerator fitted(truth, 400, cfg.seed ^ 0xfeed);
-  return RunOracular(t, cfg.prices, &fitted, cfg.seed);
+  sweep::SweepJobSpec spec;
+  spec.trace_name = t.name;
+  spec.trace = Borrow(t);
+  spec.config = DefaultConfig(Approach::kRemote, scenario, measure_latency);
+  spec.engine = sweep::JobEngine::kOracle;
+  sweep::SweepScheduler& s = SharedSweep();
+  return sweep::RunResultToOracular(s.Result(s.Submit(std::move(spec))));
 }
 
 void PrintHeader(const std::string& title, const std::string& paper_ref) {

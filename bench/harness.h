@@ -6,16 +6,25 @@
 // from the paper (traces are synthetic and byte-scaled); the shapes —
 // who wins, by what factor, where crossovers fall — are the reproduction
 // target (see EXPERIMENTS.md).
+//
+// All simulation goes through a shared SweepScheduler (src/sweep): figures
+// submit their full (trace, config) grid up front, then collect results by
+// submission index, so rows print bit-identically to a serial run while the
+// actual simulations fan out across cores and memoize into the persistent
+// result cache. Thread count and cache directory come from the environment
+// (MACARON_SWEEP_THREADS, MACARON_RESULT_CACHE) or from ConfigureSweep.
 
 #ifndef MACARON_BENCH_HARNESS_H_
 #define MACARON_BENCH_HARNESS_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "src/oracle/oracular.h"
 #include "src/sim/engine_config.h"
 #include "src/sim/run_result.h"
+#include "src/sweep/scheduler.h"
 #include "src/trace/synthetic.h"
 #include "src/trace/trace.h"
 
@@ -23,6 +32,7 @@ namespace macaron {
 namespace bench {
 
 // Generates (and memoizes) the split trace for a workload profile name.
+// Thread-safe: concurrent callers for the same name block on one generation.
 const Trace& GetTrace(const std::string& name);
 
 // Names of all 19 workloads / the 15 IBM workloads.
@@ -33,7 +43,45 @@ std::vector<std::string> IbmTraceNames();
 EngineConfig DefaultConfig(Approach a, DeploymentScenario scenario,
                            bool measure_latency = false);
 
-// Runs one approach over one trace with the default configuration.
+// The process-wide sweep scheduler every bench binary submits through.
+// Created on first use from the environment (MACARON_SWEEP_THREADS,
+// MACARON_RESULT_CACHE — empty/"off"/"0" disables persistence, default
+// ".macaron-results") unless ConfigureSweep ran first.
+sweep::SweepScheduler& SharedSweep();
+
+// Overrides the shared scheduler's thread count and cache directory.
+// Call before the first submission (bench_all does); any scheduler already
+// created is torn down, invalidating outstanding job indices.
+void ConfigureSweep(int threads, const std::string& cache_dir);
+
+// Submits one job against a named workload (no trace generation happens at
+// submit time; workers resolve the name through GetTrace). Returns the job
+// index to pass to Result/OracleResult/Metrics.
+size_t Submit(const std::string& trace_name, const EngineConfig& config,
+              sweep::JobEngine engine = sweep::JobEngine::kReplay);
+
+// Submits one job against an ad-hoc trace (keyed by content hash). Pass by
+// value: move in a temporary, or copy a retained trace.
+size_t Submit(Trace trace, const EngineConfig& config,
+              sweep::JobEngine engine = sweep::JobEngine::kReplay);
+
+// Convenience: named workload under the default config.
+size_t Submit(const std::string& trace_name, Approach a, DeploymentScenario scenario,
+              bool measure_latency = false);
+
+// Oracular submissions (collect with OracleResult).
+size_t SubmitOracle(const std::string& trace_name, DeploymentScenario scenario,
+                    bool measure_latency = false);
+size_t SubmitOracle(Trace trace, DeploymentScenario scenario,
+                    bool measure_latency = false);
+
+// Blocks until job `index` finishes and returns its result. The reference
+// stays valid for the scheduler's lifetime.
+const RunResult& Result(size_t index);
+OracularResult OracleResult(size_t index);
+
+// Runs one approach over one trace with the default configuration
+// (submit + await through the shared sweep, so results memoize).
 RunResult RunApproach(const Trace& t, Approach a, DeploymentScenario scenario,
                       bool measure_latency = false);
 
@@ -50,5 +98,16 @@ std::string Percent(double frac);
 
 }  // namespace bench
 }  // namespace macaron
+
+// Every bench .cc defines `int RunX()` and closes with MACARON_BENCH_MAIN(RunX).
+// Standalone binaries get a main() from the macro; the bench_all suite library
+// compiles the same sources with -DMACARON_BENCH_SUITE (macro expands to
+// nothing) and calls the RunX functions through the bench/suite.h registry.
+#ifdef MACARON_BENCH_SUITE
+#define MACARON_BENCH_MAIN(fn)
+#else
+#define MACARON_BENCH_MAIN(fn) \
+  int main() { return fn(); }
+#endif
 
 #endif  // MACARON_BENCH_HARNESS_H_

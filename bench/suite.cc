@@ -1,0 +1,37 @@
+#include "bench/suite.h"
+
+namespace macaron {
+namespace bench {
+
+const std::vector<SuiteEntry>& Suite() {
+  static const std::vector<SuiteEntry>* suite = new std::vector<SuiteEntry>{
+      {"table1_pricing", "Table 1", &RunTable1Pricing},
+      {"table2_traces", "Table 2", &RunTable2Traces},
+      {"fig1_total_cost", "Fig 1b", &RunFig1TotalCost},
+      {"fig4_curves", "Fig 4", &RunFig4Curves},
+      {"fig5_alc_accuracy", "Fig 5", &RunFig5AlcAccuracy},
+      {"fig7_cost_breakdown", "Fig 7 / Fig 14", &RunFig7CostBreakdown},
+      {"fig8_adaptivity", "Fig 8", &RunFig8Adaptivity},
+      {"fig9_osc_capacity", "Fig 9", &RunFig9OscCapacity},
+      {"fig10_cost_curves", "Fig 10", &RunFig10CostCurves},
+      {"fig11_latency", "Fig 11", &RunFig11Latency},
+      {"fig12a_egress_sensitivity", "Fig 12a", &RunFig12aEgressSensitivity},
+      {"fig12b_dark_data", "Fig 12b", &RunFig12bDarkData},
+      {"fig13_ttl", "Fig 13", &RunFig13Ttl},
+      {"table3_validation", "Table 3", &RunTable3Validation},
+      {"fig15_latency_generator", "Fig 15", &RunFig15LatencyGenerator},
+      {"sec52_minisim_accuracy", "S5.2", &RunSec52MinisimAccuracy},
+      {"sec53_observation", "S5.3", &RunSec53Observation},
+      {"sec73_reconfig_window", "S7.3", &RunSec73ReconfigWindow},
+      {"sec74_packing", "S7.4", &RunSec74Packing},
+      {"sec77_overhead", "S7.7", &RunSec77Overhead},
+      {"ablation_eviction_policy", "S4.2/S8", &RunAblationEvictionPolicy},
+      {"ablation_flash_tier", "S4.1", &RunAblationFlashTier},
+      {"ablation_admission_bypass", "ext", &RunAblationAdmissionBypass},
+      {"ablation_priming", "S6.2", &RunAblationPriming},
+  };
+  return *suite;
+}
+
+}  // namespace bench
+}  // namespace macaron

@@ -1,0 +1,55 @@
+// Registry of every figure/table harness for the single-process bench_all
+// driver. Each entry's function is the renamed main() of one standalone
+// bench binary (see MACARON_BENCH_MAIN in harness.h); bench_all runs them
+// back to back in one process, so they share the sweep scheduler, the trace
+// memo, and the persistent result cache.
+
+#ifndef MACARON_BENCH_SUITE_H_
+#define MACARON_BENCH_SUITE_H_
+
+#include <string>
+#include <vector>
+
+// The per-figure entry points (one per bench .cc, compiled into the suite
+// library with MACARON_BENCH_SUITE defined so they emit no main()).
+int RunTable1Pricing();
+int RunTable2Traces();
+int RunFig1TotalCost();
+int RunFig4Curves();
+int RunFig5AlcAccuracy();
+int RunFig7CostBreakdown();
+int RunFig8Adaptivity();
+int RunFig9OscCapacity();
+int RunFig10CostCurves();
+int RunFig11Latency();
+int RunFig12aEgressSensitivity();
+int RunFig12bDarkData();
+int RunFig13Ttl();
+int RunTable3Validation();
+int RunFig15LatencyGenerator();
+int RunSec52MinisimAccuracy();
+int RunSec53Observation();
+int RunSec73ReconfigWindow();
+int RunSec74Packing();
+int RunSec77Overhead();
+int RunAblationEvictionPolicy();
+int RunAblationFlashTier();
+int RunAblationAdmissionBypass();
+int RunAblationPriming();
+
+namespace macaron {
+namespace bench {
+
+struct SuiteEntry {
+  std::string name;     // short id, matches the standalone binary name suffix
+  std::string ref;      // paper figure/table reference
+  int (*fn)();
+};
+
+// All figures in canonical (paper) order.
+const std::vector<SuiteEntry>& Suite();
+
+}  // namespace bench
+}  // namespace macaron
+
+#endif  // MACARON_BENCH_SUITE_H_

@@ -36,6 +36,10 @@ class ThreadPool {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  // Detected hardware thread count, never less than 1 (the sweep scheduler
+  // and bench drivers use this as their default pool size).
+  static int HardwareConcurrency();
+
   // Enqueues one task; the future resolves when it completes and rethrows
   // anything the task threw.
   std::future<void> Submit(std::function<void()> task);

@@ -1,11 +1,13 @@
 // Machine-readable export of run results, for plotting and regression
-// tracking: one-line CSV rows (append-friendly across a sweep) and a JSON
-// document per run.
+// tracking: one-line CSV rows (append-friendly across a sweep), a JSON
+// document per run, and a full-fidelity binary blob used by the sweep
+// result store.
 
 #ifndef MACARON_SRC_SIM_REPORT_IO_H_
 #define MACARON_SRC_SIM_REPORT_IO_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/sim/run_result.h"
@@ -23,6 +25,16 @@ bool WriteRunResultsCsv(const std::vector<RunResult>& results, const std::string
 // JSON document for one run (costs, hits, latency summary, timelines).
 std::string RunResultJson(const RunResult& r);
 bool WriteRunResultJson(const RunResult& r, const std::string& path);
+
+// Binary round trip (magic "MCRR", versioned). Unlike the CSV/JSON exports
+// this preserves every field bit-exactly — including the raw latency sample
+// vector and all timelines — so a result loaded from the sweep's persistent
+// store prints the same figure rows as the run that produced it.
+// DeserializeRunResult rejects truncated, oversized, or foreign blobs.
+std::string SerializeRunResult(const RunResult& r);
+bool DeserializeRunResult(std::string_view blob, RunResult* out);
+bool WriteRunResultBinary(const RunResult& r, const std::string& path);
+bool ReadRunResultBinary(const std::string& path, RunResult* out);
 
 }  // namespace macaron
 

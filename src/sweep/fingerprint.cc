@@ -1,0 +1,152 @@
+#include "src/sweep/fingerprint.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace macaron {
+namespace sweep {
+
+std::string Fingerprint::Hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+void FingerprintHasher::MixU64(uint64_t v) {
+  hi_ = HashCombine(hi_, v);
+  lo_ = HashCombine(lo_, Mix64(v ^ 0x2545f4914f6cdd1dull));
+}
+
+void FingerprintHasher::MixF64(double v) {
+  // Bit-exact: distinguishes -0.0 from 0.0 and every NaN payload, which is
+  // what a cache key wants (a changed constant must change the key).
+  MixU64(std::bit_cast<uint64_t>(v));
+}
+
+void FingerprintHasher::MixStr(std::string_view s) {
+  MixU64(s.size());
+  // FNV-1a over the bytes, folded into both lanes at the end.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h = (h ^ c) * 0x100000001b3ull;
+  }
+  MixU64(h);
+}
+
+namespace {
+
+void MixPriceBook(FingerprintHasher& h, const PriceBook& p) {
+  h.MixStr(p.name);
+  h.MixF64(p.egress_per_gb);
+  h.MixF64(p.object_storage_per_gb_month);
+  h.MixF64(p.dram_per_gb_month);
+  h.MixF64(p.get_per_request);
+  h.MixF64(p.put_per_request);
+  h.MixF64(p.vm_per_hour);
+  h.MixF64(p.cache_node_per_hour);
+  h.MixU64(p.cache_node_usable_bytes);
+  h.MixF64(p.flash_per_gb_month);
+  h.MixF64(p.flash_node_per_hour);
+  h.MixU64(p.flash_node_usable_bytes);
+  h.MixF64(p.lambda_per_gb_second);
+  h.MixF64(p.lambda_memory_gb);
+}
+
+void MixPacking(FingerprintHasher& h, const PackingConfig& p) {
+  h.MixU64(p.block_bytes);
+  h.MixU64(p.max_objects_per_block);
+  h.MixI32(static_cast<int32_t>(p.policy));
+  h.MixF64(p.gc_dead_fraction);
+  h.MixBool(p.packing_enabled);
+}
+
+}  // namespace
+
+Fingerprint FingerprintEngineConfig(const EngineConfig& c) {
+  FingerprintHasher h;
+  h.MixStr("engine-config");
+  h.MixI32(static_cast<int32_t>(c.approach));
+  MixPriceBook(h, c.prices);
+  h.MixI32(static_cast<int32_t>(c.scenario));
+  h.MixU64(c.seed);
+  h.MixBool(c.measure_latency);
+  h.MixI64(c.window);
+  h.MixI64(c.observation);
+  h.MixF64(c.decay_per_day);
+  h.MixF64(c.sampling_ratio);
+  h.MixI32(c.num_minicaches);
+  // analyzer_threads intentionally omitted (bit-identical at any value).
+  h.MixU64(c.max_cluster_nodes);
+  h.MixU64(c.static_capacity_bytes);
+  h.MixI64(c.static_ttl);
+  h.MixF64(c.dark_data_fraction);
+  h.MixI64(c.retention);
+  MixPacking(h, c.packing);
+  h.MixBool(c.enable_priming);
+  h.MixBool(c.enable_admission_bypass);
+  h.MixI32(c.admission_bypass_windows);
+  h.MixU64(c.dataset_bytes_hint);
+  h.MixU64(c.min_minicache_bytes);
+  h.MixF64(c.infra_scale);
+  return h.Digest();
+}
+
+Fingerprint FingerprintWorkloadProfile(const WorkloadProfile& p) {
+  FingerprintHasher h;
+  h.MixStr("workload-profile");
+  h.MixStr(p.name);
+  h.MixI64(p.duration);
+  h.MixU64(p.seed);
+  h.MixU64(p.dataset_bytes);
+  h.MixU64(p.mean_object_bytes);
+  h.MixF64(p.object_size_sigma);
+  h.MixU64(p.max_object_bytes);
+  h.MixU64(p.get_bytes);
+  h.MixU64(p.put_bytes);
+  h.MixF64(p.delete_fraction);
+  h.MixF64(p.zipf_alpha);
+  h.MixF64(p.recent_get_fraction);
+  h.MixF64(p.recent_get_spread);
+  h.MixF64(p.fresh_get_fraction);
+  h.MixF64(p.daily_shift);
+  h.MixI32(static_cast<int32_t>(p.arrival));
+  h.MixBool(p.short_lifetime);
+  h.MixU64(p.quiet_days.size());
+  for (int d : p.quiet_days) {
+    h.MixI32(d);
+  }
+  return h.Digest();
+}
+
+Fingerprint FingerprintTraceContent(const Trace& trace) {
+  FingerprintHasher h;
+  h.MixStr("trace-content");
+  h.MixStr(trace.name);
+  h.MixU64(trace.requests.size());
+  for (const Request& r : trace.requests) {
+    // One pre-mixed word per record keeps this a single lane update per
+    // request (traces run to millions of records).
+    const uint64_t folded = Mix64(static_cast<uint64_t>(r.time)) ^
+                            Mix64(r.id * 0x9e3779b97f4a7c15ull) ^
+                            Mix64(r.size + 0x517cc1b727220a95ull) ^
+                            static_cast<uint64_t>(r.op);
+    h.MixU64(folded);
+  }
+  return h.Digest();
+}
+
+Fingerprint JobFingerprint(const Fingerprint& trace_identity,
+                           const Fingerprint& config_fingerprint, int engine_kind) {
+  FingerprintHasher h;
+  h.MixStr(kSweepVersionSalt);
+  h.MixU64(trace_identity.hi);
+  h.MixU64(trace_identity.lo);
+  h.MixU64(config_fingerprint.hi);
+  h.MixU64(config_fingerprint.lo);
+  h.MixI32(engine_kind);
+  return h.Digest();
+}
+
+}  // namespace sweep
+}  // namespace macaron

@@ -1,0 +1,66 @@
+#include "src/sweep/result_store.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "src/sim/report_io.h"
+
+namespace macaron {
+namespace sweep {
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) {
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    std::fprintf(stderr, "sweep: result store disabled (cannot create %s: %s)\n", dir_.c_str(),
+                 ec.message().c_str());
+    dir_.clear();
+  }
+}
+
+std::string ResultStore::PathFor(const std::string& key_hex) const {
+  return dir_ + "/" + key_hex + ".run";
+}
+
+bool ResultStore::Load(const std::string& key_hex, RunResult* out) {
+  if (!enabled()) {
+    return false;
+  }
+  if (ReadRunResultBinary(PathFor(key_hex), out)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool ResultStore::Store(const std::string& key_hex, const RunResult& r) {
+  if (!enabled()) {
+    return false;
+  }
+  // Unique temp name per write — across threads (counter) and across
+  // processes sharing the directory (pid) — so concurrent stores of the
+  // same key never share a temp file, and rename() makes publication atomic.
+  const uint64_t n = tmp_counter_.fetch_add(1, std::memory_order_relaxed);
+  const std::string tmp =
+      PathFor(key_hex) + ".tmp" + std::to_string(getpid()) + "." + std::to_string(n);
+  if (!WriteRunResultBinary(r, tmp)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), PathFor(key_hex).c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace sweep
+}  // namespace macaron

@@ -1,0 +1,215 @@
+#include "src/sweep/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "src/sim/event_engine.h"
+#include "src/sim/replay_engine.h"
+#include "src/sim/report_io.h"
+
+namespace macaron {
+namespace sweep {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+RunResult OracularToRunResult(const std::string& trace_name, const OracularResult& o) {
+  RunResult r;
+  r.trace_name = trace_name;
+  r.approach_name = "oracular";
+  r.costs = o.costs;
+  r.gets = o.osc_hits + o.remote_fetches;
+  r.osc_hits = o.osc_hits;
+  r.remote_fetches = o.remote_fetches;
+  r.egress_bytes = o.egress_bytes;
+  r.mean_stored_bytes = o.mean_stored_bytes;
+  r.latency_ms = o.latency_ms;
+  return r;
+}
+
+OracularResult RunResultToOracular(const RunResult& r) {
+  OracularResult o;
+  o.costs = r.costs;
+  o.osc_hits = r.osc_hits;
+  o.remote_fetches = r.remote_fetches;
+  o.egress_bytes = r.egress_bytes;
+  o.mean_stored_bytes = r.mean_stored_bytes;
+  o.latency_ms = r.latency_ms;
+  return o;
+}
+
+OracularResult RunOracularWithConfig(const Trace& trace, const EngineConfig& config) {
+  if (!config.measure_latency) {
+    return RunOracular(trace, config.prices, nullptr, config.seed);
+  }
+  GroundTruthLatency truth(config.scenario);
+  FittedLatencyGenerator fitted(truth, 400, config.seed ^ 0xfeed);
+  return RunOracular(trace, config.prices, &fitted, config.seed);
+}
+
+SweepScheduler::SweepScheduler(Options options)
+    : options_(std::move(options)), store_(options_.store_dir), pool_(options_.threads) {}
+
+SweepScheduler::~SweepScheduler() {
+  // ~ThreadPool drains the queue; nothing else to do. Jobs whose futures
+  // were never collected still complete (and persist) before destruction.
+}
+
+size_t SweepScheduler::Submit(SweepJobSpec spec) {
+  if (spec.trace == nullptr && !spec.trace_name.empty() && options_.trace_provider == nullptr) {
+    throw std::invalid_argument("sweep: named job submitted without a trace provider");
+  }
+  if (spec.trace == nullptr && spec.trace_name.empty()) {
+    throw std::invalid_argument("sweep: job has neither a trace nor a trace name");
+  }
+  Fingerprint trace_identity = spec.trace_identity;
+  if (trace_identity.IsZero()) {
+    if (spec.trace == nullptr) {
+      throw std::invalid_argument(
+          "sweep: named job needs an explicit trace identity (content hashing would force "
+          "generation at submit time)");
+    }
+    trace_identity = FingerprintTraceContent(*spec.trace);
+  }
+  const Fingerprint key = JobFingerprint(trace_identity, FingerprintEngineConfig(spec.config),
+                                         static_cast<int>(spec.engine));
+  const std::string hex = key.Hex();
+
+  std::shared_ptr<Execution> exec;
+  bool fresh = false;
+  size_t index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_fingerprint_.find(hex);
+    if (it == by_fingerprint_.end()) {
+      exec = std::make_shared<Execution>();
+      exec->ready = exec->done.get_future().share();
+      by_fingerprint_.emplace(hex, exec);
+      fresh = true;
+    } else {
+      exec = it->second;
+    }
+    index = jobs_.size();
+    jobs_.push_back({exec, !fresh});
+  }
+  if (fresh) {
+    // With threads <= 1 the pool runs this inline — the serial path.
+    pool_.Submit([this, spec = std::move(spec), key, exec] { Execute(spec, key, exec); });
+  }
+  return index;
+}
+
+void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
+                             const std::shared_ptr<Execution>& exec) {
+  const int now_in_flight = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  int peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (now_in_flight > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, now_in_flight, std::memory_order_relaxed)) {
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const std::string hex = key.Hex();
+    if (store_.Load(hex, &exec->result)) {
+      exec->metrics.cache_hit = true;
+    } else {
+      const Trace& trace =
+          spec.trace != nullptr ? *spec.trace : options_.trace_provider(spec.trace_name);
+      switch (spec.engine) {
+        case JobEngine::kReplay:
+          exec->result = ReplayEngine(spec.config).Run(trace);
+          break;
+        case JobEngine::kEvent:
+          exec->result = EventEngine(spec.config).Run(trace);
+          break;
+        case JobEngine::kOracle: {
+          const std::string& name = spec.trace_name.empty() ? trace.name : spec.trace_name;
+          exec->result = OracularToRunResult(name, RunOracularWithConfig(trace, spec.config));
+          break;
+        }
+      }
+      exec->metrics.requests = trace.size();
+      store_.Store(hex, exec->result);
+    }
+    exec->metrics.wall_seconds = SecondsSince(start);
+    if (exec->metrics.requests > 0 && exec->metrics.wall_seconds > 0) {
+      exec->metrics.requests_per_second =
+          static_cast<double>(exec->metrics.requests) / exec->metrics.wall_seconds;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (exec->metrics.cache_hit) {
+        ++store_hits_;
+      } else {
+        ++executed_;
+      }
+      busy_seconds_ += exec->metrics.wall_seconds;
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    exec->done.set_value();
+  } catch (...) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    exec->done.set_exception(std::current_exception());
+  }
+}
+
+const RunResult& SweepScheduler::Result(size_t index) {
+  std::shared_ptr<Execution> exec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exec = jobs_.at(index).exec;
+  }
+  exec->ready.get();  // rethrows job exceptions
+  return exec->result;
+}
+
+SweepJobMetrics SweepScheduler::Metrics(size_t index) {
+  std::shared_ptr<Execution> exec;
+  bool deduplicated;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exec = jobs_.at(index).exec;
+    deduplicated = jobs_.at(index).deduplicated;
+  }
+  exec->ready.get();
+  SweepJobMetrics m = exec->metrics;
+  m.deduplicated = deduplicated;
+  return m;
+}
+
+void SweepScheduler::WaitAll() {
+  size_t n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n = jobs_.size();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::shared_ptr<Execution> exec;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      exec = jobs_[i].exec;
+    }
+    exec->ready.wait();
+  }
+}
+
+SweepStats SweepScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SweepStats s;
+  s.submitted = jobs_.size();
+  s.unique = by_fingerprint_.size();
+  s.executed = executed_;
+  s.store_hits = store_hits_;
+  s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
+  s.busy_seconds = busy_seconds_;
+  return s;
+}
+
+}  // namespace sweep
+}  // namespace macaron

@@ -1,0 +1,169 @@
+// Sweep scheduler: concurrent execution of independent simulation jobs with
+// deterministic results.
+//
+// The figure suite is an embarrassingly parallel outer loop — (trace,
+// EngineConfig) pairs that share no mutable state — so the scheduler fans
+// unique jobs across the shared ThreadPool and callers collect results *by
+// submission index*, never by completion order. Printed figure rows are
+// therefore bit-identical to a serial run at any thread count (including
+// threads <= 1, which degenerates to running each job inline at Submit).
+//
+// Two memoization layers sit in front of the engines:
+//  * in-process dedup: submitting a job whose fingerprint matches an
+//    earlier submission (same binary, or two figures sharing a row) shares
+//    the same execution — the duplicate does zero simulation work;
+//  * the persistent ResultStore: a fingerprint already computed by a
+//    previous process is loaded from disk instead of simulated.
+//
+// Per-job wall-clock and throughput metrics plus scheduler-wide stats
+// (peak jobs in flight, store hits, busy seconds) feed BENCH_sweep.json.
+
+#ifndef MACARON_SRC_SWEEP_SCHEDULER_H_
+#define MACARON_SRC_SWEEP_SCHEDULER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/oracle/oracular.h"
+#include "src/sim/engine_config.h"
+#include "src/sim/run_result.h"
+#include "src/sweep/fingerprint.h"
+#include "src/sweep/result_store.h"
+#include "src/trace/trace.h"
+
+namespace macaron {
+namespace sweep {
+
+// Which simulator executes the job. Part of the job fingerprint.
+enum class JobEngine : int {
+  kReplay = 0,  // ReplayEngine (the paper's simulator; the default)
+  kEvent = 1,   // EventEngine (prototype-fidelity, Table 3 validation)
+  kOracle = 2,  // Oracular offline optimal (result adapted into a RunResult)
+};
+
+struct SweepJobSpec {
+  // Either an explicit trace, or a name the scheduler resolves through the
+  // trace provider on a worker (named resolution lets trace generation
+  // itself run concurrently). When `trace` is set it must stay alive until
+  // the job completes — pass ownership via the shared_ptr if in doubt.
+  std::string trace_name;
+  std::shared_ptr<const Trace> trace;
+
+  // Identity of the trace for the result-store key. Zero means "derive":
+  // content hash of `trace` when set (named-only jobs must supply one, since
+  // hashing would force generation at submit time).
+  Fingerprint trace_identity;
+
+  EngineConfig config;
+  JobEngine engine = JobEngine::kReplay;
+};
+
+struct SweepJobMetrics {
+  bool cache_hit = false;      // served from the persistent store
+  bool deduplicated = false;   // shared an earlier in-process submission
+  double wall_seconds = 0.0;   // execution (or store-load) time
+  uint64_t requests = 0;       // trace length (0 when served from the store)
+  double requests_per_second = 0.0;
+};
+
+struct SweepStats {
+  size_t submitted = 0;    // Submit calls
+  size_t unique = 0;       // distinct fingerprints
+  size_t executed = 0;     // jobs that actually ran a simulator
+  size_t store_hits = 0;   // jobs served from the persistent store
+  int peak_in_flight = 0;  // max jobs running concurrently
+  double busy_seconds = 0.0;  // summed per-job wall time (parallel work)
+};
+
+class SweepScheduler {
+ public:
+  struct Options {
+    // <= 1 runs every job inline at Submit (the serial reference path).
+    int threads = 1;
+    // Persistent store directory; empty disables persistence.
+    std::string store_dir;
+    // Resolves trace names for jobs submitted without an explicit trace.
+    // Called from worker threads; must be thread-safe.
+    std::function<const Trace&(const std::string&)> trace_provider;
+  };
+
+  explicit SweepScheduler(Options options);
+  // Blocks until every submitted job has finished.
+  ~SweepScheduler();
+
+  SweepScheduler(const SweepScheduler&) = delete;
+  SweepScheduler& operator=(const SweepScheduler&) = delete;
+
+  // Enqueues one job and returns its index (== submission order). Duplicate
+  // fingerprints share the earlier execution.
+  size_t Submit(SweepJobSpec spec);
+
+  // Blocks until job `index` completes; rethrows anything the job threw.
+  // The reference stays valid for the scheduler's lifetime.
+  const RunResult& Result(size_t index);
+
+  // Metrics for a completed job (call after Result).
+  SweepJobMetrics Metrics(size_t index);
+
+  // Waits for all currently submitted jobs.
+  void WaitAll();
+
+  SweepStats stats() const;
+  int threads() const { return options_.threads; }
+  ResultStore& store() { return store_; }
+
+ private:
+  struct Execution {
+    std::promise<void> done;
+    std::shared_future<void> ready;
+    RunResult result;
+    SweepJobMetrics metrics;
+  };
+  struct JobRecord {
+    std::shared_ptr<Execution> exec;
+    bool deduplicated = false;
+  };
+
+  void Execute(const SweepJobSpec& spec, const Fingerprint& key,
+               const std::shared_ptr<Execution>& exec);
+
+  Options options_;
+  ResultStore store_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Execution>> by_fingerprint_;
+  std::vector<JobRecord> jobs_;
+  size_t executed_ = 0;
+  size_t store_hits_ = 0;
+  double busy_seconds_ = 0.0;
+
+  std::atomic<int> in_flight_{0};
+  std::atomic<int> peak_in_flight_{0};
+
+  // Destroyed first: the pool drains queued tasks, which reference the
+  // members above, before any of them go away.
+  ThreadPool pool_;
+};
+
+// Adapters between the Oracular comparator's result type and the sweep's
+// uniform RunResult (field-preserving in both directions).
+RunResult OracularToRunResult(const std::string& trace_name, const OracularResult& o);
+OracularResult RunResultToOracular(const RunResult& r);
+
+// Runs the Oracular offline optimal under `config` (prices, seed, and — when
+// measure_latency is set — the fitted latency generator, constructed exactly
+// as the bench harness always has).
+OracularResult RunOracularWithConfig(const Trace& trace, const EngineConfig& config);
+
+}  // namespace sweep
+}  // namespace macaron
+
+#endif  // MACARON_SRC_SWEEP_SCHEDULER_H_

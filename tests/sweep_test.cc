@@ -1,0 +1,318 @@
+// Tests for the sweep scheduler: bit-identical results at any thread count,
+// in-process dedup, the persistent result store, RunResult serialization,
+// and fingerprint stability/sensitivity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/sim/replay_engine.h"
+#include "src/sim/report_io.h"
+#include "src/sweep/fingerprint.h"
+#include "src/sweep/result_store.h"
+#include "src/sweep/scheduler.h"
+#include "src/trace/splitter.h"
+#include "src/trace/synthetic.h"
+
+namespace macaron {
+namespace {
+
+// Small fast workloads (a few hundred requests) that still cross the 1-day
+// observation boundary so the controller optimizes at least once.
+WorkloadProfile SmallProfile(const std::string& name, uint64_t seed) {
+  WorkloadProfile p;
+  p.name = name;
+  p.seed = seed;
+  p.duration = 2 * kDay;
+  p.dataset_bytes = 50ull * 1000 * 1000;
+  p.mean_object_bytes = 500ull * 1000;
+  p.get_bytes = 300ull * 1000 * 1000;
+  p.zipf_alpha = 0.7;
+  return p;
+}
+
+Trace SmallTrace(const std::string& name, uint64_t seed) {
+  const WorkloadProfile p = SmallProfile(name, seed);
+  return SplitObjects(GenerateTrace(p), p.max_object_bytes);
+}
+
+EngineConfig SmallConfig(Approach a) {
+  EngineConfig cfg;
+  cfg.approach = a;
+  cfg.prices = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  cfg.num_minicaches = 12;
+  if (a == Approach::kStaticTtl) {
+    cfg.static_ttl = 12 * kHour;
+  }
+  return cfg;
+}
+
+std::string TempStoreDir(const char* stem) {
+  const std::string dir = testing::TempDir() + "/" + stem;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(RunResultSerializationTest, RoundTripPreservesEveryField) {
+  const Trace t = SmallTrace("ser", 11);
+  EngineConfig cfg = SmallConfig(Approach::kMacaronNoCluster);
+  cfg.measure_latency = true;
+  const RunResult r = ReplayEngine(cfg).Run(t);
+  const std::string blob = SerializeRunResult(r);
+  RunResult back;
+  ASSERT_TRUE(DeserializeRunResult(blob, &back));
+  EXPECT_EQ(back.trace_name, r.trace_name);
+  EXPECT_EQ(back.approach_name, r.approach_name);
+  for (int c = 0; c < static_cast<int>(CostCategory::kNumCategories); ++c) {
+    EXPECT_EQ(back.costs.Get(static_cast<CostCategory>(c)),
+              r.costs.Get(static_cast<CostCategory>(c)))
+        << c;
+  }
+  EXPECT_EQ(back.gets, r.gets);
+  EXPECT_EQ(back.cluster_hits, r.cluster_hits);
+  EXPECT_EQ(back.osc_hits, r.osc_hits);
+  EXPECT_EQ(back.remote_fetches, r.remote_fetches);
+  EXPECT_EQ(back.delayed_hits, r.delayed_hits);
+  EXPECT_EQ(back.egress_bytes, r.egress_bytes);
+  EXPECT_EQ(back.reconfigs, r.reconfigs);
+  EXPECT_EQ(back.total_reconfig_seconds, r.total_reconfig_seconds);
+  EXPECT_EQ(back.total_analysis_seconds, r.total_analysis_seconds);
+  EXPECT_EQ(back.first_optimized_capacity, r.first_optimized_capacity);
+  EXPECT_EQ(back.first_optimized_ttl, r.first_optimized_ttl);
+  EXPECT_EQ(back.mean_stored_bytes, r.mean_stored_bytes);
+  EXPECT_EQ(back.dataset_bytes, r.dataset_bytes);
+  EXPECT_EQ(back.osc_capacity_timeline, r.osc_capacity_timeline);
+  EXPECT_EQ(back.cluster_nodes_timeline, r.cluster_nodes_timeline);
+  EXPECT_EQ(back.ttl_timeline, r.ttl_timeline);
+  // Latency samples in insertion order: quantiles and means match exactly.
+  ASSERT_EQ(back.latency_ms.samples().size(), r.latency_ms.samples().size());
+  EXPECT_EQ(back.latency_ms.samples(), r.latency_ms.samples());
+  // And the round trip of the round trip is byte-stable.
+  EXPECT_EQ(SerializeRunResult(back), blob);
+}
+
+TEST(RunResultSerializationTest, RejectsCorruptBlobs) {
+  const Trace t = SmallTrace("corrupt", 5);
+  const RunResult r = ReplayEngine(SmallConfig(Approach::kRemote)).Run(t);
+  const std::string blob = SerializeRunResult(r);
+  RunResult out;
+  EXPECT_FALSE(DeserializeRunResult("", &out));
+  EXPECT_FALSE(DeserializeRunResult("nonsense", &out));
+  EXPECT_FALSE(DeserializeRunResult(blob.substr(0, blob.size() / 2), &out));
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DeserializeRunResult(bad_magic, &out));
+  std::string trailing = blob + "x";
+  EXPECT_FALSE(DeserializeRunResult(trailing, &out));
+}
+
+TEST(FingerprintTest, SensitiveToResultAffectingFields) {
+  const EngineConfig base = SmallConfig(Approach::kMacaronNoCluster);
+  const sweep::Fingerprint fp = sweep::FingerprintEngineConfig(base);
+  EXPECT_EQ(sweep::FingerprintEngineConfig(base), fp) << "must be stable";
+
+  EngineConfig c = base;
+  c.seed ^= 1;
+  EXPECT_NE(sweep::FingerprintEngineConfig(c), fp);
+  c = base;
+  c.window += kMinute;
+  EXPECT_NE(sweep::FingerprintEngineConfig(c), fp);
+  c = base;
+  c.approach = Approach::kRemote;
+  EXPECT_NE(sweep::FingerprintEngineConfig(c), fp);
+  c = base;
+  c.prices = c.prices.WithEgressScale(0.5);
+  EXPECT_NE(sweep::FingerprintEngineConfig(c), fp);
+  c = base;
+  c.packing.packing_enabled = !c.packing.packing_enabled;
+  EXPECT_NE(sweep::FingerprintEngineConfig(c), fp);
+  c = base;
+  c.measure_latency = !c.measure_latency;
+  EXPECT_NE(sweep::FingerprintEngineConfig(c), fp);
+}
+
+TEST(FingerprintTest, AnalyzerThreadsDoesNotChangeTheKey) {
+  // PR 1 guarantees bit-identical analysis at any analyzer thread count, so
+  // results are shared across it.
+  EngineConfig a = SmallConfig(Approach::kMacaronNoCluster);
+  EngineConfig b = a;
+  a.analyzer_threads = 1;
+  b.analyzer_threads = 16;
+  EXPECT_EQ(sweep::FingerprintEngineConfig(a), sweep::FingerprintEngineConfig(b));
+}
+
+TEST(FingerprintTest, TraceContentAndProfileIdentities) {
+  const Trace t1 = SmallTrace("fp", 21);
+  Trace t2 = t1;
+  const sweep::Fingerprint f1 = sweep::FingerprintTraceContent(t1);
+  EXPECT_EQ(sweep::FingerprintTraceContent(t2), f1);
+  t2.requests[0].size += 1;
+  EXPECT_NE(sweep::FingerprintTraceContent(t2), f1);
+
+  const WorkloadProfile p1 = SmallProfile("fp", 21);
+  WorkloadProfile p2 = p1;
+  EXPECT_EQ(sweep::FingerprintWorkloadProfile(p2), sweep::FingerprintWorkloadProfile(p1));
+  p2.zipf_alpha += 0.01;
+  EXPECT_NE(sweep::FingerprintWorkloadProfile(p2), sweep::FingerprintWorkloadProfile(p1));
+}
+
+// The core tentpole guarantee: results collected by submission index are
+// bit-identical to direct serial engine runs at every thread count.
+TEST(SweepSchedulerTest, BitIdenticalAcrossThreadCounts) {
+  struct Job {
+    std::shared_ptr<const Trace> trace;
+    EngineConfig cfg;
+  };
+  std::vector<Job> jobs;
+  for (uint64_t seed : {1ull, 2ull}) {
+    auto trace = std::make_shared<const Trace>(SmallTrace("det" + std::to_string(seed), seed));
+    for (Approach a : {Approach::kRemote, Approach::kMacaronNoCluster, Approach::kStaticTtl}) {
+      jobs.push_back({trace, SmallConfig(a)});
+    }
+  }
+  // Serial reference: the engines invoked directly, in order.
+  std::vector<std::string> reference;
+  for (const Job& j : jobs) {
+    reference.push_back(SerializeRunResult(ReplayEngine(j.cfg).Run(*j.trace)));
+  }
+  for (int threads : {1, 2, 8}) {
+    sweep::SweepScheduler::Options opt;
+    opt.threads = threads;
+    sweep::SweepScheduler sched(std::move(opt));
+    std::vector<size_t> ids;
+    for (const Job& j : jobs) {
+      sweep::SweepJobSpec spec;
+      spec.trace = j.trace;
+      spec.trace_name = j.trace->name;
+      spec.config = j.cfg;
+      ids.push_back(sched.Submit(std::move(spec)));
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(SerializeRunResult(sched.Result(ids[i])), reference[i])
+          << "threads=" << threads << " job=" << i;
+    }
+  }
+}
+
+TEST(SweepSchedulerTest, DeduplicatesIdenticalSubmissions) {
+  auto trace = std::make_shared<const Trace>(SmallTrace("dedup", 3));
+  sweep::SweepScheduler::Options opt;
+  opt.threads = 2;
+  sweep::SweepScheduler sched(std::move(opt));
+  sweep::SweepJobSpec spec;
+  spec.trace = trace;
+  spec.trace_name = trace->name;
+  spec.config = SmallConfig(Approach::kRemote);
+  const size_t first = sched.Submit(spec);
+  const size_t second = sched.Submit(spec);
+  EXPECT_EQ(SerializeRunResult(sched.Result(first)), SerializeRunResult(sched.Result(second)));
+  EXPECT_FALSE(sched.Metrics(first).deduplicated);
+  EXPECT_TRUE(sched.Metrics(second).deduplicated);
+  const sweep::SweepStats stats = sched.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.unique, 1u);
+  EXPECT_EQ(stats.executed, 1u);
+}
+
+TEST(SweepSchedulerTest, PersistentStoreServesSecondProcess) {
+  const std::string dir = TempStoreDir("sweep_store_test");
+  const WorkloadProfile profile = SmallProfile("persist", 9);
+  const sweep::Fingerprint identity = sweep::FingerprintWorkloadProfile(profile);
+  std::atomic<int> generations{0};
+  auto provider = [&](const std::string& name) -> const Trace& {
+    static std::map<std::string, Trace>* memo = new std::map<std::string, Trace>();
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = memo->find(name);
+    if (it == memo->end()) {
+      generations.fetch_add(1);
+      it = memo->emplace(name, SmallTrace("persist", 9)).first;
+    }
+    return it->second;
+  };
+  sweep::SweepJobSpec spec;
+  spec.trace_name = "persist";
+  spec.trace_identity = identity;
+  spec.config = SmallConfig(Approach::kMacaronNoCluster);
+
+  std::string first_blob;
+  {
+    sweep::SweepScheduler::Options opt;
+    opt.threads = 1;
+    opt.store_dir = dir;
+    opt.trace_provider = provider;
+    sweep::SweepScheduler sched(std::move(opt));
+    const size_t id = sched.Submit(spec);
+    first_blob = SerializeRunResult(sched.Result(id));
+    EXPECT_FALSE(sched.Metrics(id).cache_hit);
+    EXPECT_EQ(sched.stats().executed, 1u);
+    EXPECT_EQ(generations.load(), 1);
+  }
+  {
+    // "Second process": a fresh scheduler on the same directory. The job
+    // must be served from disk — no simulation, no trace generation.
+    sweep::SweepScheduler::Options opt;
+    opt.threads = 1;
+    opt.store_dir = dir;
+    opt.trace_provider = provider;
+    sweep::SweepScheduler sched(std::move(opt));
+    const size_t id = sched.Submit(spec);
+    EXPECT_EQ(SerializeRunResult(sched.Result(id)), first_blob);
+    EXPECT_TRUE(sched.Metrics(id).cache_hit);
+    const sweep::SweepStats stats = sched.stats();
+    EXPECT_EQ(stats.executed, 0u);
+    EXPECT_EQ(stats.store_hits, 1u);
+    EXPECT_EQ(generations.load(), 1) << "cache hit must not regenerate the trace";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SweepSchedulerTest, OracleJobMatchesDirectRun) {
+  auto trace = std::make_shared<const Trace>(SmallTrace("oracle", 17));
+  const EngineConfig cfg = SmallConfig(Approach::kRemote);
+  const OracularResult direct = sweep::RunOracularWithConfig(*trace, cfg);
+
+  sweep::SweepScheduler::Options opt;
+  opt.threads = 1;
+  sweep::SweepScheduler sched(std::move(opt));
+  sweep::SweepJobSpec spec;
+  spec.trace = trace;
+  spec.trace_name = trace->name;
+  spec.config = cfg;
+  spec.engine = sweep::JobEngine::kOracle;
+  const size_t id = sched.Submit(std::move(spec));
+  const OracularResult via = sweep::RunResultToOracular(sched.Result(id));
+  EXPECT_EQ(via.costs.Total(), direct.costs.Total());
+  EXPECT_EQ(via.osc_hits, direct.osc_hits);
+  EXPECT_EQ(via.remote_fetches, direct.remote_fetches);
+  EXPECT_EQ(via.egress_bytes, direct.egress_bytes);
+  EXPECT_EQ(via.mean_stored_bytes, direct.mean_stored_bytes);
+}
+
+TEST(SweepSchedulerTest, RejectsUnresolvableSpecs) {
+  sweep::SweepScheduler::Options opt;
+  opt.threads = 1;
+  sweep::SweepScheduler sched(std::move(opt));
+  sweep::SweepJobSpec empty;
+  EXPECT_THROW(sched.Submit(empty), std::invalid_argument);
+  sweep::SweepJobSpec named_only;
+  named_only.trace_name = "nope";  // no provider configured
+  EXPECT_THROW(sched.Submit(named_only), std::invalid_argument);
+}
+
+TEST(ResultStoreTest, DisabledStoreIsInert) {
+  sweep::ResultStore store("");
+  RunResult r;
+  EXPECT_FALSE(store.Load("00", &r));
+  store.Store("00", r);  // no crash, no file
+  EXPECT_FALSE(store.Load("00", &r));
+}
+
+}  // namespace
+}  // namespace macaron

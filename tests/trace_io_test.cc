@@ -1,0 +1,144 @@
+// Unit tests for the bulk trace I/O paths: chunked binary reads/writes and
+// the from_chars CSV parser (round trips, malformed inputs, corrupt headers).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/trace/trace.h"
+#include "src/trace/trace_io.h"
+
+namespace macaron {
+namespace {
+
+Trace MakeBigTrace(size_t n) {
+  Trace t;
+  t.name = "big";
+  t.requests.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Op op = i % 7 == 0 ? Op::kPut : (i % 31 == 0 ? Op::kDelete : Op::kGet);
+    t.requests.push_back(Request{static_cast<SimTime>(i * 13),
+                                 static_cast<ObjectId>(i * 2654435761u),
+                                 1000 + (i % 4096) * 7, op});
+  }
+  return t;
+}
+
+std::string TempPath(const char* stem) { return testing::TempDir() + "/" + stem; }
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(contents.data(), 1, contents.size(), f), contents.size());
+  std::fclose(f);
+}
+
+// The binary path stages records through 64K-record chunks; a trace larger
+// than one chunk exercises the partial-final-chunk logic in both directions.
+TEST(TraceIoBulkTest, BinaryRoundTripAcrossChunkBoundary) {
+  const size_t n = (1 << 16) + 1234;
+  const Trace t = MakeBigTrace(n);
+  const std::string path = TempPath("bulk_bin.mctr");
+  ASSERT_TRUE(WriteTraceBinary(t, path));
+  Trace back;
+  ASSERT_TRUE(ReadTraceBinary(path, &back));
+  ASSERT_EQ(back.requests.size(), n);
+  // Spot-check across the chunk boundary plus the ends.
+  for (size_t i : {size_t{0}, size_t{1}, size_t{65535}, size_t{65536}, size_t{65537}, n - 1}) {
+    EXPECT_EQ(back.requests[i], t.requests[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, CsvRoundTripAcrossFlushBoundary) {
+  // ~40 bytes/row * 40000 rows > the 1 MB flush buffer.
+  const size_t n = 40000;
+  const Trace t = MakeBigTrace(n);
+  const std::string path = TempPath("bulk_csv.csv");
+  ASSERT_TRUE(WriteTraceCsv(t, path));
+  Trace back;
+  ASSERT_TRUE(ReadTraceCsv(path, &back));
+  ASSERT_EQ(back.requests.size(), n);
+  for (size_t i : {size_t{0}, n / 2, n - 1}) {
+    EXPECT_EQ(back.requests[i], t.requests[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryRejectsOversizedCount) {
+  // Header claims 1e9 records but the file holds one: the reader must fail
+  // without attempting a 32 GB reserve.
+  std::string blob = "MCTR";
+  const uint32_t version = 1;
+  const uint64_t count = 1'000'000'000ull;
+  blob.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  blob.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  blob.append(32, '\0');  // one zeroed record
+  const std::string path = TempPath("oversized.mctr");
+  WriteFile(path, blob);
+  Trace t;
+  EXPECT_FALSE(ReadTraceBinary(path, &t));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryRejectsBadOp) {
+  Trace t;
+  t.requests.push_back(Request{0, 1, 100, Op::kGet});
+  const std::string path = TempPath("badop.mctr");
+  ASSERT_TRUE(WriteTraceBinary(t, path));
+  // Corrupt the op byte of the first record (offset: 4 magic + 4 version +
+  // 8 count + 24 into the record).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 4 + 4 + 8 + 24, SEEK_SET), 0);
+  std::fputc(0x7f, f);
+  std::fclose(f);
+  Trace back;
+  EXPECT_FALSE(ReadTraceBinary(path, &back));
+  std::remove(path.c_str());
+}
+
+struct CsvCase {
+  const char* label;
+  const char* body;  // rows after the header
+  bool ok;
+};
+
+TEST(TraceIoBulkTest, CsvMalformedInputs) {
+  const CsvCase cases[] = {
+      {"valid", "100,GET,7,2048\n", true},
+      {"valid_crlf", "100,GET,7,2048\r\n", true},
+      {"valid_no_trailing_newline", "100,GET,7,2048", true},
+      {"negative_time", "-5,GET,7,2048\n", true},
+      {"unknown_op", "100,POST,7,2048\n", false},
+      {"lowercase_op", "100,get,7,2048\n", false},
+      {"missing_field", "100,GET,7\n", false},
+      {"extra_field", "100,GET,7,2048,9\n", false},
+      {"empty_time", ",GET,7,2048\n", false},
+      {"non_numeric_id", "100,GET,abc,2048\n", false},
+      {"trailing_junk", "100,GET,7,2048x\n", false},
+      {"negative_size", "100,GET,7,-1\n", false},
+      {"size_overflow", "100,GET,7,99999999999999999999999\n", false},
+      {"blank_trailing_line", "100,GET,7,2048\n\n", true},
+  };
+  for (const CsvCase& c : cases) {
+    const std::string path = TempPath("malformed.csv");
+    WriteFile(path, std::string("time_ms,op,object_id,size_bytes\n") + c.body);
+    Trace t;
+    EXPECT_EQ(ReadTraceCsv(path, &t), c.ok) << c.label;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(TraceIoBulkTest, CsvEmptyFileFails) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  Trace t;
+  EXPECT_FALSE(ReadTraceCsv(path, &t));  // no header
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace macaron
