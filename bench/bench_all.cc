@@ -85,6 +85,7 @@ void WriteJson(const std::string& path, int threads, double total_seconds,
 }  // namespace
 
 int main(int argc, char** argv) {
+  macaron::bench::WarnIfUnoptimizedBuild("bench_all");
   int threads = -1;
   std::string cache_dir;
   bool cache_dir_set = false;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "src/cache/lru_cache.h"
 #include "src/cache/reference_caches.h"
 #include "src/cache/ttl_cache.h"
@@ -16,14 +17,20 @@
 #include "src/cluster/hash_ring.h"
 #include "src/common/rng.h"
 #include "src/common/zipf.h"
+#include "src/minisim/alc_bank.h"
 #include "src/minisim/mrc_bank.h"
 #include "src/minisim/size_grid.h"
+#include "src/minisim/ttl_bank.h"
 #include "src/osc/osc.h"
 #include "src/sim/engine_config.h"
+#include "src/sim/event_engine.h"
+#include "src/sim/replay_engine.h"
 #include "src/sweep/fingerprint.h"
 #include "src/sweep/result_store.h"
 #include "src/sweep/scheduler.h"
 #include "src/trace/sampler.h"
+#include "src/trace/splitter.h"
+#include "src/trace/synthetic.h"
 
 namespace macaron {
 namespace {
@@ -177,6 +184,131 @@ void BM_CacheCoreBankWindowReplay(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheCoreBankWindowReplay)->Arg(48)->Unit(benchmark::kMillisecond);
 
+// --- Per-stage mini-sim window replay (the hash-once hot path) ---
+//
+// One iteration = one full analysis window through a bank: sampler
+// admission (hash once), SoA batch buffering, and the policy-templated
+// ReplayMiniSim kernel across every grid point. The BM_MiniSimWindow* group
+// measures each bank's end-to-end window cost; the per-policy MRC variants
+// show the devirtualized kernels previously exclusive to LRU (AsLruCache).
+
+const std::vector<Request>& MiniSimWindowStream() {
+  static const std::vector<Request>* window = [] {
+    auto* reqs = new std::vector<Request>();
+    reqs->reserve(1 << 17);
+    Rng rng(13);
+    ZipfSampler zipf(300000, 0.7);
+    for (size_t i = 0; i < (1 << 17); ++i) {
+      reqs->push_back({static_cast<SimTime>(i * 8), zipf.Sample(rng), 100000, Op::kGet});
+    }
+    return reqs;
+  }();
+  return *window;
+}
+
+void BM_MiniSimWindowMrc(benchmark::State& state) {
+  const auto kind = static_cast<EvictionPolicyKind>(state.range(0));
+  MrcBank bank(UniformSizeGrid(50'000'000, 5'000'000'000, 48), 0.05, 7, kind);
+  for (auto _ : state) {
+    for (const Request& r : MiniSimWindowStream()) {
+      bank.Process(r);
+    }
+    bank.EndWindow();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(MiniSimWindowStream().size()));
+  state.SetLabel(EvictionPolicyName(kind));
+}
+BENCHMARK(BM_MiniSimWindowMrc)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_MiniSimWindowTtl(benchmark::State& state) {
+  TtlBank bank(StandardTtlGrid(7 * kDay), 0.05, 7);
+  for (auto _ : state) {
+    for (const Request& r : MiniSimWindowStream()) {
+      bank.Process(r);
+    }
+    bank.EndWindow(15 * kMinute);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(MiniSimWindowStream().size()));
+}
+BENCHMARK(BM_MiniSimWindowTtl)->Unit(benchmark::kMillisecond);
+
+void BM_MiniSimWindowAlc(benchmark::State& state) {
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 9);
+  const auto grid = UniformSizeGrid(50'000'000, 5'000'000'000, 48);
+  AlcBank bank(grid, /*osc_capacity=*/grid.back(), 0.05, 7, &gen, 15);
+  for (auto _ : state) {
+    for (const Request& r : MiniSimWindowStream()) {
+      bank.Process(r);
+    }
+    bank.EndWindow();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(MiniSimWindowStream().size()));
+}
+BENCHMARK(BM_MiniSimWindowAlc)->Unit(benchmark::kMillisecond);
+
+// --- Full-engine replay (hash once at ingest, prehashed all the way down) ---
+//
+// One iteration = a complete small-workload simulation: trace replay
+// through cluster routing, OSC, TTL shadow, and the per-window analyzer.
+// The trace is generated once; both engines consume the identical stream.
+
+const Trace& EngineReplayTrace() {
+  static const Trace* trace = [] {
+    WorkloadProfile p;
+    p.name = "bm_engine";
+    p.seed = 77;
+    p.duration = 2 * kDay;
+    p.dataset_bytes = 200ull * 1000 * 1000;
+    p.mean_object_bytes = 500ull * 1000;
+    p.get_bytes = 1200ull * 1000 * 1000;
+    p.zipf_alpha = 0.8;
+    return new Trace(SplitObjects(GenerateTrace(p), p.max_object_bytes));
+  }();
+  return *trace;
+}
+
+EngineConfig EngineReplayConfig(Approach a) {
+  EngineConfig cfg;
+  cfg.approach = a;
+  cfg.prices = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  cfg.num_minicaches = 24;
+  return cfg;
+}
+
+void BM_EngineReplayMacaron(benchmark::State& state) {
+  const EngineConfig cfg = EngineReplayConfig(Approach::kMacaronNoCluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayEngine(cfg).Run(EngineReplayTrace()).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(EngineReplayTrace().requests.size()));
+}
+BENCHMARK(BM_EngineReplayMacaron)->Unit(benchmark::kMillisecond);
+
+void BM_EngineReplayCluster(benchmark::State& state) {
+  const EngineConfig cfg = EngineReplayConfig(Approach::kMacaron);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayEngine(cfg).Run(EngineReplayTrace()).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(EngineReplayTrace().requests.size()));
+}
+BENCHMARK(BM_EngineReplayCluster)->Unit(benchmark::kMillisecond);
+
+void BM_EngineReplayEvent(benchmark::State& state) {
+  const EngineConfig cfg = EngineReplayConfig(Approach::kMacaronNoCluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EventEngine(cfg).Run(EngineReplayTrace()).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(EngineReplayTrace().requests.size()));
+}
+BENCHMARK(BM_EngineReplayEvent)->Unit(benchmark::kMillisecond);
+
 void BM_HashRingRoute(benchmark::State& state) {
   HashRing ring;
   for (uint32_t n = 1; n <= 16; ++n) {
@@ -329,7 +461,16 @@ BENCHMARK(BM_SweepDedupLookup);
 // Like BENCHMARK_MAIN(), but defaults to writing a JSON report
 // (BENCH_micro.json in the working directory) so CI and the driver always
 // get machine-readable results; any explicit --benchmark_out* flag wins.
+//
+// The report's "library_build_type" describes the preinstalled
+// google-benchmark library, NOT this binary — a Release build of ours still
+// reports "debug" there. "macaron_build_type" in the custom context is the
+// authoritative field; a non-optimized build additionally warns on stderr
+// (numbers from it are meaningless for the recorded baselines).
 int main(int argc, char** argv) {
+  benchmark::AddCustomContext("macaron_build_type",
+                              macaron::bench::OptimizedBuild() ? "optimized" : "unoptimized");
+  macaron::bench::WarnIfUnoptimizedBuild("bench_micro");
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

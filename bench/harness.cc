@@ -208,5 +208,19 @@ std::string Percent(double frac) {
   return buf;
 }
 
+void WarnIfUnoptimizedBuild(const char* binary) {
+  if (OptimizedBuild()) {
+    return;
+  }
+  std::fprintf(stderr,
+               "================================================================\n"
+               "WARNING: %s was built WITHOUT optimization (no -O / NDEBUG).\n"
+               "Timings from this build are meaningless; BENCH_micro.json and\n"
+               "BENCH_sweep.json baselines are recorded from Release builds only.\n"
+               "Rebuild with:  cmake --preset release && cmake --build build-release -j\n"
+               "================================================================\n",
+               binary);
+}
+
 }  // namespace bench
 }  // namespace macaron

@@ -96,6 +96,23 @@ void PrintHeader(const std::string& title, const std::string& paper_ref);
 std::string Dollars(double d);
 std::string Percent(double frac);
 
+// True when this translation unit was compiled with optimization (and with
+// NDEBUG, so MACARON_CHECKs and assert()s compile to nothing). Benchmark
+// numbers from a non-optimized build are meaningless against the recorded
+// baselines: BENCH_micro.json / BENCH_sweep.json are Release-only.
+constexpr bool OptimizedBuild() {
+#if defined(__OPTIMIZE__) && defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+// Prints a loud stderr banner if this is not an optimized build. stderr so
+// the warning cannot perturb the byte-compared stdout of the figure
+// harnesses. `binary` names the offender in the banner.
+void WarnIfUnoptimizedBuild(const char* binary);
+
 }  // namespace bench
 }  // namespace macaron
 
@@ -103,11 +120,16 @@ std::string Percent(double frac);
 // Standalone binaries get a main() from the macro; the bench_all suite library
 // compiles the same sources with -DMACARON_BENCH_SUITE (macro expands to
 // nothing) and calls the RunX functions through the bench/suite.h registry.
+// Every entry point warns (stderr) when the binary was built without
+// optimization, so timings from a debug build can't be mistaken for real.
 #ifdef MACARON_BENCH_SUITE
 #define MACARON_BENCH_MAIN(fn)
 #else
-#define MACARON_BENCH_MAIN(fn) \
-  int main() { return fn(); }
+#define MACARON_BENCH_MAIN(fn)                            \
+  int main() {                                            \
+    ::macaron::bench::WarnIfUnoptimizedBuild(#fn);        \
+    return fn();                                          \
+  }
 #endif
 
 #endif  // MACARON_BENCH_HARNESS_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <utility>
 
 #include "src/cache/flat_index.h"
 #include "src/cache/lru_cache.h"
+#include "src/cache/replay_batch.h"
 #include "src/cache/slab_lru.h"
 #include "src/common/check.h"
 
@@ -33,16 +35,55 @@ namespace {
 // sequence) of the original std::list + std::unordered_map implementations;
 // the differential test suite pins this.
 
+// Mini-sim batch replay over SoA columns, instantiated per concrete policy
+// (every policy class is final, so the Get/Put/Erase calls below bind
+// statically — no virtual dispatch inside the loop). This is the analyzer's
+// hottest code: one sampled request is replayed against dozens of grid
+// points, and the batch's hash column means none of them rehashes.
+template <typename CachePolicy>
+EvictionCache::MiniSimStats ReplayKernel(CachePolicy& cache, const ReplayBatch& batch) {
+  EvictionCache::MiniSimStats stats;
+  const size_t n = batch.size();
+  for (size_t k = 0; k < n; ++k) {
+    const ObjectId id = batch.ids[k];
+    const uint64_t hash = batch.hashes[k];
+    switch (batch.ops[k]) {
+      case Op::kGet:
+        if (!cache.GetPrehashed(id, hash)) {
+          ++stats.misses;
+          stats.missed_bytes += batch.sizes[k];
+          cache.PutPrehashed(id, hash, batch.sizes[k]);  // admit on miss
+        }
+        break;
+      case Op::kPut:
+        cache.PutPrehashed(id, hash, batch.sizes[k]);
+        break;
+      case Op::kDelete:
+        cache.ErasePrehashed(id, hash);
+        break;
+    }
+  }
+  return stats;
+}
+
 // --- LRU: delegates to LruCache ---
 
-class LruPolicy : public EvictionCache {
+class LruPolicy final : public EvictionCache {
  public:
   explicit LruPolicy(uint64_t capacity) : cache_(capacity) {}
 
-  bool Get(ObjectId id) override { return cache_.Get(id); }
-  bool Contains(ObjectId id) const override { return cache_.Contains(id); }
-  void Put(ObjectId id, uint64_t size) override { cache_.Put(id, size); }
-  bool Erase(ObjectId id) override { return cache_.Erase(id); }
+  bool GetPrehashed(ObjectId id, uint64_t hash) override {
+    return cache_.GetPrehashed(id, hash);
+  }
+  bool ContainsPrehashed(ObjectId id, uint64_t hash) const override {
+    return cache_.ContainsPrehashed(id, hash);
+  }
+  void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size) override {
+    cache_.PutPrehashed(id, hash, size);
+  }
+  bool ErasePrehashed(ObjectId id, uint64_t hash) override {
+    return cache_.ErasePrehashed(id, hash);
+  }
   void Resize(uint64_t capacity) override { cache_.Resize(capacity); }
   uint64_t capacity() const override { return cache_.capacity(); }
   uint64_t used_bytes() const override { return cache_.used_bytes(); }
@@ -54,6 +95,9 @@ class LruPolicy : public EvictionCache {
   void ForEachEvictOrder(const VisitFn& fn) const override { cache_.ForEachLruToMru(fn); }
   void ForEachHotOrder(const VisitFn& fn) const override { cache_.ForEachMruToLru(fn); }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kLru; }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override {
+    return ReplayKernel(cache_, batch);
+  }
   LruCache* AsLruCache() override { return &cache_; }
 
  private:
@@ -62,15 +106,19 @@ class LruPolicy : public EvictionCache {
 
 // --- FIFO: insertion order, no promotion ---
 
-class FifoPolicy : public EvictionCache {
+class FifoPolicy final : public EvictionCache {
  public:
   explicit FifoPolicy(uint64_t capacity) : capacity_(capacity) {}
 
-  bool Get(ObjectId id) override { return index_.Contains(id); }
-  bool Contains(ObjectId id) const override { return index_.Contains(id); }
+  bool GetPrehashed(ObjectId id, uint64_t hash) override {
+    return index_.FindPrehashed(id, hash) != FlatIndex::kEmpty;
+  }
+  bool ContainsPrehashed(ObjectId id, uint64_t hash) const override {
+    return index_.FindPrehashed(id, hash) != FlatIndex::kEmpty;
+  }
 
-  void Put(ObjectId id, uint64_t size) override {
-    const uint32_t n = index_.Find(id);
+  void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
     if (n != FlatIndex::kEmpty) {
       SlabNode& e = slab_.node(n);
       used_ -= e.size;
@@ -83,14 +131,14 @@ class FifoPolicy : public EvictionCache {
       return;
     }
     EvictToFit(size);
-    const uint32_t fresh = slab_.Allocate(id, size);
+    const uint32_t fresh = slab_.Allocate(id, size, 0, static_cast<uint32_t>(hash));
     queue_.PushFront(slab_, fresh);
-    index_.Insert(id, fresh, &slab_);
+    index_.EmplacePrehashed(id, hash, fresh, &slab_);
     used_ += size;
   }
 
-  bool Erase(ObjectId id) override {
-    const uint32_t n = index_.Find(id);
+  bool ErasePrehashed(ObjectId id, uint64_t hash) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
     if (n == FlatIndex::kEmpty) {
       return false;
     }
@@ -119,6 +167,9 @@ class FifoPolicy : public EvictionCache {
     queue_.ForEachFrontToBack(slab_, fn);
   }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kFifo; }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override {
+    return ReplayKernel(*this, batch);
+  }
 
  private:
   void EvictToFit(uint64_t incoming) {
@@ -146,34 +197,25 @@ class FifoPolicy : public EvictionCache {
 
 // --- SLRU: probationary (20%) + protected (80%) segments ---
 
-class SlruPolicy : public EvictionCache {
+class SlruPolicy final : public EvictionCache {
  public:
   explicit SlruPolicy(uint64_t capacity) { SetCapacity(capacity); }
 
-  bool Get(ObjectId id) override {
-    const uint32_t n = index_.Find(id);
+  bool GetPrehashed(ObjectId id, uint64_t hash) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
     if (n == FlatIndex::kEmpty) {
       return false;
     }
-    SlabNode& e = slab_.node(n);
-    if (e.stamp == kProtectedSeg) {
-      protected_.MoveToFront(slab_, n);
-    } else {
-      // Promote probation -> protected.
-      probation_.Remove(slab_, n);
-      probation_bytes_ -= e.size;
-      protected_.PushFront(slab_, n);
-      protected_bytes_ += e.size;
-      e.stamp = kProtectedSeg;
-      DemoteProtectedOverflow();
-    }
+    Touch(n);
     return true;
   }
 
-  bool Contains(ObjectId id) const override { return index_.Contains(id); }
+  bool ContainsPrehashed(ObjectId id, uint64_t hash) const override {
+    return index_.FindPrehashed(id, hash) != FlatIndex::kEmpty;
+  }
 
-  void Put(ObjectId id, uint64_t size) override {
-    const uint32_t n = index_.Find(id);
+  void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
     if (n != FlatIndex::kEmpty) {
       SlabNode& e = slab_.node(n);
       const uint64_t old_size = e.size;
@@ -183,7 +225,7 @@ class SlruPolicy : public EvictionCache {
       } else {
         probation_bytes_ += size - old_size;
       }
-      Get(id);
+      Touch(n);
       EvictProbationToFit(0);
       return;
     }
@@ -191,14 +233,14 @@ class SlruPolicy : public EvictionCache {
       return;
     }
     EvictProbationToFit(size);
-    const uint32_t fresh = slab_.Allocate(id, size, kProbationSeg);
+    const uint32_t fresh = slab_.Allocate(id, size, kProbationSeg, static_cast<uint32_t>(hash));
     probation_.PushFront(slab_, fresh);
     probation_bytes_ += size;
-    index_.Insert(id, fresh, &slab_);
+    index_.EmplacePrehashed(id, hash, fresh, &slab_);
   }
 
-  bool Erase(ObjectId id) override {
-    const uint32_t n = index_.Find(id);
+  bool ErasePrehashed(ObjectId id, uint64_t hash) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
     if (n == FlatIndex::kEmpty) {
       return false;
     }
@@ -248,10 +290,29 @@ class SlruPolicy : public EvictionCache {
     }
   }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kSlru; }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override {
+    return ReplayKernel(*this, batch);
+  }
 
  private:
   static constexpr uint64_t kProbationSeg = 0;
   static constexpr uint64_t kProtectedSeg = 1;
+
+  // Hit handling for a resident node: refresh within protected, or promote
+  // probation -> protected.
+  void Touch(uint32_t n) {
+    SlabNode& e = slab_.node(n);
+    if (e.stamp == kProtectedSeg) {
+      protected_.MoveToFront(slab_, n);
+    } else {
+      probation_.Remove(slab_, n);
+      probation_bytes_ -= e.size;
+      protected_.PushFront(slab_, n);
+      protected_bytes_ += e.size;
+      e.stamp = kProtectedSeg;
+      DemoteProtectedOverflow();
+    }
+  }
 
   void SetCapacity(uint64_t capacity) {
     capacity_ = capacity;
@@ -308,49 +369,52 @@ class SlruPolicy : public EvictionCache {
 
 // --- S3-FIFO (simplified): small FIFO + main FIFO + ghost table ---
 
-class S3FifoPolicy : public EvictionCache {
+class S3FifoPolicy final : public EvictionCache {
  public:
   explicit S3FifoPolicy(uint64_t capacity) { SetCapacity(capacity); }
 
-  bool Get(ObjectId id) override {
-    const uint32_t n = index_.Find(id);
+  bool GetPrehashed(ObjectId id, uint64_t hash) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
     if (n == FlatIndex::kEmpty) {
       return false;
     }
-    SlabNode& e = slab_.node(n);
-    if (Freq(e) < 3) {
-      e.stamp += 1;  // freq lives in the low stamp bits
-    }
+    Bump(slab_.node(n));
     return true;
   }
 
-  bool Contains(ObjectId id) const override { return index_.Contains(id); }
+  bool ContainsPrehashed(ObjectId id, uint64_t hash) const override {
+    return index_.FindPrehashed(id, hash) != FlatIndex::kEmpty;
+  }
 
-  void Put(ObjectId id, uint64_t size) override {
-    if (index_.Contains(id)) {
-      Get(id);
+  void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
+    if (n != FlatIndex::kEmpty) {
+      Bump(slab_.node(n));
       return;  // immutable objects: size is stable
     }
     if (size > capacity_) {
       return;
     }
     EvictToFit(size);
-    if (ghost_.Contains(id)) {
-      GhostErase(id);
-      const uint32_t fresh = slab_.Allocate(id, size, kInMainBit);
+    // The ghost table lives in the same hash domain as the main index (its
+    // inserts reuse the victim node's cached low hash bits; the table's
+    // capacity cap keeps positions a function of those bits alone).
+    if (ghost_.FindPrehashed(id, hash) != FlatIndex::kEmpty) {
+      ghost_.ErasePrehashed(id, hash);  // stale deque entry ages out later
+      const uint32_t fresh = slab_.Allocate(id, size, kInMainBit, static_cast<uint32_t>(hash));
       main_.PushFront(slab_, fresh);
       main_bytes_ += size;
-      index_.Insert(id, fresh, &slab_);
+      index_.EmplacePrehashed(id, hash, fresh, &slab_);
     } else {
-      const uint32_t fresh = slab_.Allocate(id, size, 0);
+      const uint32_t fresh = slab_.Allocate(id, size, 0, static_cast<uint32_t>(hash));
       small_.PushFront(slab_, fresh);
       small_bytes_ += size;
-      index_.Insert(id, fresh, &slab_);
+      index_.EmplacePrehashed(id, hash, fresh, &slab_);
     }
   }
 
-  bool Erase(ObjectId id) override {
-    const uint32_t n = index_.Find(id);
+  bool ErasePrehashed(ObjectId id, uint64_t hash) override {
+    const uint32_t n = index_.FindPrehashed(id, hash);
     if (n == FlatIndex::kEmpty) {
       return false;
     }
@@ -399,6 +463,9 @@ class S3FifoPolicy : public EvictionCache {
     }
   }
   EvictionPolicyKind kind() const override { return EvictionPolicyKind::kS3Fifo; }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override {
+    return ReplayKernel(*this, batch);
+  }
 
  private:
   // stamp layout: low bits = access frequency (capped at 3), kInMainBit set
@@ -407,6 +474,11 @@ class S3FifoPolicy : public EvictionCache {
 
   static uint64_t Freq(const SlabNode& e) { return e.stamp & (kInMainBit - 1); }
   static bool InMain(const SlabNode& e) { return (e.stamp & kInMainBit) != 0; }
+  static void Bump(SlabNode& e) {
+    if (Freq(e) < 3) {
+      e.stamp += 1;  // freq lives in the low stamp bits
+    }
+  }
 
   void SetCapacity(uint64_t capacity) {
     capacity_ = capacity;
@@ -439,9 +511,10 @@ class S3FifoPolicy : public EvictionCache {
     } else {
       const ObjectId victim_id = e.id;
       const uint64_t victim_size = e.size;
+      const uint32_t victim_hash32 = e.hash32;
       index_.EraseCell(e.cell, &slab_);
       slab_.Free(n);
-      GhostInsert(victim_id);
+      GhostInsert(victim_id, victim_hash32);
       if (evict_cb_) {
         evict_cb_(victim_id, victim_size);
       }
@@ -472,20 +545,17 @@ class S3FifoPolicy : public EvictionCache {
     }
   }
 
-  void GhostInsert(ObjectId id) {
-    if (!ghost_.Contains(id)) {
-      ghost_.Insert(id, 0);
-      ghost_order_.push_back(id);
+  void GhostInsert(ObjectId id, uint32_t hash32) {
+    if (ghost_.FindPrehashed(id, hash32) == FlatIndex::kEmpty) {
+      ghost_.EmplacePrehashed(id, hash32, 0);
+      ghost_order_.emplace_back(id, hash32);
     }
     const size_t ghost_cap = std::max<size_t>(num_entries(), 1024);
     while (ghost_order_.size() > ghost_cap) {
-      ghost_.Erase(ghost_order_.front());
+      const auto& [old_id, old_hash32] = ghost_order_.front();
+      ghost_.ErasePrehashed(old_id, old_hash32);
       ghost_order_.pop_front();
     }
-  }
-
-  void GhostErase(ObjectId id) {
-    ghost_.Erase(id);  // stale deque entry is skipped when it ages out
   }
 
   uint64_t capacity_ = 0;
@@ -497,7 +567,7 @@ class S3FifoPolicy : public EvictionCache {
   IntrusiveList main_;
   FlatIndex index_;
   FlatIndex ghost_;  // membership only (value unused)
-  std::deque<ObjectId> ghost_order_;
+  std::deque<std::pair<ObjectId, uint32_t>> ghost_order_;  // (id, low hash bits)
   EvictCallback evict_cb_;
 };
 

@@ -14,6 +14,16 @@
 //                table; SOSP'23)
 //
 // All policies are metadata-only and byte-capacity bounded.
+//
+// The virtual surface is hash-once: every keyed operation takes the key's
+// precomputed 64-bit index hash (the pipeline computes it exactly once per
+// request, at ingest or sampler admission). The plain-key convenience
+// wrappers hash with Mix64 and delegate, so an instance driven through them
+// sees the Mix64(id) domain; callers supplying their own hash (the banks
+// use their sampler's salted hash) must use the prehashed calls
+// exclusively on that instance — see flat_index.h for the consistency
+// rule. The hash picks table positions only; hit/miss/eviction results are
+// identical for any hash domain.
 
 #ifndef MACARON_SRC_CACHE_EVICTION_POLICY_H_
 #define MACARON_SRC_CACHE_EVICTION_POLICY_H_
@@ -22,11 +32,13 @@
 #include <functional>
 #include <memory>
 
+#include "src/common/hash.h"
 #include "src/trace/request.h"
 
 namespace macaron {
 
 class LruCache;
+struct ReplayBatch;
 
 enum class EvictionPolicyKind {
   kLru,
@@ -47,10 +59,17 @@ class EvictionCache {
 
   virtual ~EvictionCache() = default;
 
-  virtual bool Get(ObjectId id) = 0;
-  virtual bool Contains(ObjectId id) const = 0;
-  virtual void Put(ObjectId id, uint64_t size) = 0;
-  virtual bool Erase(ObjectId id) = 0;
+  // Plain-key wrappers: hash with Mix64 and delegate to the prehashed
+  // entry points below.
+  bool Get(ObjectId id) { return GetPrehashed(id, Mix64(id)); }
+  bool Contains(ObjectId id) const { return ContainsPrehashed(id, Mix64(id)); }
+  void Put(ObjectId id, uint64_t size) { PutPrehashed(id, Mix64(id), size); }
+  bool Erase(ObjectId id) { return ErasePrehashed(id, Mix64(id)); }
+
+  virtual bool GetPrehashed(ObjectId id, uint64_t hash) = 0;
+  virtual bool ContainsPrehashed(ObjectId id, uint64_t hash) const = 0;
+  virtual void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size) = 0;
+  virtual bool ErasePrehashed(ObjectId id, uint64_t hash) = 0;
   virtual void Resize(uint64_t capacity_bytes) = 0;
 
   virtual uint64_t capacity() const = 0;
@@ -70,10 +89,23 @@ class EvictionCache {
 
   virtual EvictionPolicyKind kind() const = 0;
 
-  // Returns the underlying LruCache for kLru, nullptr otherwise. The
-  // mini-cache banks replay millions of requests per window against the
-  // default policy; resolving the concrete cache once per batch lets that
-  // loop skip per-operation virtual dispatch.
+  // Mini-sim window accounting returned by ReplayMiniSim.
+  struct MiniSimStats {
+    uint64_t misses = 0;
+    uint64_t missed_bytes = 0;
+  };
+
+  // Replays a sampled batch with mini-sim semantics — Get counts and admits
+  // on miss, Put inserts/refreshes, Delete erases — using the batch's
+  // precomputed hash column. One virtual call per (grid point, batch); each
+  // policy runs a devirtualized inner loop over the SoA columns (the
+  // analyzer's hottest code), extending the AsLruCache fast path to every
+  // policy.
+  virtual MiniSimStats ReplayMiniSim(const ReplayBatch& batch) = 0;
+
+  // Returns the underlying LruCache for kLru, nullptr otherwise. Callers
+  // replaying long runs against the default policy can resolve the concrete
+  // cache once and skip per-operation virtual dispatch.
   virtual LruCache* AsLruCache() { return nullptr; }
 };
 

@@ -9,6 +9,18 @@
 // short no matter how much churn eviction causes. Slab slots never move
 // while an entry is live, so stored values stay valid until Erase.
 //
+// Every operation exists in two forms: a plain one that hashes the key
+// itself, and a *Prehashed one that takes a caller-supplied 64-bit hash.
+// The pipeline computes each request's hash exactly once (SHARDS-style:
+// the sampler's admission hash doubles as the index hash), so the hot
+// replay loops use the prehashed entry points. The hash only chooses table
+// positions — it never affects hit/miss/eviction semantics — so any
+// fixed-per-key 64-bit value works, as long as one index instance sees the
+// same hash for the same key on every call. The low 32 bits are cached in
+// each cell (capacity is capped at 2^32, so the table position depends on
+// those bits alone); both the backward-shift and rehash loops read them
+// instead of recomputing Mix64 per scanned cell.
+//
 // Mutating calls optionally take the NodeSlab the values point into; when
 // given, the index writes each entry's cell position back into its node
 // (`SlabNode::cell`), keeping it in sync through shifts and rehashes. The
@@ -56,11 +68,14 @@ class FlatIndex {
   }
 
   // Returns the value stored for `key`, or kEmpty if absent.
-  uint32_t Find(ObjectId key) const {
+  uint32_t Find(ObjectId key) const { return FindPrehashed(key, Mix64(key)); }
+
+  // Same, with the key's hash supplied by the caller.
+  uint32_t FindPrehashed(ObjectId key, uint64_t hash) const {
     if (cells_.empty()) {
       return kEmpty;
     }
-    size_t i = Mix64(key) & mask_;
+    size_t i = hash & mask_;
     while (cells_[i].value != kEmpty) {
       if (cells_[i].key == key) {
         return cells_[i].value;
@@ -77,25 +92,31 @@ class FlatIndex {
   // the mini-cache banks replay each request against dozens of per-grid-
   // point caches, and benchmark replay loops know the stream ahead of
   // time — can overlap that latency with other work.
-  void Prefetch(ObjectId key) const {
+  void Prefetch(ObjectId key) const { PrefetchPrehashed(Mix64(key)); }
+
+  void PrefetchPrehashed(uint64_t hash) const {
     if (!cells_.empty()) {
-      __builtin_prefetch(&cells_[Mix64(key) & mask_]);
+      __builtin_prefetch(&cells_[hash & mask_]);
     }
   }
 
   // Inserts `key` -> `value`. `key` must not be present.
   void Insert(ObjectId key, uint32_t value, NodeSlab* slab = nullptr) {
+    EmplacePrehashed(key, Mix64(key), value, slab);
+  }
+
+  void EmplacePrehashed(ObjectId key, uint64_t hash, uint32_t value,
+                        NodeSlab* slab = nullptr) {
     MACARON_DCHECK(value != kEmpty);
     if ((size_ + 1) * 4 > cells_.size()) {
       Rehash(cells_.empty() ? kMinCapacity : cells_.size() * 2, slab);
     }
-    const size_t home = Mix64(key) & mask_;
-    size_t i = home;
+    size_t i = hash & mask_;
     while (cells_[i].value != kEmpty) {
       MACARON_DCHECK(cells_[i].key != key);
       i = (i + 1) & mask_;
     }
-    cells_[i] = Cell{key, value, static_cast<uint32_t>(home)};
+    cells_[i] = Cell{key, value, static_cast<uint32_t>(hash)};
     if (slab != nullptr) {
       slab->node(value).cell = static_cast<uint32_t>(i);
     }
@@ -104,10 +125,14 @@ class FlatIndex {
 
   // Removes `key`; returns false if absent.
   bool Erase(ObjectId key, NodeSlab* slab = nullptr) {
+    return ErasePrehashed(key, Mix64(key), slab);
+  }
+
+  bool ErasePrehashed(ObjectId key, uint64_t hash, NodeSlab* slab = nullptr) {
     if (cells_.empty()) {
       return false;
     }
-    size_t i = Mix64(key) & mask_;
+    size_t i = hash & mask_;
     while (cells_[i].value != kEmpty) {
       if (cells_[i].key == key) {
         EraseAt(i, slab);
@@ -139,8 +164,9 @@ class FlatIndex {
  private:
   struct Cell {
     ObjectId key;
-    uint32_t value;  // kEmpty marks an unoccupied cell
-    uint32_t home;   // Mix64(key) & mask_: spares the shift loop a rehash
+    uint32_t value;   // kEmpty marks an unoccupied cell
+    uint32_t hash32;  // low hash bits: home slot is hash32 & mask_, so the
+                      // shift and rehash loops never recompute Mix64
   };
   static_assert(sizeof(Cell) == 16, "Cell should fill its padding exactly");
 
@@ -153,7 +179,8 @@ class FlatIndex {
   static constexpr size_t kMinCapacity = 16;
 
   void Rehash(size_t new_capacity, NodeSlab* slab) {
-    MACARON_DCHECK(new_capacity <= (1ull << 32));  // `home` is stored in 32 bits
+    // mask_ < 2^32, so positions depend only on the cached low hash bits.
+    MACARON_DCHECK(new_capacity <= (1ull << 32));
     std::vector<Cell> old = std::move(cells_);
     cells_.assign(new_capacity, Cell{0, kEmpty, 0});
     mask_ = new_capacity - 1;
@@ -161,12 +188,11 @@ class FlatIndex {
       if (c.value == kEmpty) {
         continue;
       }
-      const size_t home = Mix64(c.key) & mask_;
-      size_t i = home;
+      size_t i = c.hash32 & mask_;
       while (cells_[i].value != kEmpty) {
         i = (i + 1) & mask_;
       }
-      cells_[i] = Cell{c.key, c.value, static_cast<uint32_t>(home)};
+      cells_[i] = c;
       if (slab != nullptr) {
         slab->node(c.value).cell = static_cast<uint32_t>(i);
       }
@@ -183,7 +209,7 @@ class FlatIndex {
       if (cells_[j].value == kEmpty) {
         break;
       }
-      const size_t home = cells_[j].home;
+      const size_t home = cells_[j].hash32 & mask_;
       if (((j - home) & mask_) >= ((j - i) & mask_)) {
         cells_[i] = cells_[j];
         if (slab != nullptr) {

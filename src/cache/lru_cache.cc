@@ -4,8 +4,8 @@
 
 namespace macaron {
 
-bool LruCache::Get(ObjectId id) {
-  const uint32_t n = index_.Find(id);
+bool LruCache::GetPrehashed(ObjectId id, uint64_t hash) {
+  const uint32_t n = index_.FindPrehashed(id, hash);
   if (n == FlatIndex::kEmpty) {
     return false;
   }
@@ -18,8 +18,8 @@ uint64_t LruCache::SizeOf(ObjectId id) const {
   return n == FlatIndex::kEmpty ? 0 : slab_.node(n).size;
 }
 
-void LruCache::Put(ObjectId id, uint64_t size) {
-  const uint32_t n = index_.Find(id);
+void LruCache::PutPrehashed(ObjectId id, uint64_t hash, uint64_t size) {
+  const uint32_t n = index_.FindPrehashed(id, hash);
   if (n != FlatIndex::kEmpty) {
     SlabNode& e = slab_.node(n);
     used_ -= e.size;
@@ -35,14 +35,14 @@ void LruCache::Put(ObjectId id, uint64_t size) {
     return;  // cannot admit
   }
   EvictToFit(size);
-  const uint32_t fresh = slab_.Allocate(id, size);
+  const uint32_t fresh = slab_.Allocate(id, size, 0, static_cast<uint32_t>(hash));
   lru_.PushFront(slab_, fresh);
-  index_.Insert(id, fresh, &slab_);
+  index_.EmplacePrehashed(id, hash, fresh, &slab_);
   used_ += size;
 }
 
-bool LruCache::Erase(ObjectId id) {
-  const uint32_t n = index_.Find(id);
+bool LruCache::ErasePrehashed(ObjectId id, uint64_t hash) {
+  const uint32_t n = index_.FindPrehashed(id, hash);
   if (n == FlatIndex::kEmpty) {
     return false;
   }

@@ -30,7 +30,7 @@ class LruCache {
   explicit LruCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
 
   // Looks up `id`, promoting it to MRU on hit. Returns true on hit.
-  bool Get(ObjectId id);
+  bool Get(ObjectId id) { return GetPrehashed(id, Mix64(id)); }
   // Looks up without promoting (for inspection).
   bool Contains(ObjectId id) const { return index_.Contains(id); }
   // Hints the CPU to load `id`'s index cell; see FlatIndex::Prefetch.
@@ -40,9 +40,21 @@ class LruCache {
 
   // Inserts or refreshes `id`; evicts LRU entries if needed. Objects larger
   // than the capacity are not admitted.
-  void Put(ObjectId id, uint64_t size);
+  void Put(ObjectId id, uint64_t size) { PutPrehashed(id, Mix64(id), size); }
   // Removes `id` if present; returns true if it was present.
-  bool Erase(ObjectId id);
+  bool Erase(ObjectId id) { return ErasePrehashed(id, Mix64(id)); }
+
+  // Prehashed fast path: the caller supplies `id`'s index hash, computed
+  // once at stream ingest (see flat_index.h for the consistency rule — an
+  // instance must see the same hash per id across all calls, so never mix
+  // plain calls with a non-Mix64(id) hash on one cache).
+  bool GetPrehashed(ObjectId id, uint64_t hash);
+  void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size);
+  bool ErasePrehashed(ObjectId id, uint64_t hash);
+  bool ContainsPrehashed(ObjectId id, uint64_t hash) const {
+    return index_.FindPrehashed(id, hash) != FlatIndex::kEmpty;
+  }
+  void PrefetchPrehashed(uint64_t hash) const { index_.PrefetchPrehashed(hash); }
 
   // Changes capacity; evicts immediately if shrinking.
   void Resize(uint64_t capacity_bytes);

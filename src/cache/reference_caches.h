@@ -25,6 +25,7 @@
 #include <unordered_set>
 
 #include "src/cache/eviction_policy.h"
+#include "src/cache/replay_batch.h"
 #include "src/common/check.h"
 #include "src/common/sim_time.h"
 #include "src/trace/request.h"
@@ -224,16 +225,47 @@ class RefTtlCache {
 namespace reference_detail {
 
 // Seed policy implementations behind the EvictionCache interface.
-// allocated_nodes() reports 0: the reference caches have no slab.
+// allocated_nodes() reports 0: the reference caches have no slab. Their
+// indices are std::unordered_map keyed by id, so the Prehashed entry points
+// take the caller's hash and ignore it — which is exactly what makes them a
+// useful differential oracle for the hash-once path: any disagreement with
+// the slab caches means the prehashed plumbing changed semantics.
+
+// Mirrors the production ReplayKernel (eviction_policy.cc) over the seed
+// semantics: GET admits on miss and counts misses/missed bytes.
+inline EvictionCache::MiniSimStats RefReplay(EvictionCache& cache, const ReplayBatch& batch) {
+  EvictionCache::MiniSimStats stats;
+  const size_t n = batch.size();
+  for (size_t k = 0; k < n; ++k) {
+    const ObjectId id = batch.ids[k];
+    switch (batch.ops[k]) {
+      case Op::kGet:
+        if (!cache.Get(id)) {
+          ++stats.misses;
+          stats.missed_bytes += batch.sizes[k];
+          cache.Put(id, batch.sizes[k]);
+        }
+        break;
+      case Op::kPut:
+        cache.Put(id, batch.sizes[k]);
+        break;
+      case Op::kDelete:
+        cache.Erase(id);
+        break;
+    }
+  }
+  return stats;
+}
 
 class RefLruPolicy : public EvictionCache {
  public:
   explicit RefLruPolicy(uint64_t capacity) : cache_(capacity) {}
 
-  bool Get(ObjectId id) override { return cache_.Get(id); }
-  bool Contains(ObjectId id) const override { return cache_.Contains(id); }
-  void Put(ObjectId id, uint64_t size) override { cache_.Put(id, size); }
-  bool Erase(ObjectId id) override { return cache_.Erase(id); }
+  bool GetPrehashed(ObjectId id, uint64_t) override { return cache_.Get(id); }
+  bool ContainsPrehashed(ObjectId id, uint64_t) const override { return cache_.Contains(id); }
+  void PutPrehashed(ObjectId id, uint64_t, uint64_t size) override { cache_.Put(id, size); }
+  bool ErasePrehashed(ObjectId id, uint64_t) override { return cache_.Erase(id); }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override { return RefReplay(*this, batch); }
   void Resize(uint64_t capacity) override { cache_.Resize(capacity); }
   uint64_t capacity() const override { return cache_.capacity(); }
   uint64_t used_bytes() const override { return cache_.used_bytes(); }
@@ -254,10 +286,11 @@ class RefFifoPolicy : public EvictionCache {
  public:
   explicit RefFifoPolicy(uint64_t capacity) : capacity_(capacity) {}
 
-  bool Get(ObjectId id) override { return index_.count(id) != 0; }
-  bool Contains(ObjectId id) const override { return index_.count(id) != 0; }
+  bool GetPrehashed(ObjectId id, uint64_t) override { return index_.count(id) != 0; }
+  bool ContainsPrehashed(ObjectId id, uint64_t) const override { return index_.count(id) != 0; }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override { return RefReplay(*this, batch); }
 
-  void Put(ObjectId id, uint64_t size) override {
+  void PutPrehashed(ObjectId id, uint64_t, uint64_t size) override {
     const auto it = index_.find(id);
     if (it != index_.end()) {
       used_ -= it->second->size;
@@ -275,7 +308,7 @@ class RefFifoPolicy : public EvictionCache {
     used_ += size;
   }
 
-  bool Erase(ObjectId id) override {
+  bool ErasePrehashed(ObjectId id, uint64_t) override {
     const auto it = index_.find(id);
     if (it == index_.end()) {
       return false;
@@ -342,7 +375,7 @@ class RefSlruPolicy : public EvictionCache {
  public:
   explicit RefSlruPolicy(uint64_t capacity) { SetCapacity(capacity); }
 
-  bool Get(ObjectId id) override {
+  bool GetPrehashed(ObjectId id, uint64_t) override {
     const auto it = index_.find(id);
     if (it == index_.end()) {
       return false;
@@ -362,9 +395,10 @@ class RefSlruPolicy : public EvictionCache {
     return true;
   }
 
-  bool Contains(ObjectId id) const override { return index_.count(id) != 0; }
+  bool ContainsPrehashed(ObjectId id, uint64_t) const override { return index_.count(id) != 0; }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override { return RefReplay(*this, batch); }
 
-  void Put(ObjectId id, uint64_t size) override {
+  void PutPrehashed(ObjectId id, uint64_t, uint64_t size) override {
     const auto it = index_.find(id);
     if (it != index_.end()) {
       const uint64_t old_size = it->second.pos->size;
@@ -387,7 +421,7 @@ class RefSlruPolicy : public EvictionCache {
     index_[id] = Slot{false, probation_.begin()};
   }
 
-  bool Erase(ObjectId id) override {
+  bool ErasePrehashed(ObjectId id, uint64_t) override {
     const auto it = index_.find(id);
     if (it == index_.end()) {
       return false;
@@ -504,7 +538,7 @@ class RefS3FifoPolicy : public EvictionCache {
  public:
   explicit RefS3FifoPolicy(uint64_t capacity) { SetCapacity(capacity); }
 
-  bool Get(ObjectId id) override {
+  bool GetPrehashed(ObjectId id, uint64_t) override {
     const auto it = index_.find(id);
     if (it == index_.end()) {
       return false;
@@ -515,9 +549,10 @@ class RefS3FifoPolicy : public EvictionCache {
     return true;
   }
 
-  bool Contains(ObjectId id) const override { return index_.count(id) != 0; }
+  bool ContainsPrehashed(ObjectId id, uint64_t) const override { return index_.count(id) != 0; }
+  MiniSimStats ReplayMiniSim(const ReplayBatch& batch) override { return RefReplay(*this, batch); }
 
-  void Put(ObjectId id, uint64_t size) override {
+  void PutPrehashed(ObjectId id, uint64_t, uint64_t size) override {
     const auto it = index_.find(id);
     if (it != index_.end()) {
       Get(id);
@@ -539,7 +574,7 @@ class RefS3FifoPolicy : public EvictionCache {
     }
   }
 
-  bool Erase(ObjectId id) override {
+  bool ErasePrehashed(ObjectId id, uint64_t) override {
     const auto it = index_.find(id);
     if (it == index_.end()) {
       return false;

@@ -1,0 +1,65 @@
+// SoA batch of sampled requests awaiting mini-sim replay.
+//
+// The mini-sim banks buffer sampled requests and replay each batch against
+// every grid point's mini-cache, so one buffered request is read dozens of
+// times. Column (structure-of-arrays) layout keeps those replay loops on
+// dense, homogeneous arrays — the id/hash columns the inner loop always
+// touches are not interleaved with the times column only the TTL/ALC banks
+// read — and carries the per-request hash computed once at Process() time
+// (the sampler's admission hash, SHARDS-style), so no replay path rehashes.
+//
+// The hash column is the *bank's* hash domain (Mix64(id ^ bank_salt)); it
+// must only be fed to caches that see that same domain exclusively. Index
+// hashes affect table layout, never hit/miss/eviction results, so curves
+// are unchanged by the choice of salt (see flat_index.h).
+
+#ifndef MACARON_SRC_CACHE_REPLAY_BATCH_H_
+#define MACARON_SRC_CACHE_REPLAY_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/trace/request.h"
+
+namespace macaron {
+
+struct ReplayBatch {
+  std::vector<ObjectId> ids;
+  std::vector<uint64_t> hashes;
+  std::vector<uint64_t> sizes;
+  std::vector<Op> ops;
+  std::vector<SimTime> times;
+
+  size_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+
+  void Reserve(size_t n) {
+    ids.reserve(n);
+    hashes.reserve(n);
+    sizes.reserve(n);
+    ops.reserve(n);
+    times.reserve(n);
+  }
+
+  void Clear() {
+    ids.clear();
+    hashes.clear();
+    sizes.clear();
+    ops.clear();
+    times.clear();
+  }
+
+  void PushBack(const Request& r, uint64_t hash) {
+    ids.push_back(r.id);
+    hashes.push_back(hash);
+    sizes.push_back(r.size);
+    ops.push_back(r.op);
+    times.push_back(r.time);
+  }
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CACHE_REPLAY_BATCH_H_

@@ -39,7 +39,12 @@ struct SlabNode {
   uint32_t prev = kNilNode;
   uint32_t next = kNilNode;
   uint32_t cell = kNilNode;  // maintained by a bound FlatIndex (see flat_index.h)
+  uint32_t hash32 = 0;       // low bits of the entry's index hash; lets paths
+                             // that only hold the node (e.g. S3-FIFO's ghost
+                             // insert at eviction) stay hash-recompute-free.
+                             // Fills what was struct padding, so it's free.
 };
+static_assert(sizeof(SlabNode) == 40, "SlabNode should fill its padding exactly");
 
 // Contiguous pool of SlabNodes with freelist reuse. Slots are stable for
 // the lifetime of an entry, so FlatIndex can store them.
@@ -47,7 +52,7 @@ class NodeSlab {
  public:
   NodeSlab() = default;
 
-  uint32_t Allocate(ObjectId id, uint64_t size, uint64_t stamp = 0) {
+  uint32_t Allocate(ObjectId id, uint64_t size, uint64_t stamp = 0, uint32_t hash32 = 0) {
     uint32_t idx;
     if (free_head_ != kNilNode) {
       idx = free_head_;
@@ -63,6 +68,7 @@ class NodeSlab {
     n.stamp = stamp;
     n.prev = kNilNode;
     n.next = kNilNode;
+    n.hash32 = hash32;
     ++live_;
     return idx;
   }

@@ -4,9 +4,9 @@
 
 namespace macaron {
 
-bool TtlCache::Get(ObjectId id, SimTime now) {
+bool TtlCache::GetPrehashed(ObjectId id, uint64_t hash, SimTime now) {
   Expire(now);
-  const uint32_t n = index_.Find(id);
+  const uint32_t n = index_.FindPrehashed(id, hash);
   if (n == FlatIndex::kEmpty) {
     return false;
   }
@@ -15,9 +15,9 @@ bool TtlCache::Get(ObjectId id, SimTime now) {
   return true;
 }
 
-void TtlCache::Put(ObjectId id, uint64_t size, SimTime now) {
+void TtlCache::PutPrehashed(ObjectId id, uint64_t hash, uint64_t size, SimTime now) {
   Expire(now);
-  const uint32_t n = index_.Find(id);
+  const uint32_t n = index_.FindPrehashed(id, hash);
   if (n != FlatIndex::kEmpty) {
     SlabNode& e = slab_.node(n);
     used_ -= e.size;
@@ -27,14 +27,15 @@ void TtlCache::Put(ObjectId id, uint64_t size, SimTime now) {
     order_.MoveToFront(slab_, n);
     return;
   }
-  const uint32_t fresh = slab_.Allocate(id, size, static_cast<uint64_t>(now));
+  const uint32_t fresh =
+      slab_.Allocate(id, size, static_cast<uint64_t>(now), static_cast<uint32_t>(hash));
   order_.PushFront(slab_, fresh);
-  index_.Insert(id, fresh, &slab_);
+  index_.EmplacePrehashed(id, hash, fresh, &slab_);
   used_ += size;
 }
 
-bool TtlCache::Erase(ObjectId id) {
-  const uint32_t n = index_.Find(id);
+bool TtlCache::ErasePrehashed(ObjectId id, uint64_t hash) {
+  const uint32_t n = index_.FindPrehashed(id, hash);
   if (n == FlatIndex::kEmpty) {
     return false;
   }

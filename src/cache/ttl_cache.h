@@ -31,11 +31,19 @@ class TtlCache {
   explicit TtlCache(SimDuration ttl) : ttl_(ttl) {}
 
   // Looks up `id` at time `now`. On hit, refreshes the entry's expiry.
-  bool Get(ObjectId id, SimTime now);
+  bool Get(ObjectId id, SimTime now) { return GetPrehashed(id, Mix64(id), now); }
   // Inserts or refreshes `id`.
-  void Put(ObjectId id, uint64_t size, SimTime now);
+  void Put(ObjectId id, uint64_t size, SimTime now) {
+    PutPrehashed(id, Mix64(id), size, now);
+  }
   // Removes `id` if present.
-  bool Erase(ObjectId id);
+  bool Erase(ObjectId id) { return ErasePrehashed(id, Mix64(id)); }
+
+  // Prehashed fast path; same consistency rule as LruCache — one instance,
+  // one hash per id across all calls.
+  bool GetPrehashed(ObjectId id, uint64_t hash, SimTime now);
+  void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size, SimTime now);
+  bool ErasePrehashed(ObjectId id, uint64_t hash);
 
   // Evicts every entry whose last access is older than now - ttl. Called
   // lazily by Get/Put and explicitly at window boundaries.

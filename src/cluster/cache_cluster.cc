@@ -31,25 +31,25 @@ std::vector<uint32_t> CacheCluster::Resize(size_t nodes) {
   return added;
 }
 
-bool CacheCluster::Get(ObjectId id) {
+bool CacheCluster::GetHashed(ObjectId id, uint64_t h) {
   if (ring_.empty()) {
     return false;
   }
-  return nodes_.at(ring_.Route(id)).Get(id);
+  return nodes_.at(ring_.RouteHashed(h)).GetPrehashed(id, h);
 }
 
-void CacheCluster::Put(ObjectId id, uint64_t size) {
+void CacheCluster::PutHashed(ObjectId id, uint64_t h, uint64_t size) {
   if (ring_.empty()) {
     return;
   }
-  nodes_.at(ring_.Route(id)).Put(id, size);
+  nodes_.at(ring_.RouteHashed(h)).PutPrehashed(id, h, size);
 }
 
-void CacheCluster::Delete(ObjectId id) {
+void CacheCluster::DeleteHashed(ObjectId id, uint64_t h) {
   if (ring_.empty()) {
     return;
   }
-  nodes_.at(ring_.Route(id)).Erase(id);
+  nodes_.at(ring_.RouteHashed(h)).ErasePrehashed(id, h);
 }
 
 uint64_t CacheCluster::Prime(const ObjectStorageCache& osc,
@@ -62,7 +62,8 @@ uint64_t CacheCluster::Prime(const ObjectStorageCache& osc,
   std::unordered_set<uint32_t> full;
   uint64_t primed = 0;
   osc.ForEachMruToLru([&](ObjectId id, uint64_t size) {
-    const uint32_t owner = ring_.Route(id);
+    const uint64_t h = Mix64(id);  // one hash routes and indexes
+    const uint32_t owner = ring_.RouteHashed(h);
     if (!targets.contains(owner) || full.contains(owner)) {
       return true;
     }
@@ -72,8 +73,8 @@ uint64_t CacheCluster::Prime(const ObjectStorageCache& osc,
       // Stop once every target node has filled.
       return full.size() < targets.size();
     }
-    if (!node.Contains(id)) {
-      node.Put(id, size);
+    if (!node.ContainsPrehashed(id, h)) {
+      node.PutPrehashed(id, h, size);
       ++primed;
     }
     return true;

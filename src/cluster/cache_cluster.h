@@ -14,6 +14,7 @@
 
 #include "src/cache/lru_cache.h"
 #include "src/cluster/hash_ring.h"
+#include "src/common/hash.h"
 #include "src/osc/osc.h"
 
 namespace macaron {
@@ -25,10 +26,16 @@ class CacheCluster {
   // Scales to `nodes`; returns ids of newly launched nodes (for priming).
   std::vector<uint32_t> Resize(size_t nodes);
 
-  // Routed operations. Get promotes on hit.
-  bool Get(ObjectId id);
-  void Put(ObjectId id, uint64_t size);
-  void Delete(ObjectId id);
+  // Routed operations. Get promotes on hit. The Hashed variants take
+  // h = Mix64(id), computed once per request by the engines; the plain
+  // forms hash internally. The same h routes on the ring and indexes the
+  // owning node (hash-once request path).
+  bool Get(ObjectId id) { return GetHashed(id, Mix64(id)); }
+  void Put(ObjectId id, uint64_t size) { PutHashed(id, Mix64(id), size); }
+  void Delete(ObjectId id) { DeleteHashed(id, Mix64(id)); }
+  bool GetHashed(ObjectId id, uint64_t h);
+  void PutHashed(ObjectId id, uint64_t h, uint64_t size);
+  void DeleteHashed(ObjectId id, uint64_t h);
 
   // Preloads `new_nodes` from the OSC LRU order (hottest first) until each
   // node is full or the OSC is exhausted. Only objects routed to a new node

@@ -43,9 +43,10 @@ void HashRing::RemoveNode(uint32_t node_id) {
   --num_nodes_;
 }
 
-uint32_t HashRing::Route(ObjectId id) const {
+uint32_t HashRing::Route(ObjectId id) const { return RouteHashed(Mix64(id)); }
+
+uint32_t HashRing::RouteHashed(uint64_t h) const {
   MACARON_CHECK(!ring_.empty());
-  const uint64_t h = Mix64(id);
   const auto it = std::lower_bound(
       ring_.begin(), ring_.end(), h,
       [](const std::pair<uint64_t, uint32_t>& e, uint64_t p) { return e.first < p; });

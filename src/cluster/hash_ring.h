@@ -30,6 +30,10 @@ class HashRing {
   // Returns the node owning `id`. Ring must be non-empty.
   uint32_t Route(ObjectId id) const;
 
+  // Same, for a caller that already holds h = Mix64(id) (hash-once request
+  // path; see cache_cluster.h).
+  uint32_t RouteHashed(uint64_t h) const;
+
   bool empty() const { return ring_.empty(); }
   size_t num_nodes() const { return num_nodes_; }
 

@@ -19,7 +19,10 @@ AlcBank::AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, doub
       rng_(seed) {
   MACARON_CHECK(!grid_.empty());
   MACARON_CHECK(latency_ != nullptr);
-  batch_.reserve(kBatchCapacity);
+  batch_.Reserve(kBatchCapacity);
+  lat_cluster_.reserve(kBatchCapacity);
+  lat_osc_.reserve(kBatchCapacity);
+  lat_remote_.reserve(kBatchCapacity);
   const uint64_t mini_osc = std::max<uint64_t>(
       1, static_cast<uint64_t>(static_cast<double>(osc_capacity) * ratio_));
   levels_.reserve(grid_.size());
@@ -45,17 +48,24 @@ void AlcBank::Process(const Request& r) {
   if (r.op == Op::kGet) {
     ++window_gets_;
   }
-  if (!sampler_.Admit(r.id)) {
+  // One hash for admission and for both mini-cache levels of every grid
+  // point (SHARDS hash reuse; see sampler.h).
+  const uint64_t hash = sampler_.Hash(r.id);
+  if (!sampler_.AdmitHashed(hash)) {
     return;
   }
-  SampledOp op;
-  op.req = r;
+  double lat_cluster = 0.0;
+  double lat_osc = 0.0;
+  double lat_remote = 0.0;
   if (r.op == Op::kGet) {
-    op.lat_cluster = latency_->SampleMs(DataSource::kCacheCluster, r.size, rng_);
-    op.lat_osc = latency_->SampleMs(DataSource::kOsc, r.size, rng_);
-    op.lat_remote = latency_->SampleMs(DataSource::kRemoteLake, r.size, rng_);
+    lat_cluster = latency_->SampleMs(DataSource::kCacheCluster, r.size, rng_);
+    lat_osc = latency_->SampleMs(DataSource::kOsc, r.size, rng_);
+    lat_remote = latency_->SampleMs(DataSource::kRemoteLake, r.size, rng_);
   }
-  batch_.push_back(op);
+  batch_.PushBack(r, hash);
+  lat_cluster_.push_back(lat_cluster);
+  lat_osc_.push_back(lat_osc);
+  lat_remote_.push_back(lat_remote);
   if (batch_.size() >= kBatchCapacity) {
     FlushBatch();
   }
@@ -63,44 +73,48 @@ void AlcBank::Process(const Request& r) {
 
 void AlcBank::ReplayGridPoint(size_t i) {
   Level& level = levels_[i];
-  for (const SampledOp& op : batch_) {
-    const Request& r = op.req;
-    switch (r.op) {
+  const size_t n = batch_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const ObjectId id = batch_.ids[k];
+    const uint64_t hash = batch_.hashes[k];
+    const uint64_t size = batch_.sizes[k];
+    const SimTime time = batch_.times[k];
+    switch (batch_.ops[k]) {
       case Op::kGet: {
-        if (auto completion = level.inflight.Pending(r.id, r.time)) {
+        if (auto completion = level.inflight.Pending(id, time)) {
           // The object was admitted at request time but its fetch is still
           // in flight: the duplicate access waits for that completion (the
           // false-positive-hit correction of Fig 5b).
-          level.latency_sum_ms += static_cast<double>(*completion - r.time);
+          level.latency_sum_ms += static_cast<double>(*completion - time);
           ++level.counts.delayed_hits;
           break;
         }
-        if (level.cluster.Get(r.id)) {
-          level.latency_sum_ms += op.lat_cluster;
+        if (level.cluster.GetPrehashed(id, hash)) {
+          level.latency_sum_ms += lat_cluster_[k];
           ++level.counts.cluster_hits;
           break;
         }
-        if (level.osc.Get(r.id)) {
-          level.latency_sum_ms += op.lat_osc;
+        if (level.osc.GetPrehashed(id, hash)) {
+          level.latency_sum_ms += lat_osc_[k];
           ++level.counts.osc_hits;
-          level.cluster.Put(r.id, r.size);  // promote
+          level.cluster.PutPrehashed(id, hash, size);  // promote
           break;
         }
-        level.latency_sum_ms += op.lat_remote;
+        level.latency_sum_ms += lat_remote_[k];
         ++level.counts.remote_misses;
-        level.inflight.Insert(r.id, r.time + static_cast<SimTime>(op.lat_remote));
-        level.osc.Put(r.id, r.size);
-        level.cluster.Put(r.id, r.size);
+        level.inflight.Insert(id, time + static_cast<SimTime>(lat_remote_[k]));
+        level.osc.PutPrehashed(id, hash, size);
+        level.cluster.PutPrehashed(id, hash, size);
         break;
       }
       case Op::kPut:
-        level.osc.Put(r.id, r.size);
-        level.cluster.Put(r.id, r.size);
+        level.osc.PutPrehashed(id, hash, size);
+        level.cluster.PutPrehashed(id, hash, size);
         break;
       case Op::kDelete:
-        level.osc.Erase(r.id);
-        level.cluster.Erase(r.id);
-        level.inflight.Erase(r.id);
+        level.osc.ErasePrehashed(id, hash);
+        level.cluster.ErasePrehashed(id, hash);
+        level.inflight.Erase(id);
         break;
     }
   }
@@ -117,7 +131,10 @@ void AlcBank::FlushBatch() {
       ReplayGridPoint(i);
     }
   }
-  batch_.clear();
+  batch_.Clear();
+  lat_cluster_.clear();
+  lat_osc_.clear();
+  lat_remote_.clear();
 }
 
 size_t AlcBank::allocated_nodes() const {

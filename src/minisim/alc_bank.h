@@ -11,7 +11,9 @@
 // construct the Symbiosis-style ALC (fixed per-level latencies multiplied by
 // hit ratios) for the accuracy comparison of Fig 5.
 //
-// Sampled requests are buffered into fixed-size batches; the per-source
+// Sampled requests are buffered into fixed-size SoA batches carrying the
+// sampler's admission hash (hashed once per request, reused by both L1 and
+// L2 mini-caches of every level; see replay_batch.h); the per-source
 // latency draws happen at Process time (one RNG pass, in stream order,
 // shared across grid points), so each level's replay over the batch is pure
 // private-state work and an optional ThreadPool can fan levels across cores
@@ -25,6 +27,7 @@
 
 #include "src/cache/inflight.h"
 #include "src/cache/lru_cache.h"
+#include "src/cache/replay_batch.h"
 #include "src/cloudsim/latency.h"
 #include "src/common/curve.h"
 #include "src/common/rng.h"
@@ -75,16 +78,6 @@ class AlcBank {
   size_t allocated_nodes() const;
 
  private:
-  // One sampled request with its pre-drawn latencies (GETs only; one draw
-  // per source, shared across grid points, so curves differ only through
-  // cache behaviour — lower variance, one RNG pass).
-  struct SampledOp {
-    Request req;
-    double lat_cluster = 0.0;
-    double lat_osc = 0.0;
-    double lat_remote = 0.0;
-  };
-
   struct Level {
     LruCache cluster;
     LruCache osc;
@@ -102,7 +95,14 @@ class AlcBank {
   const LatencySampler* latency_;
   Rng rng_;
   ThreadPool* pool_ = nullptr;
-  std::vector<SampledOp> batch_;
+  // Sampled requests (+ admission hashes) awaiting replay, with their
+  // pre-drawn latencies in parallel columns (GETs only; one draw per
+  // source, shared across grid points, so curves differ only through cache
+  // behaviour — lower variance, one RNG pass).
+  ReplayBatch batch_;
+  std::vector<double> lat_cluster_;
+  std::vector<double> lat_osc_;
+  std::vector<double> lat_remote_;
   std::vector<Level> levels_;
   uint64_t window_gets_ = 0;
 };

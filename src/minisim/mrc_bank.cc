@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "src/cache/lru_cache.h"
 #include "src/common/check.h"
 
 namespace macaron {
@@ -20,7 +19,7 @@ MrcBank::MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
   MACARON_CHECK(!grid_.empty());
   MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
   MACARON_CHECK(ratio_ > 0.0 && ratio_ <= 1.0);
-  batch_.reserve(kBatchCapacity);
+  batch_.Reserve(kBatchCapacity);
   caches_.reserve(grid_.size());
   for (uint64_t capacity : grid_) {
     const uint64_t mini = std::max<uint64_t>(
@@ -36,65 +35,29 @@ void MrcBank::Process(const Request& r) {
   if (r.op == Op::kGet) {
     ++window_gets_;
   }
-  if (!sampler_.Admit(r.id)) {
+  // One hash serves the admission test and, for admitted requests, every
+  // grid point's mini-cache index (SHARDS hash reuse; see sampler.h).
+  const uint64_t hash = sampler_.Hash(r.id);
+  if (!sampler_.AdmitHashed(hash)) {
     return;
   }
   if (r.op == Op::kGet) {
     ++window_sampled_gets_;
   }
-  batch_.push_back(r);
+  batch_.PushBack(r, hash);
   if (batch_.size() >= kBatchCapacity) {
     FlushBatch();
   }
 }
 
 void MrcBank::ReplayGridPoint(size_t i) {
-  EvictionCache& cache = *caches_[i];
-  // Accumulate locally and write back once per batch: grid points run on
-  // pool threads, and neighboring window_misses_ slots share cache lines.
-  uint64_t misses = 0;
-  uint64_t missed_bytes = 0;
-  if (LruCache* lru = cache.AsLruCache()) {
-    // Default-policy fast path: same semantics as below, without per-op
-    // virtual dispatch (this loop is the analyzer's hottest).
-    for (const Request& r : batch_) {
-      switch (r.op) {
-        case Op::kGet:
-          if (!lru->Get(r.id)) {
-            ++misses;
-            missed_bytes += r.size;
-            lru->Put(r.id, r.size);  // admit on miss
-          }
-          break;
-        case Op::kPut:
-          lru->Put(r.id, r.size);
-          break;
-        case Op::kDelete:
-          lru->Erase(r.id);
-          break;
-      }
-    }
-  } else {
-    for (const Request& r : batch_) {
-      switch (r.op) {
-        case Op::kGet:
-          if (!cache.Get(r.id)) {
-            ++misses;
-            missed_bytes += r.size;
-            cache.Put(r.id, r.size);  // admit on miss
-          }
-          break;
-        case Op::kPut:
-          cache.Put(r.id, r.size);
-          break;
-        case Op::kDelete:
-          cache.Erase(r.id);
-          break;
-      }
-    }
-  }
-  window_misses_[i] += misses;
-  window_missed_bytes_[i] += missed_bytes;
+  // The policy's prehashed SoA kernel (one virtual call per batch, then a
+  // devirtualized loop). Stats accumulate locally and write back once per
+  // batch: grid points run on pool threads, and neighboring window_misses_
+  // slots share cache lines.
+  const EvictionCache::MiniSimStats stats = caches_[i]->ReplayMiniSim(batch_);
+  window_misses_[i] += stats.misses;
+  window_missed_bytes_[i] += stats.missed_bytes;
 }
 
 void MrcBank::FlushBatch() {
@@ -108,7 +71,7 @@ void MrcBank::FlushBatch() {
       ReplayGridPoint(i);
     }
   }
-  batch_.clear();
+  batch_.Clear();
 }
 
 size_t MrcBank::allocated_nodes() const {

@@ -10,10 +10,13 @@
 // over-admits on a small window. Mini-cache state persists across windows
 // (the paper stores it in EFS between serverless invocations).
 //
-// Sampled requests are buffered into fixed-size batches and each grid point
-// replays the batch against its own mini-cache. Grid points share no mutable
-// state, so an optional ThreadPool fans them across cores; parallel and
-// sequential replay produce bit-identical curves.
+// Sampled requests are buffered into fixed-size SoA batches (see
+// replay_batch.h) carrying the sampler's admission hash, and each grid point
+// replays the batch against its own mini-cache through the policy's
+// devirtualized prehashed kernel (EvictionCache::ReplayMiniSim) — each
+// request is hashed exactly once, at Process() time, for all grid points.
+// Grid points share no mutable state, so an optional ThreadPool fans them
+// across cores; parallel and sequential replay produce bit-identical curves.
 
 #ifndef MACARON_SRC_MINISIM_MRC_BANK_H_
 #define MACARON_SRC_MINISIM_MRC_BANK_H_
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "src/cache/eviction_policy.h"
+#include "src/cache/replay_batch.h"
 #include "src/common/curve.h"
 #include "src/common/thread_pool.h"
 #include "src/trace/request.h"
@@ -73,7 +77,7 @@ class MrcBank {
   double ratio_;
   SpatialSampler sampler_;
   ThreadPool* pool_ = nullptr;
-  std::vector<Request> batch_;  // sampled requests awaiting replay
+  ReplayBatch batch_;  // sampled requests (+ admission hashes) awaiting replay
   std::vector<std::unique_ptr<EvictionCache>> caches_;
   std::vector<uint64_t> window_misses_;
   std::vector<uint64_t> window_missed_bytes_;

@@ -7,8 +7,7 @@
 namespace macaron {
 
 void ReuseDistanceAnalyzer::ReserveObjects(size_t objects, size_t gets) {
-  last_slot_.reserve(objects);
-  sizes_.reserve(objects);
+  objects_.reserve(objects);
   if (gets > 0) {
     distances_.reserve(gets);
   }
@@ -29,47 +28,47 @@ int64_t ReuseDistanceAnalyzer::FenwickPrefix(size_t pos) const {
 }
 
 uint64_t ReuseDistanceAnalyzer::Distance(ObjectId id, uint64_t size) {
-  const auto it = last_slot_.find(id);
-  if (it == last_slot_.end()) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
     return kInfinite;
   }
   // Bytes of distinct objects accessed strictly after the previous access,
   // plus the object itself.
   const int64_t total = FenwickPrefix(next_slot_ == 0 ? 0 : next_slot_ - 1);
-  const int64_t upto = FenwickPrefix(it->second);
+  const int64_t upto = FenwickPrefix(it->second.slot);
   const int64_t between = total - upto;
   MACARON_CHECK(between >= 0);
   return static_cast<uint64_t>(between) + size;
 }
 
 void ReuseDistanceAnalyzer::Touch(ObjectId id, uint64_t size) {
-  // Grow the tree first (the rebuild reads last_slot_/sizes_, which must
-  // still describe the pre-touch state). Rebuilding from live objects keeps
+  // Grow the tree first (the rebuild reads objects_, which must still
+  // describe the pre-touch state). Rebuilding from live objects keeps
   // amortized O(log n) updates.
   if (next_slot_ >= tree_.size()) {
     tree_.assign(tree_.size() * 2 + 64, 0);
-    for (const auto& [obj, slot] : last_slot_) {
-      FenwickAdd(slot, static_cast<int64_t>(sizes_[obj]));
+    for (const auto& [obj, state] : objects_) {
+      FenwickAdd(state.slot, static_cast<int64_t>(state.size));
     }
   }
-  const auto it = last_slot_.find(id);
-  if (it != last_slot_.end()) {
-    FenwickAdd(it->second, -static_cast<int64_t>(sizes_[id]));
+  const auto it = objects_.find(id);
+  if (it != objects_.end()) {
+    FenwickAdd(it->second.slot, -static_cast<int64_t>(it->second.size));
+    it->second = ObjectState{next_slot_, size};
+  } else {
+    objects_.emplace(id, ObjectState{next_slot_, size});
   }
-  last_slot_[id] = next_slot_;
-  sizes_[id] = size;
   FenwickAdd(next_slot_, static_cast<int64_t>(size));
   ++next_slot_;
 }
 
 void ReuseDistanceAnalyzer::Remove(ObjectId id) {
-  const auto it = last_slot_.find(id);
-  if (it == last_slot_.end()) {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
     return;
   }
-  FenwickAdd(it->second, -static_cast<int64_t>(sizes_[id]));
-  last_slot_.erase(it);
-  sizes_.erase(id);
+  FenwickAdd(it->second.slot, -static_cast<int64_t>(it->second.size));
+  objects_.erase(it);
 }
 
 void ReuseDistanceAnalyzer::Process(const Request& r) {

@@ -59,9 +59,17 @@ class ReuseDistanceAnalyzer {
   void Touch(ObjectId id, uint64_t size);
   void Remove(ObjectId id);
 
+  // Per-object stack state: the slot of the most recent access and the size
+  // counted at that slot. One table, one lookup per touch (the previous
+  // last_slot_/sizes_ pair cost two probes per access and drifted apart in
+  // cache).
+  struct ObjectState {
+    size_t slot;
+    uint64_t size;
+  };
+
   std::vector<int64_t> tree_;
-  std::unordered_map<ObjectId, size_t> last_slot_;
-  std::unordered_map<ObjectId, uint64_t> sizes_;
+  std::unordered_map<ObjectId, ObjectState> objects_;
   size_t next_slot_ = 0;
   uint64_t num_gets_ = 0;
   uint64_t compulsory_misses_ = 0;

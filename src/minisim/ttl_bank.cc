@@ -30,7 +30,7 @@ TtlBank::TtlBank(std::vector<SimDuration> ttl_grid, double ratio, uint64_t salt)
   MACARON_CHECK(!grid_.empty());
   MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
   MACARON_CHECK(ratio_ > 0.0 && ratio_ <= 1.0);
-  batch_.reserve(kBatchCapacity);
+  batch_.Reserve(kBatchCapacity);
   entries_.reserve(grid_.size());
   for (SimDuration ttl : grid_) {
     entries_.push_back(Entry{TtlCache(ttl), 0, 0, 0.0, 0});
@@ -57,13 +57,16 @@ void TtlBank::Process(const Request& r) {
     ++window_gets_;
   }
   last_time_ = r.time;
-  if (!sampler_.Admit(r.id)) {
+  // One hash for admission and for every candidate TTL's mini-cache index
+  // (SHARDS hash reuse; see sampler.h).
+  const uint64_t hash = sampler_.Hash(r.id);
+  if (!sampler_.AdmitHashed(hash)) {
     return;
   }
   if (r.op == Op::kGet) {
     ++window_sampled_gets_;
   }
-  batch_.push_back(r);
+  batch_.PushBack(r, hash);
   if (batch_.size() >= kBatchCapacity) {
     FlushBatch();
   }
@@ -71,21 +74,25 @@ void TtlBank::Process(const Request& r) {
 
 void TtlBank::ReplayGridPoint(size_t i) {
   Entry& e = entries_[i];
-  for (const Request& r : batch_) {
-    Advance(e, r.time);
-    switch (r.op) {
+  const size_t n = batch_.size();
+  for (size_t k = 0; k < n; ++k) {
+    const ObjectId id = batch_.ids[k];
+    const uint64_t hash = batch_.hashes[k];
+    const SimTime time = batch_.times[k];
+    Advance(e, time);
+    switch (batch_.ops[k]) {
       case Op::kGet:
-        if (!e.cache.Get(r.id, r.time)) {
+        if (!e.cache.GetPrehashed(id, hash, time)) {
           ++e.misses;
-          e.missed_bytes += r.size;
-          e.cache.Put(r.id, r.size, r.time);
+          e.missed_bytes += batch_.sizes[k];
+          e.cache.PutPrehashed(id, hash, batch_.sizes[k], time);
         }
         break;
       case Op::kPut:
-        e.cache.Put(r.id, r.size, r.time);
+        e.cache.PutPrehashed(id, hash, batch_.sizes[k], time);
         break;
       case Op::kDelete:
-        e.cache.Erase(r.id);
+        e.cache.ErasePrehashed(id, hash);
         break;
     }
   }
@@ -102,7 +109,7 @@ void TtlBank::FlushBatch() {
       ReplayGridPoint(i);
     }
   }
-  batch_.clear();
+  batch_.Clear();
 }
 
 size_t TtlBank::allocated_nodes() const {

@@ -8,10 +8,12 @@
 // MRC(TTL) and BMC(TTL) the bank reports the OSC Capacity Curve: the
 // time-averaged bytes resident for each candidate TTL.
 //
-// Like MrcBank, sampled requests are buffered into fixed-size batches and
-// each candidate TTL replays the batch against its own mini-cache; grid
-// points are independent, so an optional ThreadPool fans them across cores
-// with bit-identical results.
+// Like MrcBank, sampled requests are buffered into fixed-size SoA batches
+// carrying the sampler's admission hash (hashed once per request, reused by
+// every candidate TTL's mini-cache; see replay_batch.h) and each candidate
+// TTL replays the batch against its own mini-cache; grid points are
+// independent, so an optional ThreadPool fans them across cores with
+// bit-identical results.
 
 #ifndef MACARON_SRC_MINISIM_TTL_BANK_H_
 #define MACARON_SRC_MINISIM_TTL_BANK_H_
@@ -19,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/cache/replay_batch.h"
 #include "src/cache/ttl_cache.h"
 #include "src/common/curve.h"
 #include "src/common/sim_time.h"
@@ -77,7 +80,7 @@ class TtlBank {
   double ratio_;
   SpatialSampler sampler_;
   ThreadPool* pool_ = nullptr;
-  std::vector<Request> batch_;  // sampled requests awaiting replay
+  ReplayBatch batch_;  // sampled requests (+ admission hashes) awaiting replay
   std::vector<Entry> entries_;
   uint64_t window_gets_ = 0;
   uint64_t window_sampled_gets_ = 0;

@@ -14,12 +14,12 @@ ObjectStorageCache::ObjectStorageCache(const PackingConfig& config)
   MACARON_CHECK(config.gc_dead_fraction > 0.0 && config.gc_dead_fraction <= 1.0);
 }
 
-bool ObjectStorageCache::Lookup(ObjectId id) {
+bool ObjectStorageCache::LookupPrehashed(ObjectId id, uint64_t h) {
   const auto it = objects_.find(id);
   if (it == objects_.end() || !it->second.live) {
     return false;
   }
-  order_->Get(id);  // touch per policy
+  order_->GetPrehashed(id, h);  // touch per policy
   ++ops_.gets;   // byte-range fetch from the containing block
   return true;
 }
@@ -29,7 +29,8 @@ bool ObjectStorageCache::Contains(ObjectId id) const {
   return it != objects_.end() && it->second.live;
 }
 
-void ObjectStorageCache::AdmitInternal(ObjectId id, uint64_t size, bool promote_lru) {
+void ObjectStorageCache::AdmitInternal(ObjectId id, uint64_t h, uint64_t size,
+                                       bool promote_lru) {
   // Place into the open packing block.
   if (!config_.packing_enabled) {
     // One object per block: write immediately.
@@ -42,7 +43,7 @@ void ObjectStorageCache::AdmitInternal(ObjectId id, uint64_t size, bool promote_
     objects_[id] = ObjectMeta{block_id, size, true};
     ++ops_.puts;
     if (promote_lru) {
-      order_->Put(id, size);
+      order_->PutPrehashed(id, h, size);
       live_bytes_ += size;
     }
     return;
@@ -57,7 +58,7 @@ void ObjectStorageCache::AdmitInternal(ObjectId id, uint64_t size, bool promote_
   ++block.objects;
   objects_[id] = ObjectMeta{open_block_, size, true};
   if (promote_lru) {
-    order_->Put(id, size);
+    order_->PutPrehashed(id, h, size);
     live_bytes_ += size;
   }
   if (block.objects >= config_.max_objects_per_block || block.bytes >= config_.block_bytes) {
@@ -65,23 +66,23 @@ void ObjectStorageCache::AdmitInternal(ObjectId id, uint64_t size, bool promote_
   }
 }
 
-void ObjectStorageCache::Admit(ObjectId id, uint64_t size) {
+void ObjectStorageCache::AdmitPrehashed(ObjectId id, uint64_t h, uint64_t size) {
   const auto it = objects_.find(id);
   if (it != objects_.end() && it->second.live) {
-    order_->Get(id);  // immutable data: refresh recency only
+    order_->GetPrehashed(id, h);  // immutable data: refresh recency only
     return;
   }
   // A dead prior copy (Evicted then re-fetched) stays garbage in its old
   // block; the new copy goes into the open block.
-  AdmitInternal(id, size, /*promote_lru=*/true);
+  AdmitInternal(id, h, size, /*promote_lru=*/true);
 }
 
-void ObjectStorageCache::Delete(ObjectId id) {
+void ObjectStorageCache::DeletePrehashed(ObjectId id, uint64_t h) {
   const auto it = objects_.find(id);
   if (it == objects_.end() || !it->second.live) {
     return;
   }
-  order_->Erase(id);
+  order_->ErasePrehashed(id, h);
   live_bytes_ -= it->second.size;
   MarkDead(id);
 }
@@ -173,8 +174,9 @@ void ObjectStorageCache::RunGc() {
           continue;  // re-admitted into a newer block
         }
         if (oit->second.live) {
-          // Survivor: repack into the open block without touching recency.
-          AdmitInternal(id, oit->second.size, /*promote_lru=*/false);
+          // Survivor: repack into the open block without touching recency
+          // (hash unused when promote_lru is false).
+          AdmitInternal(id, 0, oit->second.size, /*promote_lru=*/false);
         } else {
           objects_.erase(oit);
         }

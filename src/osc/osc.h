@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/cache/eviction_policy.h"
+#include "src/common/hash.h"
 #include "src/trace/request.h"
 
 namespace macaron {
@@ -38,17 +39,25 @@ class ObjectStorageCache {
   explicit ObjectStorageCache(const PackingConfig& config);
 
   // --- Request path ---
+  //
+  // The Prehashed variants take h = Mix64(id) from a caller that already
+  // hashed the request (the engines hash once at ingest); the plain forms
+  // hash internally. `h` feeds the replacement-order index only — metadata
+  // lives in std::unordered_map and is unaffected.
 
   // True if `id` is Active; touches it in the replacement order. Counts one
   // GET.
-  bool Lookup(ObjectId id);
+  bool Lookup(ObjectId id) { return LookupPrehashed(id, Mix64(id)); }
+  bool LookupPrehashed(ObjectId id, uint64_t h);
   // Probe without promotion or op accounting.
   bool Contains(ObjectId id) const;
   // Admits (or re-admits) an object: appended to the open packing block,
   // which flushes (one PUT) when full.
-  void Admit(ObjectId id, uint64_t size);
+  void Admit(ObjectId id, uint64_t size) { AdmitPrehashed(id, Mix64(id), size); }
+  void AdmitPrehashed(ObjectId id, uint64_t h, uint64_t size);
   // Marks `id` Deleted and updates GC bookkeeping.
-  void Delete(ObjectId id);
+  void Delete(ObjectId id) { DeletePrehashed(id, Mix64(id)); }
+  void DeletePrehashed(ObjectId id, uint64_t h);
 
   // --- Maintenance (off the request path) ---
 
@@ -115,7 +124,8 @@ class ObjectStorageCache {
     std::vector<ObjectId> members;
   };
 
-  void AdmitInternal(ObjectId id, uint64_t size, bool promote_lru);
+  // `h` is consumed only when promote_lru is true (GC repack passes 0).
+  void AdmitInternal(ObjectId id, uint64_t h, uint64_t size, bool promote_lru);
   void MarkDead(ObjectId id);
   void MaybeScheduleGc(uint64_t block_id);
 

@@ -9,6 +9,7 @@
 #include "src/cloudsim/latency.h"
 #include "src/cluster/cache_cluster.h"
 #include "src/common/check.h"
+#include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/controller/controller.h"
 #include "src/osc/osc.h"
@@ -143,10 +144,13 @@ void EventRunner::ChargeOscOps() {
 void EventRunner::HandleRequest(const Request& r) {
   Integrate(r.time);
   controller_->Observe(r);
+  // One Mix64 per request; every cache level below reuses it (including the
+  // deferred-admission event, which captures it).
+  const uint64_t h = Mix64(r.id);
   switch (r.op) {
     case Op::kGet: {
       ++result_.gets;
-      if (cluster_ != nullptr && cluster_->Get(r.id)) {
+      if (cluster_ != nullptr && cluster_->GetHashed(r.id, h)) {
         ++result_.cluster_hits;
         if (cfg_.measure_latency) {
           result_.latency_ms.Add(
@@ -154,17 +158,17 @@ void EventRunner::HandleRequest(const Request& r) {
         }
         return;
       }
-      if (osc_->Lookup(r.id)) {
+      if (osc_->LookupPrehashed(r.id, h)) {
         ++result_.osc_hits;
         if (ttl_shadow_ != nullptr) {
-          ttl_shadow_->Get(r.id, r.time);
+          ttl_shadow_->GetPrehashed(r.id, h, r.time);
         }
         if (cfg_.measure_latency) {
           result_.latency_ms.Add(kClientHopMs +
                                  fitted_.SampleMs(DataSource::kOsc, r.size, rng_));
         }
         if (cluster_ != nullptr) {
-          cluster_->Put(r.id, r.size);
+          cluster_->PutHashed(r.id, h, r.size);
         }
         return;
       }
@@ -185,37 +189,38 @@ void EventRunner::HandleRequest(const Request& r) {
       }
       const SimTime completion = r.time + static_cast<SimTime>(lat) + 1;
       inflight_.Insert(r.id, completion);
-      // Admission happens when the fetch completes.
+      // Admission happens when the fetch completes; the event carries the
+      // hash so completion does not rehash.
       const ObjectId id = r.id;
       const uint64_t size = r.size;
-      queue_.Schedule(completion, [this, id, size](SimTime now) {
+      queue_.Schedule(completion, [this, id, h, size](SimTime now) {
         Integrate(now);
-        osc_->Admit(id, size);
+        osc_->AdmitPrehashed(id, h, size);
         if (ttl_shadow_ != nullptr) {
-          ttl_shadow_->Put(id, size, now);
+          ttl_shadow_->PutPrehashed(id, h, size, now);
         }
         if (cluster_ != nullptr) {
-          cluster_->Put(id, size);
+          cluster_->PutHashed(id, h, size);
         }
       });
       return;
     }
     case Op::kPut:
-      osc_->Admit(r.id, r.size);
+      osc_->AdmitPrehashed(r.id, h, r.size);
       if (ttl_shadow_ != nullptr) {
-        ttl_shadow_->Put(r.id, r.size, r.time);
+        ttl_shadow_->PutPrehashed(r.id, h, r.size, r.time);
       }
       if (cluster_ != nullptr) {
-        cluster_->Put(r.id, r.size);
+        cluster_->PutHashed(r.id, h, r.size);
       }
       return;
     case Op::kDelete:
-      osc_->Delete(r.id);
+      osc_->DeletePrehashed(r.id, h);
       if (ttl_shadow_ != nullptr) {
-        ttl_shadow_->Erase(r.id);
+        ttl_shadow_->ErasePrehashed(r.id, h);
       }
       if (cluster_ != nullptr) {
-        cluster_->Delete(r.id);
+        cluster_->DeleteHashed(r.id, h);
       }
       inflight_.Erase(r.id);
       return;

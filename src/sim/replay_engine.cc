@@ -9,6 +9,7 @@
 #include "src/cloudsim/latency.h"
 #include "src/cluster/cache_cluster.h"
 #include "src/common/check.h"
+#include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/controller/controller.h"
 #include "src/osc/osc.h"
@@ -118,11 +119,12 @@ class Runner {
   void RecordLatency(DataSource source, uint64_t size);
   bool InObservation(SimTime t) const { return UsesController() && t < cfg_.observation; }
 
-  // Per-approach GET paths.
+  // Per-approach GET paths. `h` is Mix64(r.id), computed once per request
+  // in ProcessRequest and reused by every cache level it touches.
   void GetRemote(const Request& r);
   void GetReplicated(const Request& r);
-  void GetEcpc(const Request& r);
-  void GetMacaron(const Request& r);
+  void GetEcpc(const Request& r, uint64_t h);
+  void GetMacaron(const Request& r, uint64_t h);
 
   const EngineConfig& cfg_;
   const Trace& trace_;
@@ -307,8 +309,8 @@ void Runner::GetReplicated(const Request& r) {
   RecordLatency(DataSource::kOsc, r.size);
 }
 
-void Runner::GetEcpc(const Request& r) {
-  if (cluster_->Get(r.id)) {
+void Runner::GetEcpc(const Request& r, uint64_t h) {
+  if (cluster_->GetHashed(r.id, h)) {
     ++result_.cluster_hits;
     RecordLatency(cluster_hit_source_, r.size);
     return;
@@ -318,10 +320,10 @@ void Runner::GetEcpc(const Request& r) {
   result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
   result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
   RecordLatency(DataSource::kRemoteLake, r.size);
-  cluster_->Put(r.id, r.size);
+  cluster_->PutHashed(r.id, h, r.size);
 }
 
-void Runner::GetMacaron(const Request& r) {
+void Runner::GetMacaron(const Request& r, uint64_t h) {
   // A fetch still in flight means the object is not yet actually available,
   // even though it was admitted to cache metadata at request time: the
   // duplicate access is delayed until the fetch completes (§5.2).
@@ -332,25 +334,25 @@ void Runner::GetMacaron(const Request& r) {
     }
     return;
   }
-  if (cluster_ != nullptr && cluster_->Get(r.id)) {
+  if (cluster_ != nullptr && cluster_->GetHashed(r.id, h)) {
     ++result_.cluster_hits;
     RecordLatency(DataSource::kCacheCluster, r.size);
     // Inclusive caching: refresh OSC recency so hot data stays resident.
     if (osc_->Contains(r.id)) {
       if (ttl_shadow_ != nullptr) {
-        ttl_shadow_->Get(r.id, r.time);
+        ttl_shadow_->GetPrehashed(r.id, h, r.time);
       }
     }
     return;
   }
-  if (osc_->Lookup(r.id)) {
+  if (osc_->LookupPrehashed(r.id, h)) {
     ++result_.osc_hits;
     if (ttl_shadow_ != nullptr) {
-      ttl_shadow_->Get(r.id, r.time);
+      ttl_shadow_->GetPrehashed(r.id, h, r.time);
     }
     RecordLatency(DataSource::kOsc, r.size);
     if (cluster_ != nullptr) {
-      cluster_->Put(r.id, r.size);  // promote
+      cluster_->PutHashed(r.id, h, r.size);  // promote
     }
     return;
   }
@@ -364,13 +366,13 @@ void Runner::GetMacaron(const Request& r) {
   }
   inflight_.Insert(r.id, r.time + static_cast<SimTime>(lat) + 1);
   if (!admission_bypass_) {
-    osc_->Admit(r.id, r.size);
+    osc_->AdmitPrehashed(r.id, h, r.size);
     if (ttl_shadow_ != nullptr) {
-      ttl_shadow_->Put(r.id, r.size, r.time);
+      ttl_shadow_->PutPrehashed(r.id, h, r.size, r.time);
     }
   }
   if (cluster_ != nullptr) {
-    cluster_->Put(r.id, r.size);
+    cluster_->PutHashed(r.id, h, r.size);
   }
 }
 
@@ -379,6 +381,9 @@ void Runner::ProcessRequest(const Request& r) {
   if (controller_ != nullptr) {
     controller_->Observe(r);
   }
+  // The one Mix64 of the request path: every cache level below (ring
+  // routing, cluster nodes, OSC replacement order, TTL shadow) reuses it.
+  const uint64_t h = Mix64(r.id);
   if (cfg_.approach == Approach::kReplicated &&
       (r.op == Op::kGet || r.op == Op::kPut)) {
     if (seen_.insert(r.id).second) {
@@ -405,10 +410,10 @@ void Runner::ProcessRequest(const Request& r) {
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          GetEcpc(r);
+          GetEcpc(r, h);
           break;
         default:
-          GetMacaron(r);
+          GetMacaron(r, h);
           break;
       }
       break;
@@ -421,17 +426,17 @@ void Runner::ProcessRequest(const Request& r) {
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          cluster_->Put(r.id, r.size);
+          cluster_->PutHashed(r.id, h, r.size);
           break;
         default:
           if (!admission_bypass_) {
-            osc_->Admit(r.id, r.size);
+            osc_->AdmitPrehashed(r.id, h, r.size);
           }
           if (ttl_shadow_ != nullptr) {
-            ttl_shadow_->Put(r.id, r.size, r.time);
+            ttl_shadow_->PutPrehashed(r.id, h, r.size, r.time);
           }
           if (cluster_ != nullptr) {
-            cluster_->Put(r.id, r.size);
+            cluster_->PutHashed(r.id, h, r.size);
           }
           break;
       }
@@ -447,15 +452,15 @@ void Runner::ProcessRequest(const Request& r) {
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          cluster_->Delete(r.id);
+          cluster_->DeleteHashed(r.id, h);
           break;
         default:
-          osc_->Delete(r.id);
+          osc_->DeletePrehashed(r.id, h);
           if (ttl_shadow_ != nullptr) {
-            ttl_shadow_->Erase(r.id);
+            ttl_shadow_->ErasePrehashed(r.id, h);
           }
           if (cluster_ != nullptr) {
-            cluster_->Delete(r.id);
+            cluster_->DeleteHashed(r.id, h);
           }
           inflight_.Erase(r.id);
           break;

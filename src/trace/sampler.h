@@ -14,14 +14,24 @@ namespace macaron {
 
 // Admits objects whose hashed id falls below ratio * 2^64; every request on
 // an admitted object is kept, preserving per-object access sequences.
+//
+// The admission hash is a full 64-bit Mix64 of the salted id, so (SHARDS)
+// it doubles as the admitted object's cache-index hash: callers fetch it
+// once with Hash() and reuse it for both the admission test (AdmitHashed)
+// and every prehashed mini-cache operation on that request, instead of
+// rehashing per grid point.
 class SpatialSampler {
  public:
   // ratio in (0, 1]; salt decorrelates independent samplers.
   SpatialSampler(double ratio, uint64_t salt);
 
-  bool Admit(ObjectId id) const {
-    return Mix64(id ^ salt_) <= threshold_;
-  }
+  // The admission hash for `id` (a fixed bijective mix of id ^ salt).
+  uint64_t Hash(ObjectId id) const { return Mix64(id ^ salt_); }
+
+  bool Admit(ObjectId id) const { return AdmitHashed(Hash(id)); }
+
+  // Admission test on a hash previously returned by Hash().
+  bool AdmitHashed(uint64_t hash) const { return hash <= threshold_; }
 
   double ratio() const { return ratio_; }
 

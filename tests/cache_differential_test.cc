@@ -23,8 +23,10 @@
 #include "src/cache/eviction_policy.h"
 #include "src/cache/lru_cache.h"
 #include "src/cache/reference_caches.h"
+#include "src/cache/replay_batch.h"
 #include "src/cache/ttl_cache.h"
 #include "src/cloudsim/latency.h"
+#include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/common/zipf.h"
 #include "src/minisim/alc_bank.h"
@@ -234,6 +236,218 @@ TEST(CacheDifferentialTest, TtlCacheMatchesSeedReference) {
   EXPECT_EQ(flat_evicted, ref_evicted);
 }
 
+std::vector<Request> ZipfWindow(uint64_t objects, uint64_t count, uint64_t seed) {
+  std::vector<Request> reqs;
+  Rng rng(seed);
+  ZipfSampler zipf(objects, 0.8);
+  reqs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    reqs.push_back({static_cast<SimTime>(i * 10), zipf.Sample(rng), 1000, Op::kGet});
+  }
+  return reqs;
+}
+
+// --- Hash-once pipeline (prehashed vs. plain-key paths) ---
+
+// Drives one instance through the plain-key wrappers (the Mix64(id) domain
+// the engines use) and a second instance exclusively through the prehashed
+// entry points with a *salted* domain Mix64(id ^ salt) — the hash a bank's
+// SpatialSampler supplies. The index hash picks table positions only, so
+// every observable (hit results, eviction sequences, iteration orders, byte
+// accounting) must be bit-identical across hash domains.
+void RunHashDomainDifferential(EvictionPolicyKind kind, uint64_t salt, uint64_t ops) {
+  SCOPED_TRACE(EvictionPolicyName(kind));
+  SCOPED_TRACE(salt);
+  constexpr uint64_t kObjects = 3000;
+  constexpr uint64_t kCapacity = 400'000;
+
+  auto plain = MakeEvictionCache(kind, kCapacity);
+  auto salted = MakeEvictionCache(kind, kCapacity);
+  EventLog plain_evicted;
+  EventLog salted_evicted;
+  plain->set_evict_callback(
+      [&](ObjectId id, uint64_t size) { plain_evicted.emplace_back(id, size); });
+  salted->set_evict_callback(
+      [&](ObjectId id, uint64_t size) { salted_evicted.emplace_back(id, size); });
+
+  Rng rng(salt * 2 + 1);
+  ZipfSampler zipf(kObjects, 0.8);
+  for (uint64_t i = 0; i < ops; ++i) {
+    const ObjectId id = zipf.Sample(rng);
+    const uint64_t h = Mix64(id ^ salt);
+    const uint64_t roll = rng.NextU64() % 100;
+    if (roll < 60) {
+      const bool p = plain->Get(id);
+      const bool s = salted->GetPrehashed(id, h);
+      ASSERT_EQ(p, s) << "Get(" << id << ") at op " << i;
+      if (!p) {
+        plain->Put(id, SizeOfId(id));
+        salted->PutPrehashed(id, h, SizeOfId(id));
+      }
+    } else if (roll < 80) {
+      plain->Put(id, SizeOfId(id));
+      salted->PutPrehashed(id, h, SizeOfId(id));
+    } else {
+      const bool p = plain->Erase(id);
+      const bool s = salted->ErasePrehashed(id, h);
+      ASSERT_EQ(p, s) << "Erase(" << id << ") at op " << i;
+    }
+    ASSERT_EQ(plain->used_bytes(), salted->used_bytes()) << "op " << i;
+    ASSERT_EQ(plain->num_entries(), salted->num_entries()) << "op " << i;
+    if ((i & 0xfff) == 0xfff) {
+      ASSERT_EQ(EvictOrder(*plain), EvictOrder(*salted)) << "op " << i;
+      ASSERT_EQ(HotOrder(*plain), HotOrder(*salted)) << "op " << i;
+    }
+  }
+  EXPECT_EQ(plain_evicted, salted_evicted);
+  EXPECT_EQ(EvictOrder(*plain), EvictOrder(*salted));
+  EXPECT_EQ(HotOrder(*plain), HotOrder(*salted));
+}
+
+TEST(HashOnceDifferentialTest, SaltedDomainMatchesPlainKeys) {
+  for (const EvictionPolicyKind kind :
+       {EvictionPolicyKind::kLru, EvictionPolicyKind::kFifo, EvictionPolicyKind::kSlru,
+        EvictionPolicyKind::kS3Fifo}) {
+    RunHashDomainDifferential(kind, 0x9e3779b97f4a7c15ull, 40'000);
+    RunHashDomainDifferential(kind, 71, 40'000);
+  }
+}
+
+// Replays SoA batches (with the banks' salted hash column) through the
+// policy-templated ReplayMiniSim kernel and compares against (a) a scalar
+// replay through the plain-key wrappers on a second flat instance and (b)
+// the seed reference implementation's replay. Miss stats and the final
+// cache state must match bit-for-bit — this pins both the kernel's mini-sim
+// semantics and its hash-domain independence.
+void RunReplayKernelDifferential(EvictionPolicyKind kind, uint64_t seed) {
+  SCOPED_TRACE(EvictionPolicyName(kind));
+  SCOPED_TRACE(seed);
+  constexpr uint64_t kObjects = 2000;
+  constexpr uint64_t kCapacity = 300'000;
+  constexpr size_t kBatchLen = 512;
+  constexpr int kBatches = 40;
+  const uint64_t salt = Mix64(seed ^ 0xbead);
+
+  auto kernel = MakeEvictionCache(kind, kCapacity);
+  auto scalar = MakeEvictionCache(kind, kCapacity);
+  auto ref = MakeReferenceEvictionCache(kind, kCapacity);
+  EventLog kernel_evicted;
+  EventLog scalar_evicted;
+  EventLog ref_evicted;
+  kernel->set_evict_callback(
+      [&](ObjectId id, uint64_t size) { kernel_evicted.emplace_back(id, size); });
+  scalar->set_evict_callback(
+      [&](ObjectId id, uint64_t size) { scalar_evicted.emplace_back(id, size); });
+  ref->set_evict_callback(
+      [&](ObjectId id, uint64_t size) { ref_evicted.emplace_back(id, size); });
+
+  Rng rng(seed);
+  ZipfSampler zipf(kObjects, 0.8);
+  SimTime now = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    ReplayBatch batch;
+    batch.Reserve(kBatchLen);
+    for (size_t k = 0; k < kBatchLen; ++k) {
+      now += 10;
+      Request r;
+      r.time = now;
+      r.id = zipf.Sample(rng);
+      r.size = SizeOfId(r.id);
+      const uint64_t roll = rng.NextU64() % 100;
+      r.op = roll < 70 ? Op::kGet : roll < 90 ? Op::kPut : Op::kDelete;
+      batch.PushBack(r, Mix64(r.id ^ salt));
+    }
+
+    const EvictionCache::MiniSimStats ks = kernel->ReplayMiniSim(batch);
+    const EvictionCache::MiniSimStats rs = ref->ReplayMiniSim(batch);
+    EvictionCache::MiniSimStats ss;
+    for (size_t k = 0; k < batch.size(); ++k) {
+      const ObjectId id = batch.ids[k];
+      switch (batch.ops[k]) {
+        case Op::kGet:
+          if (!scalar->Get(id)) {
+            ++ss.misses;
+            ss.missed_bytes += batch.sizes[k];
+            scalar->Put(id, batch.sizes[k]);
+          }
+          break;
+        case Op::kPut:
+          scalar->Put(id, batch.sizes[k]);
+          break;
+        case Op::kDelete:
+          scalar->Erase(id);
+          break;
+      }
+    }
+
+    ASSERT_EQ(ks.misses, ss.misses) << "batch " << b;
+    ASSERT_EQ(ks.missed_bytes, ss.missed_bytes) << "batch " << b;
+    ASSERT_EQ(ks.misses, rs.misses) << "batch " << b;
+    ASSERT_EQ(ks.missed_bytes, rs.missed_bytes) << "batch " << b;
+    ASSERT_EQ(kernel->used_bytes(), scalar->used_bytes()) << "batch " << b;
+    ASSERT_EQ(kernel->used_bytes(), ref->used_bytes()) << "batch " << b;
+    ASSERT_EQ(kernel->num_entries(), scalar->num_entries()) << "batch " << b;
+    ASSERT_EQ(EvictOrder(*kernel), EvictOrder(*scalar)) << "batch " << b;
+    ASSERT_EQ(EvictOrder(*kernel), EvictOrder(*ref)) << "batch " << b;
+  }
+  EXPECT_EQ(kernel_evicted, scalar_evicted);
+  EXPECT_EQ(kernel_evicted, ref_evicted);
+  EXPECT_EQ(HotOrder(*kernel), HotOrder(*scalar));
+  EXPECT_EQ(HotOrder(*kernel), HotOrder(*ref));
+}
+
+TEST(HashOnceDifferentialTest, ReplayKernelMatchesScalarAndReference) {
+  for (const EvictionPolicyKind kind :
+       {EvictionPolicyKind::kLru, EvictionPolicyKind::kFifo, EvictionPolicyKind::kSlru,
+        EvictionPolicyKind::kS3Fifo}) {
+    RunReplayKernelDifferential(kind, 1234);
+    RunReplayKernelDifferential(kind, 5678);
+  }
+}
+
+// At full sampling (ratio 1.0) a bank admits every request no matter what
+// its salt hashes to, so two banks that differ only in salt feed identical
+// request streams — in different hash domains — to their mini-caches. The
+// curves must be bit-identical: the admission hash doubles as the index
+// hash, and index hashes must never leak into results.
+TEST(HashOnceDifferentialTest, MrcBankCurvesIndependentOfSalt) {
+  const auto grid = UniformSizeGrid(50'000, 2'000'000, 8);
+  for (const EvictionPolicyKind kind :
+       {EvictionPolicyKind::kLru, EvictionPolicyKind::kFifo, EvictionPolicyKind::kSlru,
+        EvictionPolicyKind::kS3Fifo}) {
+    SCOPED_TRACE(EvictionPolicyName(kind));
+    MrcBank a(grid, 1.0, /*salt=*/0, kind);
+    MrcBank b(grid, 1.0, /*salt=*/0xdecafbadull, kind);
+    for (int w = 0; w < 3; ++w) {
+      for (const Request& r : ZipfWindow(3000, 20'000, 31 + w)) {
+        a.Process(r);
+        b.Process(r);
+      }
+      const WindowCurves ca = a.EndWindow();
+      const WindowCurves cb = b.EndWindow();
+      EXPECT_EQ(ca.mrc.ys(), cb.mrc.ys()) << "window " << w;
+      EXPECT_EQ(ca.bmc.ys(), cb.bmc.ys()) << "window " << w;
+      EXPECT_EQ(ca.sampled_gets, cb.sampled_gets) << "window " << w;
+    }
+  }
+}
+
+TEST(HashOnceDifferentialTest, TtlBankCurvesIndependentOfSalt) {
+  TtlBank a({50'000, 200'000, 800'000}, 1.0, /*salt=*/0);
+  TtlBank b({50'000, 200'000, 800'000}, 1.0, /*salt=*/0xfeedf00dull);
+  for (int w = 0; w < 3; ++w) {
+    for (const Request& r : ZipfWindow(2000, 15'000, 47 + w)) {
+      a.Process(r);
+      b.Process(r);
+    }
+    const TtlWindowCurves ca = a.EndWindow(300'000);
+    const TtlWindowCurves cb = b.EndWindow(300'000);
+    EXPECT_EQ(ca.mrc.ys(), cb.mrc.ys()) << "window " << w;
+    EXPECT_EQ(ca.bmc.ys(), cb.bmc.ys()) << "window " << w;
+    EXPECT_EQ(ca.capacity.ys(), cb.capacity.ys()) << "window " << w;
+  }
+}
+
 // --- Slab reuse (the allocation-freedom the core exists for) ---
 
 TEST(SlabReuseTest, LruCacheChurnAllocatesOnlyPeakPopulation) {
@@ -285,17 +499,6 @@ void ExpectSteadyStateAllocations(Bank& bank, const std::vector<Request>& window
     end_window();
     EXPECT_EQ(bank.allocated_nodes(), steady) << "window " << w;
   }
-}
-
-std::vector<Request> ZipfWindow(uint64_t objects, uint64_t count, uint64_t seed) {
-  std::vector<Request> reqs;
-  Rng rng(seed);
-  ZipfSampler zipf(objects, 0.8);
-  reqs.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    reqs.push_back({static_cast<SimTime>(i * 10), zipf.Sample(rng), 1000, Op::kGet});
-  }
-  return reqs;
 }
 
 TEST(SlabReuseTest, MrcBankWindowsReuseSlabs) {

@@ -1,0 +1,92 @@
+// The SHARDS contract the hash-once pipeline rests on: the admission hash
+// SpatialSampler::Hash returns IS the cache-index hash. Banks call Hash()
+// once per request, test admission with AdmitHashed, and feed the same
+// value to every mini-cache's prehashed entry point — so the sampler's hash
+// must equal the Mix64 the index would have computed itself, and admission
+// through the cached hash must agree with the plain Admit path.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "src/cache/eviction_policy.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+#include "src/trace/sampler.h"
+
+namespace macaron {
+namespace {
+
+TEST(SamplerHashTest, HashIsTheSaltedIndexMix) {
+  const uint64_t salts[] = {0, 1, 0xc0ull, 0x9e3779b97f4a7c15ull};
+  for (const uint64_t salt : salts) {
+    SpatialSampler sampler(0.25, salt);
+    Rng rng(salt + 7);
+    for (int i = 0; i < 10'000; ++i) {
+      const ObjectId id = rng.NextU64();
+      EXPECT_EQ(sampler.Hash(id), Mix64(id ^ salt));
+    }
+  }
+}
+
+TEST(SamplerHashTest, UnsaltedHashMatchesPlainKeyWrapperDomain) {
+  // With salt 0 the sampler's hash is exactly Mix64(id) — the hash the
+  // plain-key EvictionCache wrappers compute. A cache fed the sampler's
+  // hash through the prehashed calls must be indistinguishable from one
+  // driven through the wrappers.
+  SpatialSampler sampler(1.0, /*salt=*/0);
+  auto via_sampler = MakeEvictionCache(EvictionPolicyKind::kLru, 10'000);
+  auto via_wrapper = MakeEvictionCache(EvictionPolicyKind::kLru, 10'000);
+  Rng rng(3);
+  for (int i = 0; i < 20'000; ++i) {
+    const ObjectId id = rng.NextU64() % 500;
+    EXPECT_EQ(sampler.Hash(id), Mix64(id));
+    const bool a = via_sampler->GetPrehashed(id, sampler.Hash(id));
+    const bool b = via_wrapper->Get(id);
+    ASSERT_EQ(a, b) << "op " << i;
+    if (!a) {
+      via_sampler->PutPrehashed(id, sampler.Hash(id), 100);
+      via_wrapper->Put(id, 100);
+    }
+  }
+  EXPECT_EQ(via_sampler->used_bytes(), via_wrapper->used_bytes());
+  EXPECT_EQ(via_sampler->num_entries(), via_wrapper->num_entries());
+}
+
+TEST(SamplerHashTest, AdmitHashedAgreesWithAdmit) {
+  for (const double ratio : {0.01, 0.05, 0.25, 1.0}) {
+    SpatialSampler sampler(ratio, /*salt=*/0xabcdef);
+    Rng rng(11);
+    uint64_t admitted = 0;
+    constexpr int kIds = 200'000;
+    for (int i = 0; i < kIds; ++i) {
+      const ObjectId id = rng.NextU64();
+      const uint64_t h = sampler.Hash(id);
+      ASSERT_EQ(sampler.Admit(id), sampler.AdmitHashed(h)) << id;
+      admitted += sampler.AdmitHashed(h) ? 1 : 0;
+    }
+    // SHARDS: admission rate tracks the ratio (hash is uniform over 2^64).
+    const double realized = static_cast<double>(admitted) / kIds;
+    EXPECT_NEAR(realized, ratio, 0.01) << "ratio " << ratio;
+  }
+}
+
+TEST(SamplerHashTest, AdmissionIsPerObjectStable) {
+  // Every request on an admitted object is kept (the sampler preserves
+  // per-object sequences): the hash — and therefore the admission verdict —
+  // is a pure function of the id.
+  SpatialSampler sampler(0.1, /*salt=*/99);
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const ObjectId id = rng.NextU64();
+    const uint64_t h = sampler.Hash(id);
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(sampler.Hash(id), h);
+      EXPECT_EQ(sampler.AdmitHashed(sampler.Hash(id)), sampler.AdmitHashed(h));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace macaron

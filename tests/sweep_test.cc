@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "src/controller/analyzer.h"
+#include "src/sim/event_engine.h"
 #include "src/sim/replay_engine.h"
 #include "src/sim/report_io.h"
 #include "src/sweep/fingerprint.h"
@@ -304,6 +306,77 @@ TEST(SweepSchedulerTest, RejectsUnresolvableSpecs) {
   sweep::SweepJobSpec named_only;
   named_only.trace_name = "nope";  // no provider configured
   EXPECT_THROW(sched.Submit(named_only), std::invalid_argument);
+}
+
+// --- Hash-once pipeline, sweep-level checks ---
+
+// The analyzer seed salts the banks' admission hashes, and since the
+// hash-once pipeline those same salted hashes index the mini-caches. At
+// full sampling (ratio 1.0) every request is admitted regardless of salt,
+// so two analyzers differing only in seed feed identical streams to their
+// banks — in different hash domains. Bit-identical aggregated curves prove
+// the index hash never leaks into results, which is why the hash-once
+// change did not require bumping kSweepVersionSalt.
+TEST(HashOncePipelineTest, AnalyzerCurvesIndependentOfHashDomain) {
+  const Trace t = SmallTrace("hashdomain", 23);
+  AnalyzerConfig base;
+  base.sampling_ratio = 1.0;
+  base.enable_ttl = true;
+  base.num_minicaches = 8;
+  base.max_capacity_bytes = 50ull * 1000 * 1000;
+  AnalyzerConfig alt = base;
+  base.seed = 1;
+  alt.seed = 0xfeedfaceull;
+  WorkloadAnalyzer a(base, /*latency=*/nullptr);
+  WorkloadAnalyzer b(alt, /*latency=*/nullptr);
+
+  size_t fed = 0;
+  int windows = 0;
+  for (const Request& r : t.requests) {
+    a.Process(r);
+    b.Process(r);
+    if (++fed % 200 == 0) {
+      const AnalyzerReport ra = a.EndWindow(15 * kMinute);
+      const AnalyzerReport rb = b.EndWindow(15 * kMinute);
+      ++windows;
+      ASSERT_EQ(ra.aggregated_mrc.ys(), rb.aggregated_mrc.ys()) << "window " << windows;
+      ASSERT_EQ(ra.aggregated_bmc.ys(), rb.aggregated_bmc.ys()) << "window " << windows;
+      ASSERT_TRUE(ra.aggregated_ttl_mrc.has_value());
+      ASSERT_TRUE(rb.aggregated_ttl_mrc.has_value());
+      ASSERT_EQ(ra.aggregated_ttl_mrc->ys(), rb.aggregated_ttl_mrc->ys()) << "window " << windows;
+      ASSERT_EQ(ra.aggregated_ttl_bmc->ys(), rb.aggregated_ttl_bmc->ys()) << "window " << windows;
+      ASSERT_EQ(ra.aggregated_ttl_capacity->ys(), rb.aggregated_ttl_capacity->ys())
+          << "window " << windows;
+      ASSERT_EQ(ra.window_requests, rb.window_requests);
+      ASSERT_EQ(ra.expected_window_reads, rb.expected_window_reads);
+      ASSERT_EQ(ra.expected_window_writes, rb.expected_window_writes);
+    }
+  }
+  EXPECT_GE(windows, 2) << "trace too small to exercise multiple windows";
+}
+
+// Both engines hash each request exactly once at ingest and feed that hash
+// to the cluster/OSC/TTL-shadow layers. Results must remain a pure function
+// of (trace, config) — byte-identical serialized RunResults across repeated
+// runs — for the persistent result store to stay sound without a salt bump.
+TEST(HashOncePipelineTest, BothEnginesByteStableAcrossRuns) {
+  const Trace t = SmallTrace("hashdet", 29);
+  for (const Approach a : {Approach::kMacaronNoCluster, Approach::kMacaron}) {
+    const EngineConfig cfg = SmallConfig(a);
+    EXPECT_EQ(SerializeRunResult(ReplayEngine(cfg).Run(t)),
+              SerializeRunResult(ReplayEngine(cfg).Run(t)))
+        << "replay engine, approach " << ApproachName(a);
+    EXPECT_EQ(SerializeRunResult(EventEngine(cfg).Run(t)),
+              SerializeRunResult(EventEngine(cfg).Run(t)))
+        << "event engine, approach " << ApproachName(a);
+  }
+}
+
+// The acceptance criterion for the hash-once PR was that outputs are
+// bit-identical, so persisted sweep results stay valid. Guard against an
+// accidental salt bump sneaking in with unrelated edits.
+TEST(HashOncePipelineTest, SweepVersionSaltUnchanged) {
+  EXPECT_EQ(sweep::kSweepVersionSalt, "macaron-sweep-v1");
 }
 
 TEST(ResultStoreTest, DisabledStoreIsInert) {
