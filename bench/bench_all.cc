@@ -10,16 +10,25 @@
 //
 // Usage:
 //   bench_all [--threads N] [--cache-dir DIR] [--cold] [--only SUBSTR]
-//             [--json PATH] [--list]
+//             [--json PATH] [--metrics] [--metrics-dir DIR] [--list]
 //
-//   --threads N    worker threads (default: MACARON_SWEEP_THREADS or cores)
-//   --cache-dir D  persistent result cache (default: MACARON_RESULT_CACHE
-//                  or .macaron-results; "off" disables)
-//   --cold         delete cached .run results first (forces simulation)
-//   --only S       run only figures whose name contains S (repeatable)
-//   --json PATH    per-figure wall-clock + scheduler stats
-//                  (default BENCH_sweep.json; "off" disables)
-//   --list         print figure names and exit
+//   --threads N      worker threads (default: MACARON_SWEEP_THREADS or cores)
+//   --cache-dir D    persistent result cache (default: MACARON_RESULT_CACHE
+//                    or .macaron-results; "off" disables)
+//   --cold           delete cached .run results first (forces simulation)
+//   --only S         run only figures whose name contains S (repeatable)
+//   --json PATH      per-figure wall-clock + scheduler stats
+//                    (default BENCH_sweep.json; "off" disables)
+//   --metrics        write per-job decision traces + metrics registries
+//                    (JSONL/JSON under --metrics-dir; stderr-only reporting,
+//                    figure stdout stays byte-identical)
+//   --metrics-dir D  observability output directory (default
+//                    .macaron-metrics; implies --metrics)
+//   --list           print figure names and exit
+//
+// Only simulated jobs emit traces: a result served from a warm cache ran no
+// controller, so --metrics over a warm store writes nothing. Combine with
+// --cold to trace every job.
 
 #include <chrono>
 #include <cstdio>
@@ -91,6 +100,8 @@ int main(int argc, char** argv) {
   bool cache_dir_set = false;
   bool cold = false;
   bool list = false;
+  bool metrics = false;
+  std::string metrics_dir = ".macaron-metrics";
   std::string json_path = "BENCH_sweep.json";
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
@@ -124,6 +135,11 @@ int main(int argc, char** argv) {
       only.push_back(next("--only"));
     } else if (arg == "--json") {
       json_path = next("--json");
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--metrics-dir") {
+      metrics_dir = next("--metrics-dir");
+      metrics = true;
     } else if (arg == "--list") {
       list = true;
     } else {
@@ -146,13 +162,13 @@ int main(int argc, char** argv) {
   if (dir == "off" || dir == "0") {
     dir.clear();
   }
-  if (threads >= 1 || cache_dir_set) {
+  if (threads >= 1 || cache_dir_set || metrics) {
     if (threads < 1) {
       const char* s = std::getenv("MACARON_SWEEP_THREADS");
       threads = (s != nullptr && std::atoi(s) >= 1) ? std::atoi(s)
                                                     : ThreadPool::HardwareConcurrency();
     }
-    bench::ConfigureSweep(threads, dir);
+    bench::ConfigureSweep(threads, dir, metrics ? metrics_dir : "");
   }
   if (cold && !dir.empty()) {
     const int removed = WipeStore(dir);
@@ -202,6 +218,14 @@ int main(int argc, char** argv) {
   if (json_path != "off" && !json_path.empty()) {
     WriteJson(json_path, bench::SharedSweep().threads(), total, timings, stats);
     std::fprintf(stderr, "bench_all: wrote %s\n", json_path.c_str());
+  }
+  if (metrics) {
+    // stderr only: figure stdout must stay byte-identical with/without
+    // --metrics (the acceptance check diffs the two).
+    std::fprintf(stderr,
+                 "bench_all: decision traces + metrics for %zu simulated jobs in %s "
+                 "(warm-cache jobs emit none)\n",
+                 stats.executed, metrics_dir.c_str());
   }
   return failures == 0 ? 0 : 1;
 }

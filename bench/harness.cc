@@ -72,6 +72,7 @@ std::unique_ptr<sweep::SweepScheduler>* g_sweep = new std::unique_ptr<sweep::Swe
 bool g_configured = false;
 int g_threads = 0;
 std::string* g_cache_dir = new std::string();
+std::string* g_obs_dir = new std::string();
 
 int EnvThreads() {
   const char* s = std::getenv("MACARON_SWEEP_THREADS");
@@ -96,13 +97,19 @@ std::string EnvCacheDir() {
   return v;
 }
 
+std::string EnvObsDir() {
+  const char* s = std::getenv("MACARON_OBS_DIR");
+  return s != nullptr ? s : "";  // empty: observability disabled
+}
+
 }  // namespace
 
-void ConfigureSweep(int threads, const std::string& cache_dir) {
+void ConfigureSweep(int threads, const std::string& cache_dir, const std::string& obs_dir) {
   std::lock_guard<std::mutex> lock(g_sweep_mu);
   g_sweep->reset();  // drains any existing scheduler first
   g_threads = threads;
   *g_cache_dir = cache_dir;
+  *g_obs_dir = obs_dir;
   g_configured = true;
 }
 
@@ -112,6 +119,7 @@ sweep::SweepScheduler& SharedSweep() {
     sweep::SweepScheduler::Options opt;
     opt.threads = g_configured ? g_threads : EnvThreads();
     opt.store_dir = g_configured ? *g_cache_dir : EnvCacheDir();
+    opt.obs_dir = g_configured ? *g_obs_dir : EnvObsDir();
     opt.trace_provider = [](const std::string& n) -> const Trace& { return GetTrace(n); };
     *g_sweep = std::make_unique<sweep::SweepScheduler>(std::move(opt));
   }

@@ -46,13 +46,17 @@ EngineConfig DefaultConfig(Approach a, DeploymentScenario scenario,
 // The process-wide sweep scheduler every bench binary submits through.
 // Created on first use from the environment (MACARON_SWEEP_THREADS,
 // MACARON_RESULT_CACHE — empty/"off"/"0" disables persistence, default
-// ".macaron-results") unless ConfigureSweep ran first.
+// ".macaron-results"; MACARON_OBS_DIR — empty/unset disables observability
+// output) unless ConfigureSweep ran first.
 sweep::SweepScheduler& SharedSweep();
 
-// Overrides the shared scheduler's thread count and cache directory.
-// Call before the first submission (bench_all does); any scheduler already
-// created is torn down, invalidating outstanding job indices.
-void ConfigureSweep(int threads, const std::string& cache_dir);
+// Overrides the shared scheduler's thread count, cache directory, and
+// observability output directory (empty disables; MACARON_OBS_DIR is the
+// environment fallback when ConfigureSweep never runs). Call before the
+// first submission (bench_all does); any scheduler already created is torn
+// down, invalidating outstanding job indices.
+void ConfigureSweep(int threads, const std::string& cache_dir,
+                    const std::string& obs_dir = "");
 
 // Submits one job against a named workload (no trace generation happens at
 // submit time; workers resolve the name through GetTrace). Returns the job

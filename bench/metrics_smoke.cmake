@@ -1,0 +1,44 @@
+# Smoke test for `bench_all --metrics`: runs one small figure cold with
+# observability on and checks the decision-trace artifacts appear.
+#
+# Invoked by ctest (test bench_metrics_smoke) as:
+#   cmake -D BENCH_ALL=<path/to/bench_all> -D OUT_DIR=<scratch dir>
+#         -P bench/metrics_smoke.cmake
+#
+# The run uses --cache-dir off so every job actually simulates (a warm store
+# hit runs no controller and therefore — by design — emits no trace).
+
+if(NOT DEFINED BENCH_ALL OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "metrics_smoke: pass -D BENCH_ALL=... and -D OUT_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+
+execute_process(
+  COMMAND "${BENCH_ALL}" --only fig9 --cache-dir off --json off
+          --metrics --metrics-dir "${OUT_DIR}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "metrics_smoke: bench_all exited ${rc}\nstderr:\n${err}")
+endif()
+
+file(GLOB traces "${OUT_DIR}/*.trace.jsonl")
+list(LENGTH traces n_traces)
+if(n_traces EQUAL 0)
+  message(FATAL_ERROR "metrics_smoke: no *.trace.jsonl written to ${OUT_DIR}")
+endif()
+
+file(GLOB metrics "${OUT_DIR}/*.metrics.json")
+list(LENGTH metrics n_metrics)
+if(n_metrics EQUAL 0)
+  message(FATAL_ERROR "metrics_smoke: no *.metrics.json written to ${OUT_DIR}")
+endif()
+
+if(NOT EXISTS "${OUT_DIR}/index.tsv")
+  message(FATAL_ERROR "metrics_smoke: ${OUT_DIR}/index.tsv missing")
+endif()
+
+message(STATUS "metrics_smoke: ${n_traces} traces, ${n_metrics} metric files, index.tsv present")

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "src/common/sim_time.h"
+#include "src/obs/metrics.h"
 #include "src/trace/request.h"
 
 namespace macaron {
@@ -25,6 +26,9 @@ class InflightTable {
     auto [it, inserted] = pending_.try_emplace(id, completion);
     if (!inserted && completion > it->second) {
       it->second = completion;
+    }
+    if (m_inserts_ != nullptr) {
+      m_inserts_->Inc();
     }
   }
 
@@ -39,6 +43,9 @@ class InflightTable {
       pending_.erase(it);
       return std::nullopt;
     }
+    if (m_coalesced_ != nullptr) {
+      m_coalesced_->Inc();
+    }
     return it->second;
   }
 
@@ -48,17 +55,40 @@ class InflightTable {
   // Drops entries completed before `now` (periodic housekeeping so the table
   // does not grow with trace length).
   void Sweep(SimTime now) {
+    size_t removed = 0;
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->second <= now) {
         it = pending_.erase(it);
+        ++removed;
       } else {
         ++it;
       }
     }
+    if (m_swept_ != nullptr) {
+      m_swept_->Inc(removed);
+    }
+  }
+
+  // Attaches coalescing counters; nullptr (the default) detaches. The ALC
+  // mini-sim's per-level tables never register, so their request-path cost
+  // stays a null check.
+  void RegisterMetrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      m_inserts_ = nullptr;
+      m_coalesced_ = nullptr;
+      m_swept_ = nullptr;
+      return;
+    }
+    m_inserts_ = registry->counter("inflight", "inserts");
+    m_coalesced_ = registry->counter("inflight", "coalesced");
+    m_swept_ = registry->counter("inflight", "swept");
   }
 
  private:
   std::unordered_map<ObjectId, SimTime> pending_;
+  obs::Counter* m_inserts_ = nullptr;
+  obs::Counter* m_coalesced_ = nullptr;
+  obs::Counter* m_swept_ = nullptr;
 };
 
 }  // namespace macaron

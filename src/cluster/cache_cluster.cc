@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace macaron {
 
@@ -13,6 +14,7 @@ CacheCluster::CacheCluster(uint64_t node_capacity_bytes) : node_capacity_(node_c
 
 std::vector<uint32_t> CacheCluster::Resize(size_t nodes) {
   std::vector<uint32_t> added;
+  size_t removed = 0;
   while (num_nodes() < nodes) {
     const uint32_t id = next_node_id_++;
     nodes_.emplace(id, LruCache(node_capacity_));
@@ -27,6 +29,12 @@ std::vector<uint32_t> CacheCluster::Resize(size_t nodes) {
     }
     ring_.RemoveNode(victim);
     nodes_.erase(victim);
+    ++removed;
+  }
+  if (m_resizes_ != nullptr && (!added.empty() || removed > 0)) {
+    m_resizes_->Inc();
+    m_nodes_added_->Inc(added.size());
+    m_nodes_removed_->Inc(removed);
   }
   return added;
 }
@@ -35,12 +43,22 @@ bool CacheCluster::GetHashed(ObjectId id, uint64_t h) {
   if (ring_.empty()) {
     return false;
   }
-  return nodes_.at(ring_.RouteHashed(h)).GetPrehashed(id, h);
+  const bool hit = nodes_.at(ring_.RouteHashed(h)).GetPrehashed(id, h);
+  if (m_lookups_ != nullptr) {
+    m_lookups_->Inc();
+    if (hit) {
+      m_hits_->Inc();
+    }
+  }
+  return hit;
 }
 
 void CacheCluster::PutHashed(ObjectId id, uint64_t h, uint64_t size) {
   if (ring_.empty()) {
     return;
+  }
+  if (m_puts_ != nullptr) {
+    m_puts_->Inc();
   }
   nodes_.at(ring_.RouteHashed(h)).PutPrehashed(id, h, size);
 }
@@ -79,7 +97,30 @@ uint64_t CacheCluster::Prime(const ObjectStorageCache& osc,
     }
     return true;
   });
+  if (m_primed_objects_ != nullptr) {
+    m_primed_objects_->Inc(primed);
+  }
   return primed;
+}
+
+void CacheCluster::RegisterMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_lookups_ = nullptr;
+    m_hits_ = nullptr;
+    m_puts_ = nullptr;
+    m_resizes_ = nullptr;
+    m_nodes_added_ = nullptr;
+    m_nodes_removed_ = nullptr;
+    m_primed_objects_ = nullptr;
+    return;
+  }
+  m_lookups_ = registry->counter("cluster", "lookups");
+  m_hits_ = registry->counter("cluster", "hits");
+  m_puts_ = registry->counter("cluster", "puts");
+  m_resizes_ = registry->counter("cluster", "resizes");
+  m_nodes_added_ = registry->counter("cluster", "nodes_added");
+  m_nodes_removed_ = registry->counter("cluster", "nodes_removed");
+  m_primed_objects_ = registry->counter("cluster", "primed_objects");
 }
 
 uint64_t CacheCluster::used_bytes() const {

@@ -19,6 +19,11 @@
 
 namespace macaron {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 class CacheCluster {
  public:
   explicit CacheCluster(uint64_t node_capacity_bytes);
@@ -48,11 +53,22 @@ class CacheCluster {
   uint64_t total_capacity() const { return node_capacity_ * num_nodes(); }
   uint64_t used_bytes() const;
 
+  // Attaches routing/priming counters ("cluster" component); nullptr (the
+  // default) detaches, leaving a null-check per site.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   uint64_t node_capacity_;
   HashRing ring_;
   std::unordered_map<uint32_t, LruCache> nodes_;
   uint32_t next_node_id_ = 1;
+  obs::Counter* m_lookups_ = nullptr;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_puts_ = nullptr;
+  obs::Counter* m_resizes_ = nullptr;
+  obs::Counter* m_nodes_added_ = nullptr;
+  obs::Counter* m_nodes_removed_ = nullptr;
+  obs::Counter* m_primed_objects_ = nullptr;
 };
 
 }  // namespace macaron

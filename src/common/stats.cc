@@ -56,15 +56,23 @@ double PercentileTracker::Quantile(double q) const {
   if (samples_.empty()) {
     return 0.0;
   }
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  // Order statistics are independent of input order, so selecting from a
+  // local copy returns exactly what the old lazy in-place sort did — without
+  // mutating shared state under a const read.
+  std::vector<double> tmp = samples_;
+  const double pos = q * static_cast<double>(tmp.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const size_t hi = std::min(lo + 1, tmp.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  std::nth_element(tmp.begin(), tmp.begin() + static_cast<ptrdiff_t>(lo), tmp.end());
+  const double lo_value = tmp[lo];
+  double hi_value = lo_value;
+  if (hi > lo) {
+    // After nth_element everything past `lo` is >= tmp[lo]; the (lo+1)-th
+    // order statistic is the minimum of that tail.
+    hi_value = *std::min_element(tmp.begin() + static_cast<ptrdiff_t>(lo) + 1, tmp.end());
+  }
+  return lo_value * (1.0 - frac) + hi_value * frac;
 }
 
 double PercentileTracker::Mean() const {

@@ -34,13 +34,14 @@ class StreamingStats {
 
 // Percentile estimation over all observed samples. Stores every sample;
 // intended for per-run latency distributions (hundreds of thousands of
-// points), not unbounded streams.
+// points), not unbounded streams. Quantile is genuinely const (it selects
+// order statistics from a local copy rather than lazily sorting in place),
+// so concurrent readers of a shared tracker — e.g. sweep collectors
+// formatting the same memoized result from several threads — are safe, and
+// samples() always returns insertion order.
 class PercentileTracker {
  public:
-  void Add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
-  }
+  void Add(double x) { samples_.push_back(x); }
 
   uint64_t count() const { return samples_.size(); }
   // Returns the q-quantile (q in [0,1]) by linear interpolation; 0 if empty.
@@ -49,8 +50,7 @@ class PercentileTracker {
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
 };
 
 // Histogram over fixed, caller-supplied bucket upper bounds. The final

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/minisim/size_grid.h"
+#include "src/obs/metrics.h"
 
 namespace macaron {
 
@@ -64,19 +65,29 @@ void WorkloadAnalyzer::Process(const Request& r) {
     case Op::kGet:
       ++window_reads_;
       window_get_bytes_ += r.size;
+      window_bytes_ += r.size;
+      ++window_ops_with_bytes_;
       break;
     case Op::kPut:
       ++window_writes_;
+      window_bytes_ += r.size;
+      ++window_ops_with_bytes_;
       break;
     case Op::kDelete:
+      // Deletes carry no payload; folding them in deflates mean_object_bytes
+      // and with it the operation-cost estimate (objects per block).
       break;
   }
-  window_bytes_ += r.size;
-  ++window_ops_with_bytes_;
+  if (requests_counter_ != nullptr) {
+    requests_counter_->Inc();
+  }
 }
 
 AnalyzerReport WorkloadAnalyzer::EndWindow(SimDuration elapsed) {
   MACARON_CHECK(elapsed > 0);
+  if (windows_counter_ != nullptr) {
+    windows_counter_->Inc();
+  }
   const double elapsed_days = DurationDays(elapsed);
   AnalyzerReport report;
   report.window_requests = window_reads_ + window_writes_;
@@ -151,6 +162,33 @@ AnalyzerReport WorkloadAnalyzer::EndWindow(SimDuration elapsed) {
 void WorkloadAnalyzer::SetOscCapacity(uint64_t bytes) {
   if (alc_bank_ != nullptr) {
     alc_bank_->SetOscCapacity(bytes);
+  }
+}
+
+void WorkloadAnalyzer::RegisterMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    requests_counter_ = nullptr;
+    windows_counter_ = nullptr;
+    mrc_bank_.set_metrics(nullptr, nullptr);
+    if (alc_bank_ != nullptr) {
+      alc_bank_->set_metrics(nullptr, nullptr);
+    }
+    if (ttl_bank_ != nullptr) {
+      ttl_bank_->set_metrics(nullptr, nullptr);
+    }
+    return;
+  }
+  requests_counter_ = registry->counter("analyzer", "requests");
+  windows_counter_ = registry->counter("analyzer", "windows");
+  mrc_bank_.set_metrics(registry->counter("minisim", "mrc_batches"),
+                        registry->counter("minisim", "mrc_batch_requests"));
+  if (alc_bank_ != nullptr) {
+    alc_bank_->set_metrics(registry->counter("minisim", "alc_batches"),
+                           registry->counter("minisim", "alc_batch_requests"));
+  }
+  if (ttl_bank_ != nullptr) {
+    ttl_bank_->set_metrics(registry->counter("minisim", "ttl_batches"),
+                           registry->counter("minisim", "ttl_batch_requests"));
   }
 }
 

@@ -29,6 +29,11 @@
 
 namespace macaron {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 // Exponentially decayed, weight-averaged scalar (same scheme as
 // DecayedCurveAverage, for request counts and object sizes).
 class DecayedScalarAverage {
@@ -107,6 +112,11 @@ class WorkloadAnalyzer {
   // Updates the ALC bank's emulated OSC capacity after a reconfiguration.
   void SetOscCapacity(uint64_t bytes);
 
+  // Registers analyzer + mini-sim bank counters. nullptr detaches (the
+  // default): every increment site stays behind a pointer check, so the
+  // disabled mode costs one predictable branch at most.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   const std::vector<uint64_t>& capacity_grid() const { return mrc_bank_.grid(); }
   const AnalyzerConfig& config() const { return config_; }
 
@@ -134,6 +144,8 @@ class WorkloadAnalyzer {
   uint64_t window_bytes_ = 0;
   uint64_t window_get_bytes_ = 0;
   uint64_t window_ops_with_bytes_ = 0;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* windows_counter_ = nullptr;
 };
 
 }  // namespace macaron

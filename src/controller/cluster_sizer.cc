@@ -28,8 +28,17 @@ ClusterDecision SizeCluster(const Curve& alc, double target_latency_ms,
   d.predicted_latency_ms = alc.y(idx);
   const uint64_t nodes64 =
       (d.capacity_bytes + node_capacity_bytes - 1) / node_capacity_bytes;
-  d.nodes = static_cast<size_t>(std::min<uint64_t>(nodes64, max_nodes));
-  d.nodes = std::max<size_t>(d.nodes, 1);
+  const uint64_t clamped_nodes =
+      std::max<uint64_t>(std::min<uint64_t>(nodes64, max_nodes), 1);
+  d.nodes = static_cast<size_t>(clamped_nodes);
+  if (nodes64 > max_nodes) {
+    // max_nodes cut the fleet: the decision must describe what the clamped
+    // cluster actually provides, not the capacity/latency of the unclamped
+    // ALC choice.
+    d.clamped = true;
+    d.capacity_bytes = clamped_nodes * node_capacity_bytes;
+    d.predicted_latency_ms = alc.Value(static_cast<double>(d.capacity_bytes));
+  }
   return d;
 }
 

@@ -19,6 +19,7 @@ struct ClusterDecision {
   uint64_t capacity_bytes = 0;
   size_t nodes = 0;
   bool met_target = false;   // threshold satisfied vs knee fallback
+  bool clamped = false;      // max_nodes cut the fleet below the ALC choice
   double predicted_latency_ms = 0.0;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/decision_trace.h"
+#include "src/obs/metrics.h"
 
 namespace macaron {
 
@@ -22,6 +24,19 @@ MacaronController::MacaronController(const ControllerConfig& config, const Price
   }
 }
 
+void MacaronController::SetObservability(obs::DecisionTrace* trace,
+                                         obs::MetricsRegistry* metrics) {
+  trace_ = trace;
+  if (metrics != nullptr) {
+    windows_counter_ = metrics->counter("controller", "windows");
+    optimize_counter_ = metrics->counter("controller", "optimizations");
+  } else {
+    windows_counter_ = nullptr;
+    optimize_counter_ = nullptr;
+  }
+  analyzer_.RegisterMetrics(metrics);
+}
+
 double MacaronController::ObjectsPerBlock(double mean_object_bytes) const {
   if (!config_.packing_enabled) {
     return 1.0;
@@ -36,13 +51,31 @@ double MacaronController::ObjectsPerBlock(double mean_object_bytes) const {
 
 ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_bytes) {
   ReconfigDecision d;
+  const uint64_t window_index = window_index_++;
+  if (windows_counter_ != nullptr) {
+    windows_counter_->Inc();
+  }
   AnalyzerReport report = analyzer_.EndWindow(config_.window);
   d.lambda_gb_seconds = report.lambda_gb_seconds;
   d.analysis_seconds = report.analysis_seconds;
   if (!PastObservation(now)) {
     // Observation period: no optimization; the engine caches everything.
     d.reconfig_seconds = 0.0;
+    if (trace_ != nullptr) {
+      obs::DecisionRecord rec;
+      rec.window = window_index;
+      rec.time = now;
+      rec.optimized = false;
+      rec.ttl_mode = config_.mode == OptimizationMode::kTtl;
+      rec.garbage_bytes = garbage_bytes;
+      rec.lambda_gb_seconds = d.lambda_gb_seconds;
+      rec.analysis_seconds = d.analysis_seconds;
+      trace_->Append(rec);
+    }
     return d;
+  }
+  if (optimize_counter_ != nullptr) {
+    optimize_counter_->Inc();
   }
   d.optimized = true;
   d.expected_window_reads = report.expected_window_reads;
@@ -50,6 +83,8 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
   d.mean_object_bytes = report.mean_object_bytes;
   const double objects_per_block = ObjectsPerBlock(report.mean_object_bytes);
 
+  size_t chosen_index = 0;
+  CostBreakdown breakdown;
   if (config_.mode == OptimizationMode::kCapacity) {
     OptimizerInputs in;
     in.mrc = report.aggregated_mrc;
@@ -63,6 +98,8 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
     const CapacityDecision cd = OptimizeCapacity(in, prices_);
     d.osc_capacity = cd.capacity_bytes;
     d.cost_curve = cd.cost_curve;
+    chosen_index = cd.chosen_index;
+    breakdown = cd.breakdown;
     analyzer_.SetOscCapacity(d.osc_capacity);
     prev_osc_capacity_ = d.osc_capacity;
   } else {
@@ -79,12 +116,19 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
     const TtlDecision td = OptimizeTtl(in, prices_);
     d.ttl = td.ttl;
     d.cost_curve = td.cost_curve;
+    chosen_index = td.chosen_index;
+    breakdown = td.breakdown;
   }
 
+  ClusterDecision cluster;
+  bool cluster_ran = false;
+  bool budget_clamped = false;
+  uint64_t requested_nodes = 0;
   if (config_.enable_cluster && report.latest_alc.has_value()) {
     ClusterDecision cd =
         SizeCluster(*report.latest_alc, config_.cluster_latency_target_ms,
                     prices_.cache_node_usable_bytes, config_.max_cluster_nodes);
+    requested_nodes = cd.nodes;
     if (config_.mode == OptimizationMode::kCapacity) {
       // Bound cluster spend relative to the expected window cost of serving
       // the workload.
@@ -98,8 +142,11 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
             cd.nodes, std::max<size_t>(1, static_cast<size_t>(budget_nodes)));
       }
     }
+    budget_clamped = cd.nodes < requested_nodes;
     d.cluster_nodes = cd.nodes;
     d.latest_alc = report.latest_alc;
+    cluster = cd;
+    cluster_ran = true;
   }
   d.cluster_changed = d.cluster_nodes != prev_cluster_nodes_;
   prev_cluster_nodes_ = d.cluster_nodes;
@@ -109,6 +156,52 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
   // around the 256 s average), otherwise a ~7 s metadata-only update.
   d.reconfig_seconds =
       report.analysis_seconds + (d.cluster_changed && d.cluster_nodes > 0 ? 256.0 : 7.0);
+
+  if (trace_ != nullptr) {
+    obs::DecisionRecord rec;
+    rec.window = window_index;
+    rec.time = now;
+    rec.optimized = true;
+    rec.ttl_mode = config_.mode == OptimizationMode::kTtl;
+    const int64_t chosen = static_cast<int64_t>(chosen_index);
+    if (rec.ttl_mode) {
+      rec.mrc = obs::SummarizeCurve(*report.aggregated_ttl_mrc, chosen);
+      rec.bmc = obs::SummarizeCurve(*report.aggregated_ttl_bmc, chosen);
+    } else {
+      rec.mrc = obs::SummarizeCurve(report.aggregated_mrc, chosen);
+      rec.bmc = obs::SummarizeCurve(report.aggregated_bmc, chosen);
+    }
+    rec.cost = obs::SummarizeCurve(d.cost_curve, chosen);
+    if (d.latest_alc.has_value()) {
+      rec.alc = obs::SummarizeCurve(*d.latest_alc);
+    }
+    rec.osc_capacity = d.osc_capacity;
+    rec.ttl = d.ttl;
+    rec.garbage_bytes = garbage_bytes;
+    rec.cost_capacity_usd = breakdown.capacity_usd;
+    rec.cost_egress_usd = breakdown.egress_usd;
+    rec.cost_operation_usd = breakdown.operation_usd;
+    rec.cost_total_usd = breakdown.total();
+    rec.expected_window_reads = report.expected_window_reads;
+    rec.expected_window_writes = report.expected_window_writes;
+    rec.expected_window_get_bytes = report.expected_window_get_bytes;
+    rec.mean_object_bytes = report.mean_object_bytes;
+    rec.objects_per_block = objects_per_block;
+    rec.cluster_enabled = cluster_ran;
+    if (cluster_ran) {
+      rec.cluster_met_target = cluster.met_target;
+      rec.cluster_clamped = cluster.clamped;
+      rec.cluster_budget_clamped = budget_clamped;
+      rec.cluster_requested_nodes = requested_nodes;
+      rec.cluster_nodes = d.cluster_nodes;
+      rec.cluster_capacity_bytes = cluster.capacity_bytes;
+      rec.cluster_predicted_latency_ms = cluster.predicted_latency_ms;
+    }
+    rec.lambda_gb_seconds = d.lambda_gb_seconds;
+    rec.analysis_seconds = d.analysis_seconds;
+    rec.reconfig_seconds = d.reconfig_seconds;
+    trace_->Append(rec);
+  }
   return d;
 }
 

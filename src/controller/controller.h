@@ -20,6 +20,12 @@
 
 namespace macaron {
 
+namespace obs {
+class Counter;
+class DecisionTrace;
+class MetricsRegistry;
+}  // namespace obs
+
 enum class OptimizationMode {
   kCapacity,  // Macaron: optimize OSC capacity
   kTtl,       // Macaron-TTL: optimize the eviction TTL
@@ -87,12 +93,22 @@ class MacaronController {
   // per-block object limit and the block byte budget).
   double ObjectsPerBlock(double mean_object_bytes) const;
 
+  // Attaches observability sinks (both may be nullptr, the default). With a
+  // trace attached, every Reconfigure appends one DecisionRecord; with a
+  // registry attached, controller + analyzer + mini-sim counters register.
+  // Neither changes any decision — pure side channel.
+  void SetObservability(obs::DecisionTrace* trace, obs::MetricsRegistry* metrics);
+
  private:
   ControllerConfig config_;
   PriceBook prices_;
   WorkloadAnalyzer analyzer_;
   size_t prev_cluster_nodes_ = 0;
   uint64_t prev_osc_capacity_ = 0;
+  uint64_t window_index_ = 0;
+  obs::DecisionTrace* trace_ = nullptr;
+  obs::Counter* windows_counter_ = nullptr;
+  obs::Counter* optimize_counter_ = nullptr;
 };
 
 }  // namespace macaron

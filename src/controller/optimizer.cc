@@ -6,6 +6,27 @@
 
 namespace macaron {
 
+CostBreakdown ExpectedCostAt(const OptimizerInputs& in, const PriceBook& prices, size_t i) {
+  CostBreakdown b;
+  const double capacity = in.mrc.x(i);
+  const uint64_t billed = static_cast<uint64_t>(capacity) + in.garbage_bytes;
+  switch (in.pricing) {
+    case CapacityPricing::kObjectStorage:
+      b.capacity_usd = prices.StorageCost(billed, in.window);
+      break;
+    case CapacityPricing::kDram:
+      b.capacity_usd = prices.DramCost(billed, in.window);
+      break;
+    case CapacityPricing::kFlash:
+      b.capacity_usd = prices.FlashCost(billed, in.window);
+      break;
+  }
+  b.egress_usd = prices.EgressCost(static_cast<uint64_t>(std::max(0.0, in.bmc.y(i))));
+  const double admissions = in.window_writes + in.window_reads * in.mrc.y(i);
+  b.operation_usd = prices.put_per_request * admissions / in.objects_per_block;
+  return b;
+}
+
 Curve ExpectedCostCurve(const OptimizerInputs& in, const PriceBook& prices) {
   MACARON_CHECK(!in.mrc.empty());
   MACARON_CHECK(in.mrc.xs() == in.bmc.xs());
@@ -13,27 +34,7 @@ Curve ExpectedCostCurve(const OptimizerInputs& in, const PriceBook& prices) {
   std::vector<double> ys;
   ys.reserve(in.mrc.size());
   for (size_t i = 0; i < in.mrc.size(); ++i) {
-    const double capacity = in.mrc.x(i);
-    const uint64_t billed =
-        static_cast<uint64_t>(capacity) + in.garbage_bytes;
-    double capacity_cost = 0.0;
-    switch (in.pricing) {
-      case CapacityPricing::kObjectStorage:
-        capacity_cost = prices.StorageCost(billed, in.window);
-        break;
-      case CapacityPricing::kDram:
-        capacity_cost = prices.DramCost(billed, in.window);
-        break;
-      case CapacityPricing::kFlash:
-        capacity_cost = prices.FlashCost(billed, in.window);
-        break;
-    }
-    const double egress_cost =
-        prices.EgressCost(static_cast<uint64_t>(std::max(0.0, in.bmc.y(i))));
-    const double admissions = in.window_writes + in.window_reads * in.mrc.y(i);
-    const double op_cost =
-        prices.put_per_request * admissions / in.objects_per_block;
-    ys.push_back(capacity_cost + egress_cost + op_cost);
+    ys.push_back(ExpectedCostAt(in, prices, i).total());
   }
   return Curve(in.mrc.xs(), std::move(ys));
 }
@@ -44,6 +45,8 @@ CapacityDecision OptimizeCapacity(const OptimizerInputs& in, const PriceBook& pr
   const size_t best = d.cost_curve.ArgMin();
   d.capacity_bytes = static_cast<uint64_t>(d.cost_curve.x(best));
   d.expected_cost = d.cost_curve.y(best);
+  d.chosen_index = best;
+  d.breakdown = ExpectedCostAt(in, prices, best);
   return d;
 }
 

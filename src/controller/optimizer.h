@@ -44,14 +44,28 @@ struct OptimizerInputs {
   CapacityPricing pricing = CapacityPricing::kObjectStorage;
 };
 
+// The three cost components at one candidate point. total() reproduces the
+// curve value bit-for-bit (same operand order as the curve construction).
+struct CostBreakdown {
+  double capacity_usd = 0.0;
+  double egress_usd = 0.0;
+  double operation_usd = 0.0;
+  double total() const { return capacity_usd + egress_usd + operation_usd; }
+};
+
 struct CapacityDecision {
   uint64_t capacity_bytes = 0;
   double expected_cost = 0.0;  // dollars per window at the chosen capacity
   Curve cost_curve;            // full curve, for Fig 4a / Fig 10
+  size_t chosen_index = 0;     // grid index of capacity_bytes in cost_curve
+  CostBreakdown breakdown;     // components at the chosen capacity
 };
 
 // Expected dollars per window as a function of capacity.
 Curve ExpectedCostCurve(const OptimizerInputs& in, const PriceBook& prices);
+
+// The cost components at grid index i (curve.y(i) == ExpectedCostAt(i).total()).
+CostBreakdown ExpectedCostAt(const OptimizerInputs& in, const PriceBook& prices, size_t i);
 
 // Minimizes the expected-cost curve.
 CapacityDecision OptimizeCapacity(const OptimizerInputs& in, const PriceBook& prices);

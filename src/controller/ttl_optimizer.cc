@@ -6,6 +6,17 @@
 
 namespace macaron {
 
+CostBreakdown ExpectedTtlCostAt(const TtlOptimizerInputs& in, const PriceBook& prices, size_t i) {
+  CostBreakdown b;
+  const uint64_t billed =
+      static_cast<uint64_t>(std::max(0.0, in.capacity.y(i))) + in.garbage_bytes;
+  b.capacity_usd = prices.StorageCost(billed, in.window);
+  b.egress_usd = prices.EgressCost(static_cast<uint64_t>(std::max(0.0, in.bmc.y(i))));
+  const double admissions = in.window_writes + in.window_reads * in.mrc.y(i);
+  b.operation_usd = prices.put_per_request * admissions / in.objects_per_block;
+  return b;
+}
+
 Curve ExpectedTtlCostCurve(const TtlOptimizerInputs& in, const PriceBook& prices) {
   MACARON_CHECK(!in.mrc.empty());
   MACARON_CHECK(in.mrc.xs() == in.bmc.xs());
@@ -14,14 +25,7 @@ Curve ExpectedTtlCostCurve(const TtlOptimizerInputs& in, const PriceBook& prices
   std::vector<double> ys;
   ys.reserve(in.mrc.size());
   for (size_t i = 0; i < in.mrc.size(); ++i) {
-    const uint64_t billed =
-        static_cast<uint64_t>(std::max(0.0, in.capacity.y(i))) + in.garbage_bytes;
-    const double capacity_cost = prices.StorageCost(billed, in.window);
-    const double egress_cost =
-        prices.EgressCost(static_cast<uint64_t>(std::max(0.0, in.bmc.y(i))));
-    const double admissions = in.window_writes + in.window_reads * in.mrc.y(i);
-    const double op_cost = prices.put_per_request * admissions / in.objects_per_block;
-    ys.push_back(capacity_cost + egress_cost + op_cost);
+    ys.push_back(ExpectedTtlCostAt(in, prices, i).total());
   }
   return Curve(in.mrc.xs(), std::move(ys));
 }
@@ -32,6 +36,8 @@ TtlDecision OptimizeTtl(const TtlOptimizerInputs& in, const PriceBook& prices) {
   const size_t best = d.cost_curve.ArgMin();
   d.ttl = static_cast<SimDuration>(d.cost_curve.x(best));
   d.expected_cost = d.cost_curve.y(best);
+  d.chosen_index = best;
+  d.breakdown = ExpectedTtlCostAt(in, prices, best);
   return d;
 }
 

@@ -14,6 +14,7 @@
 
 #include "src/common/curve.h"
 #include "src/common/sim_time.h"
+#include "src/controller/optimizer.h"  // CostBreakdown
 #include "src/pricing/price_book.h"
 
 namespace macaron {
@@ -33,9 +34,15 @@ struct TtlDecision {
   SimDuration ttl = 0;
   double expected_cost = 0.0;
   Curve cost_curve;  // x: TTL ms, y: dollars per window
+  size_t chosen_index = 0;  // grid index of ttl in cost_curve
+  CostBreakdown breakdown;  // components at the chosen TTL
 };
 
 Curve ExpectedTtlCostCurve(const TtlOptimizerInputs& in, const PriceBook& prices);
+
+// The cost components at grid index i (curve.y(i) == ExpectedTtlCostAt(i).total()).
+CostBreakdown ExpectedTtlCostAt(const TtlOptimizerInputs& in, const PriceBook& prices, size_t i);
+
 TtlDecision OptimizeTtl(const TtlOptimizerInputs& in, const PriceBook& prices);
 
 }  // namespace macaron

@@ -37,6 +37,10 @@
 
 namespace macaron {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 // Per-grid-point level hit counters for one window.
 struct AlcLevelCounts {
   uint64_t cluster_hits = 0;
@@ -62,6 +66,13 @@ class AlcBank {
   // Fans grid points across `pool` at batch boundaries; nullptr (the
   // default) replays sequentially. Curves are identical either way.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // Optional counters, bumped only at batch boundaries (never per request,
+  // keeping the Process hot path untouched). Pass both or neither.
+  void set_metrics(obs::Counter* batches, obs::Counter* batch_requests) {
+    m_batches_ = batches;
+    m_batch_requests_ = batch_requests;
+  }
 
   // Updates the emulated OSC capacity (decided by the controller each
   // window); resizes the L2 mini-caches.
@@ -105,6 +116,8 @@ class AlcBank {
   std::vector<double> lat_remote_;
   std::vector<Level> levels_;
   uint64_t window_gets_ = 0;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_batch_requests_ = nullptr;
 };
 
 }  // namespace macaron

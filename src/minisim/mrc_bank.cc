@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace macaron {
 
@@ -63,6 +64,10 @@ void MrcBank::ReplayGridPoint(size_t i) {
 void MrcBank::FlushBatch() {
   if (batch_.empty()) {
     return;
+  }
+  if (m_batches_ != nullptr) {
+    m_batches_->Inc();
+    m_batch_requests_->Inc(batch_.size());
   }
   if (pool_ != nullptr) {
     pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(i); });

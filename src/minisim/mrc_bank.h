@@ -33,6 +33,10 @@
 
 namespace macaron {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 // The per-window output of a bank.
 struct WindowCurves {
   Curve mrc;  // x: full-scale capacity bytes, y: object miss ratio
@@ -52,6 +56,13 @@ class MrcBank {
   // Fans grid points across `pool` at batch boundaries; nullptr (the
   // default) replays sequentially. Curves are identical either way.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // Optional counters, bumped only at batch boundaries (never per request,
+  // keeping the Process hot path untouched). Pass both or neither.
+  void set_metrics(obs::Counter* batches, obs::Counter* batch_requests) {
+    m_batches_ = batches;
+    m_batch_requests_ = batch_requests;
+  }
 
   // Feeds one request (unsampled stream; the bank samples internally).
   void Process(const Request& r);
@@ -84,6 +95,8 @@ class MrcBank {
   uint64_t window_gets_ = 0;
   uint64_t window_sampled_gets_ = 0;
   uint64_t window_requests_ = 0;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_batch_requests_ = nullptr;
 };
 
 }  // namespace macaron

@@ -31,6 +31,10 @@
 
 namespace macaron {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 struct TtlWindowCurves {
   Curve mrc;       // x: TTL ms, y: object miss ratio
   Curve bmc;       // x: TTL ms, y: full-scale bytes missed in the window
@@ -50,6 +54,13 @@ class TtlBank {
   // Fans TTL grid points across `pool` at batch boundaries; nullptr (the
   // default) replays sequentially. Curves are identical either way.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // Optional counters, bumped only at batch boundaries (never per request,
+  // keeping the Process hot path untouched). Pass both or neither.
+  void set_metrics(obs::Counter* batches, obs::Counter* batch_requests) {
+    m_batches_ = batches;
+    m_batch_requests_ = batch_requests;
+  }
 
   void Process(const Request& r);
 
@@ -87,6 +98,8 @@ class TtlBank {
   uint64_t window_requests_ = 0;
   SimTime window_start_ = 0;
   SimTime last_time_ = 0;
+  obs::Counter* m_batches_ = nullptr;
+  obs::Counter* m_batch_requests_ = nullptr;
 };
 
 }  // namespace macaron

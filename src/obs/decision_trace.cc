@@ -1,0 +1,31 @@
+#include "src/obs/decision_trace.h"
+
+#include <algorithm>
+
+namespace macaron {
+namespace obs {
+
+CurveSummary SummarizeCurve(const Curve& c, int64_t chosen_index) {
+  CurveSummary s;
+  if (c.empty()) {
+    return s;
+  }
+  s.points = c.size();
+  s.x_min = c.x(0);  // x grids are strictly increasing
+  s.x_max = c.x(c.size() - 1);
+  s.y_min = c.y(0);
+  s.y_max = c.y(0);
+  for (size_t i = 1; i < c.size(); ++i) {
+    s.y_min = std::min(s.y_min, c.y(i));
+    s.y_max = std::max(s.y_max, c.y(i));
+  }
+  if (chosen_index >= 0 && static_cast<size_t>(chosen_index) < c.size()) {
+    s.chosen_index = chosen_index;
+    s.chosen_x = c.x(static_cast<size_t>(chosen_index));
+    s.chosen_y = c.y(static_cast<size_t>(chosen_index));
+  }
+  return s;
+}
+
+}  // namespace obs
+}  // namespace macaron

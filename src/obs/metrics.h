@@ -1,0 +1,87 @@
+// Observability metrics registry (zero overhead when disabled).
+//
+// Components (OSC packing/GC, cluster routing/priming, in-flight coalescing,
+// mini-sim bank replay, controller) expose RegisterMetrics hooks that fetch
+// named Counter/StreamingStats/Histogram slots from a MetricsRegistry. When
+// no registry is wired (the default for every simulation), every component
+// holds null sink pointers and each instrumentation site is a single
+// predictable null check — no allocation, no output, no behavioural change.
+// The registry is per-run and single-writer by construction: the engines run
+// one request stream on one thread, and the mini-sim banks only touch their
+// counters at batch boundaries on the calling thread, so no atomics are
+// needed (parallel grid-point replay never increments counters).
+//
+// Serialization (`Json()`) is deterministic: components and metrics appear
+// in registration order, which is itself deterministic because registration
+// happens once, during engine Setup.
+
+#ifndef MACARON_SRC_OBS_METRICS_H_
+#define MACARON_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace macaron {
+namespace obs {
+
+// Monotonic event counter. Instrumented components hold `Counter*` members
+// defaulting to nullptr and guard every increment with a null check.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  // Fetch-or-create a metric slot. Re-registering the same
+  // (component, name) returns the existing slot; the kind must match.
+  // Returned pointers stay valid for the registry's lifetime (deque-backed).
+  Counter* counter(std::string_view component, std::string_view name);
+  StreamingStats* stats(std::string_view component, std::string_view name);
+  Histogram* histogram(std::string_view component, std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Reads back a counter's value, or 0 if never registered (test helper).
+  uint64_t CounterValue(std::string_view component, std::string_view name) const;
+
+  // One JSON document: { "component": { "metric": ... } }. Counters render
+  // as integers, stats as {count, mean, min, max, stddev}, histograms as
+  // {total, buckets: [[upper_bound, count], ...]} with a final null bound
+  // for the overflow bucket. Deterministic (registration order).
+  std::string Json() const;
+
+ private:
+  enum class Kind { kCounter, kStats, kHistogram };
+  struct Entry {
+    std::string component;
+    std::string name;
+    Kind kind;
+    size_t index;  // into the per-kind store below
+  };
+
+  const Entry* Find(std::string_view component, std::string_view name) const;
+
+  // Registration is rare (a handful of sites per run), so a linear scan
+  // beats maintaining a map. Deques keep metric addresses stable.
+  std::vector<Entry> entries_;
+  std::deque<Counter> counters_;
+  std::deque<StreamingStats> stats_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace macaron
+
+#endif  // MACARON_SRC_OBS_METRICS_H_

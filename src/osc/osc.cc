@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace macaron {
 
@@ -42,6 +43,9 @@ void ObjectStorageCache::AdmitInternal(ObjectId id, uint64_t h, uint64_t size,
     block.members.push_back(id);
     objects_[id] = ObjectMeta{block_id, size, true};
     ++ops_.puts;
+    if (m_block_flushes_ != nullptr) {
+      m_block_flushes_->Inc();
+    }
     if (promote_lru) {
       order_->PutPrehashed(id, h, size);
       live_bytes_ += size;
@@ -74,6 +78,9 @@ void ObjectStorageCache::AdmitPrehashed(ObjectId id, uint64_t h, uint64_t size) 
   }
   // A dead prior copy (Evicted then re-fetched) stays garbage in its old
   // block; the new copy goes into the open block.
+  if (m_admits_ != nullptr) {
+    m_admits_->Inc();
+  }
   AdmitInternal(id, h, size, /*promote_lru=*/true);
 }
 
@@ -84,6 +91,9 @@ void ObjectStorageCache::DeletePrehashed(ObjectId id, uint64_t h) {
   }
   order_->ErasePrehashed(id, h);
   live_bytes_ -= it->second.size;
+  if (m_deletes_ != nullptr) {
+    m_deletes_->Inc();
+  }
   MarkDead(id);
 }
 
@@ -124,6 +134,9 @@ void ObjectStorageCache::FlushOpenBlock() {
   }
   block.open = false;
   ++ops_.puts;
+  if (m_block_flushes_ != nullptr) {
+    m_block_flushes_->Inc();
+  }
   MaybeScheduleGc(block_id);  // members may already have died pre-flush
 }
 
@@ -141,6 +154,9 @@ void ObjectStorageCache::EvictToCapacity(uint64_t target_bytes) {
     order_->Resize(target_bytes);
     order_->Resize(std::numeric_limits<uint64_t>::max() / 2);
     order_->set_evict_callback(nullptr);
+    if (m_evictions_ != nullptr) {
+      m_evictions_->Inc(victims.size());
+    }
     for (ObjectId id : victims) {
       const ObjectMeta& meta = objects_.at(id);
       live_bytes_ -= meta.size;
@@ -162,6 +178,10 @@ void ObjectStorageCache::RunGc() {
         continue;
       }
       ++ops_.gc_block_reads;
+      if (m_gc_blocks_ != nullptr) {
+        m_gc_blocks_->Inc();
+        m_gc_reclaimed_bytes_->Inc(it->second.dead_bytes);
+      }
       garbage_bytes_ -= it->second.dead_bytes;
       std::vector<ObjectId> members = std::move(it->second.members);
       blocks_.erase(it);
@@ -193,6 +213,24 @@ std::vector<ObjectStorageCache::BlockDebug> ObjectStorageCache::DebugBlocks() co
                              block.open});
   }
   return out;
+}
+
+void ObjectStorageCache::RegisterMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    m_admits_ = nullptr;
+    m_deletes_ = nullptr;
+    m_evictions_ = nullptr;
+    m_block_flushes_ = nullptr;
+    m_gc_blocks_ = nullptr;
+    m_gc_reclaimed_bytes_ = nullptr;
+    return;
+  }
+  m_admits_ = registry->counter("osc", "admits");
+  m_deletes_ = registry->counter("osc", "deletes");
+  m_evictions_ = registry->counter("osc", "evictions");
+  m_block_flushes_ = registry->counter("osc", "block_flushes");
+  m_gc_blocks_ = registry->counter("osc", "gc_blocks");
+  m_gc_reclaimed_bytes_ = registry->counter("osc", "gc_reclaimed_bytes");
 }
 
 ObjectStorageCache::OpCounts ObjectStorageCache::TakeOps() {

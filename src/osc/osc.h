@@ -23,6 +23,11 @@
 
 namespace macaron {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 struct PackingConfig {
   uint64_t block_bytes = 16ull * 1000 * 1000;
   uint32_t max_objects_per_block = 40;
@@ -108,6 +113,10 @@ class ObjectStorageCache {
 
   const PackingConfig& config() const { return config_; }
 
+  // Attaches packing/GC counters ("osc" component); nullptr (the default)
+  // detaches, leaving a null-check per site.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct ObjectMeta {
     uint64_t block = 0;
@@ -139,6 +148,12 @@ class ObjectStorageCache {
   uint64_t live_bytes_ = 0;
   uint64_t garbage_bytes_ = 0;
   OpCounts ops_;
+  obs::Counter* m_admits_ = nullptr;
+  obs::Counter* m_deletes_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
+  obs::Counter* m_block_flushes_ = nullptr;
+  obs::Counter* m_gc_blocks_ = nullptr;
+  obs::Counter* m_gc_reclaimed_bytes_ = nullptr;
 };
 
 }  // namespace macaron

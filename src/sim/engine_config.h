@@ -13,6 +13,11 @@
 
 namespace macaron {
 
+namespace obs {
+class DecisionTrace;
+class MetricsRegistry;
+}  // namespace obs
+
 // The approaches compared throughout §7.
 enum class Approach {
   kRemote,            // access everything from the remote data lake
@@ -82,6 +87,14 @@ struct EngineConfig {
   // the generator's reduced byte scale. The generated workloads carry
   // 0.2-1.0e-3 of the paper's byte volumes; 0.3e-3 is the median ratio.
   double infra_scale = 0.3e-3;
+
+  // Observability sinks (see src/obs/). Both default to nullptr = disabled:
+  // no allocation, no output, and bit-identical results either way. These
+  // are borrowed side channels, written during Run(); they are deliberately
+  // EXCLUDED from the sweep fingerprint (src/sweep/fingerprint.cc) so warm
+  // cached results remain valid whether or not observability was attached.
+  obs::DecisionTrace* decision_trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Returns `prices` with VM/node/Lambda rates and node memory scaled by

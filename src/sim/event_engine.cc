@@ -12,6 +12,8 @@
 #include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/controller/controller.h"
+#include "src/obs/decision_trace.h"
+#include "src/obs/metrics.h"
 #include "src/osc/osc.h"
 
 namespace macaron {
@@ -121,6 +123,16 @@ void EventRunner::Setup() {
     cc.analyzer.max_ttl = std::max<SimDuration>(trace_.duration(), kDay);
   }
   controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
+
+  // Observability wiring (no-op when both sinks are null — the default).
+  controller_->SetObservability(cfg_.decision_trace, cfg_.metrics);
+  if (cfg_.metrics != nullptr) {
+    osc_->RegisterMetrics(cfg_.metrics);
+    if (cluster_ != nullptr) {
+      cluster_->RegisterMetrics(cfg_.metrics);
+    }
+    inflight_.RegisterMetrics(cfg_.metrics);
+  }
 }
 
 void EventRunner::Integrate(SimTime t) {

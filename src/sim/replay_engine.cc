@@ -12,6 +12,8 @@
 #include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/controller/controller.h"
+#include "src/obs/decision_trace.h"
+#include "src/obs/metrics.h"
 #include "src/osc/osc.h"
 #include "src/trace/trace.h"
 
@@ -264,6 +266,20 @@ void Runner::Setup() {
   }
   if (IsElasticClusterCache()) {
     cluster_->Resize(1);
+  }
+
+  // Observability wiring (no-op when both sinks are null — the default).
+  if (controller_ != nullptr) {
+    controller_->SetObservability(cfg_.decision_trace, cfg_.metrics);
+  }
+  if (cfg_.metrics != nullptr) {
+    if (osc_ != nullptr) {
+      osc_->RegisterMetrics(cfg_.metrics);
+    }
+    if (cluster_ != nullptr) {
+      cluster_->RegisterMetrics(cfg_.metrics);
+    }
+    inflight_.RegisterMetrics(cfg_.metrics);
   }
 }
 

@@ -359,4 +359,79 @@ bool WriteRunResultJson(const RunResult& r, const std::string& path) {
   return ok;
 }
 
+namespace {
+
+void AppendCurveSummary(std::string* out, const char* key, const obs::CurveSummary& s) {
+  AppendF(out, "\"%s\":{\"points\":%" PRIu64 ",", key, s.points);
+  AppendF(out, "\"x_min\":%.17g,\"x_max\":%.17g,\"y_min\":%.17g,\"y_max\":%.17g,", s.x_min,
+          s.x_max, s.y_min, s.y_max);
+  AppendF(out, "\"chosen_index\":%" PRId64 ",\"chosen_x\":%.17g,\"chosen_y\":%.17g}",
+          s.chosen_index, s.chosen_x, s.chosen_y);
+}
+
+}  // namespace
+
+std::string DecisionRecordJsonLine(const obs::DecisionRecord& rec) {
+  std::string out;
+  out.reserve(1024);
+  AppendF(&out, "{\"window\":%" PRIu64 ",\"time\":%" PRId64 ",", rec.window,
+          static_cast<int64_t>(rec.time));
+  AppendF(&out, "\"optimized\":%s,\"mode\":\"%s\",", rec.optimized ? "true" : "false",
+          rec.ttl_mode ? "ttl" : "capacity");
+  AppendF(&out, "\"osc_capacity\":%" PRIu64 ",\"ttl_ms\":%" PRId64 ",\"garbage_bytes\":%" PRIu64
+                ",",
+          rec.osc_capacity, static_cast<int64_t>(rec.ttl), rec.garbage_bytes);
+  AppendF(&out,
+          "\"cost\":{\"capacity_usd\":%.17g,\"egress_usd\":%.17g,\"operation_usd\":%.17g,"
+          "\"total_usd\":%.17g},",
+          rec.cost_capacity_usd, rec.cost_egress_usd, rec.cost_operation_usd, rec.cost_total_usd);
+  out += "\"curves\":{";
+  AppendCurveSummary(&out, "mrc", rec.mrc);
+  out += ",";
+  AppendCurveSummary(&out, "bmc", rec.bmc);
+  out += ",";
+  AppendCurveSummary(&out, "cost", rec.cost);
+  out += ",";
+  AppendCurveSummary(&out, "alc", rec.alc);
+  out += "},";
+  AppendF(&out,
+          "\"workload\":{\"expected_reads\":%.17g,\"expected_writes\":%.17g,"
+          "\"expected_get_bytes\":%.17g,\"mean_object_bytes\":%.17g,\"objects_per_block\":%.17g},",
+          rec.expected_window_reads, rec.expected_window_writes, rec.expected_window_get_bytes,
+          rec.mean_object_bytes, rec.objects_per_block);
+  AppendF(&out, "\"cluster\":{\"enabled\":%s,\"met_target\":%s,\"clamped\":%s,",
+          rec.cluster_enabled ? "true" : "false", rec.cluster_met_target ? "true" : "false",
+          rec.cluster_clamped ? "true" : "false");
+  AppendF(&out, "\"budget_clamped\":%s,\"requested_nodes\":%" PRIu64 ",\"nodes\":%" PRIu64 ",",
+          rec.cluster_budget_clamped ? "true" : "false", rec.cluster_requested_nodes,
+          rec.cluster_nodes);
+  AppendF(&out, "\"capacity_bytes\":%" PRIu64 ",\"predicted_latency_ms\":%.17g},",
+          rec.cluster_capacity_bytes, rec.cluster_predicted_latency_ms);
+  AppendF(&out,
+          "\"overhead\":{\"lambda_gb_seconds\":%.17g,\"analysis_seconds\":%.17g,"
+          "\"reconfig_seconds\":%.17g}}",
+          rec.lambda_gb_seconds, rec.analysis_seconds, rec.reconfig_seconds);
+  return out;
+}
+
+std::string DecisionTraceJsonl(const obs::DecisionTrace& trace) {
+  std::string out;
+  for (const obs::DecisionRecord& rec : trace.records()) {
+    out += DecisionRecordJsonLine(rec);
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteDecisionTraceJsonl(const obs::DecisionTrace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string doc = DecisionTraceJsonl(trace);
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
 }  // namespace macaron

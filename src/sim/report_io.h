@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/decision_trace.h"
 #include "src/sim/run_result.h"
 
 namespace macaron {
@@ -35,6 +36,15 @@ std::string SerializeRunResult(const RunResult& r);
 bool DeserializeRunResult(std::string_view blob, RunResult* out);
 bool WriteRunResultBinary(const RunResult& r, const std::string& path);
 bool ReadRunResultBinary(const std::string& path, RunResult* out);
+
+// Controller decision trace (src/obs/decision_trace.h) as JSONL: one
+// self-contained JSON object per controller window, in window order, doubles
+// at %.17g (round-trip exact). Schema documented in DESIGN.md
+// ("Observability"). Deterministic: identical traces serialize to identical
+// bytes.
+std::string DecisionRecordJsonLine(const obs::DecisionRecord& rec);
+std::string DecisionTraceJsonl(const obs::DecisionTrace& trace);
+bool WriteDecisionTraceJsonl(const obs::DecisionTrace& trace, const std::string& path);
 
 }  // namespace macaron
 

@@ -16,6 +16,9 @@
 // EngineConfig::analyzer_threads is deliberately excluded: the analyzer's
 // fan-out yields bit-identical curves at any thread count (see
 // DESIGN.md "Analyzer threading model"), so results are shared across it.
+// The observability sink pointers (EngineConfig::decision_trace / metrics)
+// are likewise excluded: attaching them never changes a result, only emits
+// a side-channel trace, so warm cached results stay valid either way.
 
 #ifndef MACARON_SRC_SWEEP_FINGERPRINT_H_
 #define MACARON_SRC_SWEEP_FINGERPRINT_H_
@@ -33,7 +36,9 @@ namespace macaron {
 namespace sweep {
 
 // Bump to invalidate every persisted result (engine semantics changed).
-inline constexpr std::string_view kSweepVersionSalt = "macaron-sweep-v1";
+// v2: analyzer excludes deletes from mean_object_bytes; cluster sizer
+// recomputes capacity/latency after the max_nodes clamp.
+inline constexpr std::string_view kSweepVersionSalt = "macaron-sweep-v2";
 
 struct Fingerprint {
   uint64_t hi = 0;

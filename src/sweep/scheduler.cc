@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/decision_trace.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_engine.h"
 #include "src/sim/replay_engine.h"
 #include "src/sim/report_io.h"
@@ -55,7 +59,13 @@ OracularResult RunOracularWithConfig(const Trace& trace, const EngineConfig& con
 }
 
 SweepScheduler::SweepScheduler(Options options)
-    : options_(std::move(options)), store_(options_.store_dir), pool_(options_.threads) {}
+    : options_(std::move(options)), store_(options_.store_dir), pool_(options_.threads) {
+  if (!options_.obs_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.obs_dir, ec);
+    // An unwritable obs_dir degrades to per-job write failures, not a crash.
+  }
+}
 
 SweepScheduler::~SweepScheduler() {
   // ~ThreadPool drains the queue; nothing else to do. Jobs whose futures
@@ -121,12 +131,23 @@ void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
     } else {
       const Trace& trace =
           spec.trace != nullptr ? *spec.trace : options_.trace_provider(spec.trace_name);
+      // Observability sinks for this execution (oracle jobs have no
+      // controller to trace). Local to the job: deliberately excluded from
+      // the fingerprint, so attaching them cannot invalidate warm results.
+      obs::DecisionTrace trace_sink;
+      obs::MetricsRegistry metrics_sink;
+      const bool observed = !options_.obs_dir.empty() && spec.engine != JobEngine::kOracle;
+      EngineConfig cfg = spec.config;
+      if (observed) {
+        cfg.decision_trace = &trace_sink;
+        cfg.metrics = &metrics_sink;
+      }
       switch (spec.engine) {
         case JobEngine::kReplay:
-          exec->result = ReplayEngine(spec.config).Run(trace);
+          exec->result = ReplayEngine(cfg).Run(trace);
           break;
         case JobEngine::kEvent:
-          exec->result = EventEngine(spec.config).Run(trace);
+          exec->result = EventEngine(cfg).Run(trace);
           break;
         case JobEngine::kOracle: {
           const std::string& name = spec.trace_name.empty() ? trace.name : spec.trace_name;
@@ -136,6 +157,26 @@ void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
       }
       exec->metrics.requests = trace.size();
       store_.Store(hex, exec->result);
+      if (observed) {
+        const std::string base = options_.obs_dir + "/" + hex;
+        if (!trace_sink.empty()) {
+          WriteDecisionTraceJsonl(trace_sink, base + ".trace.jsonl");
+        }
+        if (!metrics_sink.empty()) {
+          const std::string doc = metrics_sink.Json();
+          if (std::FILE* f = std::fopen((base + ".metrics.json").c_str(), "w")) {
+            std::fwrite(doc.data(), 1, doc.size(), f);
+            std::fclose(f);
+          }
+        }
+        std::lock_guard<std::mutex> lock(obs_mu_);
+        if (std::FILE* f = std::fopen((options_.obs_dir + "/index.tsv").c_str(), "a")) {
+          std::fprintf(f, "%s\t%s\t%s\t%s\n", hex.c_str(), exec->result.trace_name.c_str(),
+                       exec->result.approach_name.c_str(),
+                       spec.engine == JobEngine::kEvent ? "event" : "replay");
+          std::fclose(f);
+        }
+      }
     }
     exec->metrics.wall_seconds = SecondsSince(start);
     if (exec->metrics.requests > 0 && exec->metrics.wall_seconds > 0) {

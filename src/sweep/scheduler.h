@@ -93,6 +93,13 @@ class SweepScheduler {
     // Resolves trace names for jobs submitted without an explicit trace.
     // Called from worker threads; must be thread-safe.
     std::function<const Trace&(const std::string&)> trace_provider;
+    // Observability output directory; empty (the default) disables. When
+    // set, every executed replay/event job runs with a decision trace and
+    // metrics registry attached and writes <fingerprint>.trace.jsonl /
+    // <fingerprint>.metrics.json there, plus a line in index.tsv. The obs
+    // sinks are NOT part of the job fingerprint: results loaded from a warm
+    // store are bit-identical but produce no trace (nothing ran).
+    std::string obs_dir;
   };
 
   explicit SweepScheduler(Options options);
@@ -137,6 +144,9 @@ class SweepScheduler {
 
   Options options_;
   ResultStore store_;
+
+  // Serializes index.tsv appends from worker threads (obs_dir mode only).
+  std::mutex obs_mu_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Execution>> by_fingerprint_;

@@ -119,6 +119,31 @@ TEST(ClusterSizerTest, NodeCountRoundsUpAndCaps) {
   const Curve alc({25e8}, {5.0});
   const ClusterDecision d = SizeCluster(alc, 10.0, static_cast<uint64_t>(1e9), 2);
   EXPECT_EQ(d.nodes, 2u);  // ceil(2.5) = 3, capped at 2
+  EXPECT_TRUE(d.clamped);
+}
+
+TEST(ClusterSizerTest, MaxNodesClampRecomputesCapacityAndLatency) {
+  // The ALC wants 4 GB (the only point under target), but only 2 nodes of
+  // 1 GB fit: the decision must describe the 2 GB cluster that will actually
+  // deploy — capacity from the clamped node count, latency re-read off the
+  // ALC at that capacity — not the unclamped 4 GB choice.
+  const Curve alc({1e9, 2e9, 3e9, 4e9}, {100.0, 50.0, 20.0, 19.0});
+  const ClusterDecision d = SizeCluster(alc, 19.5, static_cast<uint64_t>(1e9), 2);
+  EXPECT_TRUE(d.clamped);
+  EXPECT_EQ(d.nodes, 2u);
+  EXPECT_EQ(d.capacity_bytes, static_cast<uint64_t>(2e9));
+  EXPECT_NEAR(d.predicted_latency_ms, 50.0, 1e-9);
+}
+
+TEST(ClusterSizerTest, UnclampedDecisionsLeaveFlagClear) {
+  const Curve alc({1e9, 2e9, 3e9, 4e9}, {100.0, 50.0, 20.0, 19.0});
+  const ClusterDecision d = SizeCluster(alc, 25.0, static_cast<uint64_t>(1e9), 100);
+  EXPECT_FALSE(d.clamped);
+  // The 1-node floor (an upward adjustment) is not a clamp.
+  const Curve flat({5e8}, {5.0});
+  const ClusterDecision f = SizeCluster(flat, 10.0, static_cast<uint64_t>(1e9), 100);
+  EXPECT_EQ(f.nodes, 1u);
+  EXPECT_FALSE(f.clamped);
 }
 
 // --- TTL optimizer ---
@@ -161,6 +186,24 @@ TEST(AnalyzerTest, ReportsAggregatedCurvesAndCounts) {
   EXPECT_NEAR(r.mean_object_bytes, 500.0, 1e-9);
   EXPECT_FALSE(r.aggregated_mrc.empty());
   EXPECT_GT(r.lambda_gb_seconds, 0.0);
+}
+
+TEST(AnalyzerTest, MeanObjectBytesExcludesDeletes) {
+  // Deletes carry no payload: folding their size-0 records into the mean
+  // used to deflate mean_object_bytes (and with it the packing op-cost
+  // divisor). One window, GET 500 + PUT 1000 + DELETE: mean is 750, not 500.
+  AnalyzerConfig cfg;
+  cfg.sampling_ratio = 1.0;
+  cfg.num_minicaches = 4;
+  cfg.min_capacity_bytes = 1000;
+  cfg.max_capacity_bytes = 100000;
+  WorkloadAnalyzer analyzer(cfg, nullptr);
+  analyzer.Process({0, 1, 500, Op::kGet});
+  analyzer.Process({1, 2, 1000, Op::kPut});
+  analyzer.Process({2, 1, 0, Op::kDelete});
+  const AnalyzerReport r = analyzer.EndWindow(15 * kMinute);
+  EXPECT_EQ(r.window_requests, 2u);  // window_requests = reads + writes
+  EXPECT_NEAR(r.mean_object_bytes, 750.0, 1e-9);
 }
 
 TEST(AnalyzerTest, DecayedAverageTracksShift) {

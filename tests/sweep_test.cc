@@ -372,11 +372,13 @@ TEST(HashOncePipelineTest, BothEnginesByteStableAcrossRuns) {
   }
 }
 
-// The acceptance criterion for the hash-once PR was that outputs are
-// bit-identical, so persisted sweep results stay valid. Guard against an
-// accidental salt bump sneaking in with unrelated edits.
-TEST(HashOncePipelineTest, SweepVersionSaltUnchanged) {
-  EXPECT_EQ(sweep::kSweepVersionSalt, "macaron-sweep-v1");
+// Guard against an accidental salt bump sneaking in with unrelated edits:
+// a bump invalidates every persisted result, so it must be deliberate.
+// v1 -> v2 was: the analyzer now excludes deletes from mean_object_bytes and
+// the cluster sizer recomputes capacity/latency after the max_nodes clamp —
+// both change simulated results, so cached v1 entries had to be retired.
+TEST(HashOncePipelineTest, SweepVersionSaltDeliberate) {
+  EXPECT_EQ(sweep::kSweepVersionSalt, "macaron-sweep-v2");
 }
 
 TEST(ResultStoreTest, DisabledStoreIsInert) {
