@@ -309,6 +309,47 @@ void BM_EngineReplayEvent(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineReplayEvent)->Unit(benchmark::kMillisecond);
 
+// The sharded serving engine at 8 shards, swept over worker-thread count
+// (Arg = shard_threads). Thread count never changes any output bit, so the
+// spread across args is pure execution cost: threads=1 measures the sharding
+// overhead vs BM_EngineReplay*, higher args measure parallel speedup on
+// machines that have the cores for it.
+void BM_ShardedReplayMacaron(benchmark::State& state) {
+  EngineConfig cfg = EngineReplayConfig(Approach::kMacaronNoCluster);
+  cfg.num_shards = 8;
+  cfg.shard_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayEngine(cfg).Run(EngineReplayTrace()).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(EngineReplayTrace().requests.size()));
+}
+BENCHMARK(BM_ShardedReplayMacaron)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedReplayCluster(benchmark::State& state) {
+  EngineConfig cfg = EngineReplayConfig(Approach::kMacaron);
+  cfg.num_shards = 8;
+  cfg.shard_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayEngine(cfg).Run(EngineReplayTrace()).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(EngineReplayTrace().requests.size()));
+}
+BENCHMARK(BM_ShardedReplayCluster)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedReplayEvent(benchmark::State& state) {
+  EngineConfig cfg = EngineReplayConfig(Approach::kMacaronNoCluster);
+  cfg.num_shards = 8;
+  cfg.shard_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EventEngine(cfg).Run(EngineReplayTrace()).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(EngineReplayTrace().requests.size()));
+}
+BENCHMARK(BM_ShardedReplayEvent)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 void BM_HashRingRoute(benchmark::State& state) {
   HashRing ring;
   for (uint32_t n = 1; n <= 16; ++n) {

@@ -25,6 +25,8 @@
 //   --no-latency            skip latency sampling (cost-only, faster)
 //   --seed=7                root RNG seed
 //   --analyzer-threads=1    mini-sim fan-out threads (same curves any value)
+//   --num-shards=1          serving shards (structural: changes the deployment)
+//   --shard-threads=1       shard worker threads (same output any value)
 //   --verbose               print reconfiguration timelines
 
 #include <cstdio>
@@ -136,6 +138,10 @@ int main(int argc, char** argv) {
       cfg.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
     } else if (FlagValue(argv[i], "--analyzer-threads", &v)) {
       cfg.analyzer_threads = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--num-shards", &v)) {
+      cfg.num_shards = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--shard-threads", &v)) {
+      cfg.shard_threads = std::atoi(v.c_str());
     } else if (std::strcmp(argv[i], "--no-packing") == 0) {
       cfg.packing.packing_enabled = false;
     } else if (std::strcmp(argv[i], "--admission-bypass") == 0) {

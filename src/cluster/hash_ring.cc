@@ -7,26 +7,18 @@
 
 namespace macaron {
 
-namespace {
-
-// lower_bound over the position field only.
-auto PositionLowerBound(std::vector<std::pair<uint64_t, uint32_t>>& ring, uint64_t pos) {
-  return std::lower_bound(
-      ring.begin(), ring.end(), pos,
-      [](const std::pair<uint64_t, uint32_t>& e, uint64_t p) { return e.first < p; });
-}
-
-}  // namespace
-
 void HashRing::AddNode(uint32_t node_id) {
   for (int r = 0; r < virtual_replicas_; ++r) {
     const uint64_t pos = Mix64(Mix64(node_id) + static_cast<uint64_t>(r));
-    const auto it = PositionLowerBound(ring_, pos);
-    if (it != ring_.end() && it->first == pos) {
-      it->second = node_id;  // position collision: last add wins (map semantics)
-    } else {
-      ring_.insert(it, {pos, node_id});
-    }
+    // Insert the exact (position, node) pair in lexicographic order.
+    // Position collisions between different nodes keep BOTH entries: the
+    // previous "last add wins" overwrite lost the earlier node's replica,
+    // and a later RemoveNode of either node erased whichever entry held the
+    // position — leaving the ring permanently short one replica of the
+    // surviving node. Duplicate positions are ordered by node id, so routing
+    // (lower_bound by position; first entry wins) stays deterministic.
+    const std::pair<uint64_t, uint32_t> entry{pos, node_id};
+    ring_.insert(std::lower_bound(ring_.begin(), ring_.end(), entry), entry);
   }
   ++num_nodes_;
 }
@@ -34,10 +26,10 @@ void HashRing::AddNode(uint32_t node_id) {
 void HashRing::RemoveNode(uint32_t node_id) {
   for (int r = 0; r < virtual_replicas_; ++r) {
     const uint64_t pos = Mix64(Mix64(node_id) + static_cast<uint64_t>(r));
-    const auto it = PositionLowerBound(ring_, pos);
-    if (it != ring_.end() && it->first == pos) {
-      ring_.erase(it);
-    }
+    const std::pair<uint64_t, uint32_t> entry{pos, node_id};
+    const auto it = std::lower_bound(ring_.begin(), ring_.end(), entry);
+    MACARON_CHECK(it != ring_.end() && *it == entry);
+    ring_.erase(it);
   }
   MACARON_CHECK(num_nodes_ > 0);
   --num_nodes_;

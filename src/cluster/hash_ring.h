@@ -40,8 +40,11 @@ class HashRing {
  private:
   int virtual_replicas_;
   size_t num_nodes_ = 0;
-  // (position, node), sorted by position, positions unique — same contents
-  // the std::map held.
+  // (position, node) pairs in lexicographic order. Positions are NOT
+  // assumed unique: two nodes whose virtual replicas collide both keep
+  // their entries (ordered by node id), so AddNode/RemoveNode are exact
+  // inverses and a resize never silently drops a surviving node's replica.
+  // Routing takes the first entry at or after the key hash.
   std::vector<std::pair<uint64_t, uint32_t>> ring_;
 };
 

@@ -97,6 +97,14 @@ void Histogram::Add(double x) {
   ++total_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  MACARON_CHECK(upper_bounds_ == other.upper_bounds_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
 double Histogram::UpperBound(size_t i) const {
   MACARON_CHECK(i < upper_bounds_.size());
   return upper_bounds_[i];

@@ -60,6 +60,9 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void Add(double x);
+  // Adds `other`'s bucket counts into this histogram; bucket bounds must
+  // match exactly (same construction parameters).
+  void Merge(const Histogram& other);
   uint64_t total() const { return total_; }
   // Count in bucket i; bucket upper_bounds.size() is the overflow bucket.
   uint64_t BucketCount(size_t i) const { return counts_[i]; }

@@ -6,8 +6,19 @@
 
 namespace macaron {
 
+size_t RoundNodesToShards(size_t nodes, size_t shards, size_t max_nodes) {
+  nodes = std::max<size_t>(nodes, 1);
+  if (shards <= 1) {
+    return std::min(nodes, std::max<size_t>(max_nodes, 1));
+  }
+  const size_t rounded = (nodes + shards - 1) / shards * shards;
+  const size_t cap = std::max<size_t>(max_nodes / shards * shards, shards);
+  return std::min(rounded, cap);
+}
+
 ClusterDecision SizeCluster(const Curve& alc, double target_latency_ms,
-                            uint64_t node_capacity_bytes, size_t max_nodes) {
+                            uint64_t node_capacity_bytes, size_t max_nodes,
+                            size_t shards) {
   MACARON_CHECK(!alc.empty());
   MACARON_CHECK(node_capacity_bytes > 0);
   ClusterDecision d;
@@ -32,11 +43,22 @@ ClusterDecision SizeCluster(const Curve& alc, double target_latency_ms,
       std::max<uint64_t>(std::min<uint64_t>(nodes64, max_nodes), 1);
   d.nodes = static_cast<size_t>(clamped_nodes);
   if (nodes64 > max_nodes) {
-    // max_nodes cut the fleet: the decision must describe what the clamped
-    // cluster actually provides, not the capacity/latency of the unclamped
-    // ALC choice.
     d.clamped = true;
-    d.capacity_bytes = clamped_nodes * node_capacity_bytes;
+  }
+  bool rounded = false;
+  if (shards > 1) {
+    // Sharded serving: every shard runs an identical whole-node slice of
+    // the fleet, so round up to a multiple of shards (min one node per
+    // shard) before describing the provided capacity.
+    const size_t before = d.nodes;
+    d.nodes = RoundNodesToShards(d.nodes, shards, max_nodes);
+    rounded = d.nodes != before;
+  }
+  if (d.clamped || rounded) {
+    // The clamp (or shard rounding) changed the fleet: the decision must
+    // describe what the adjusted cluster actually provides, not the
+    // capacity/latency of the unadjusted ALC choice.
+    d.capacity_bytes = static_cast<uint64_t>(d.nodes) * node_capacity_bytes;
     d.predicted_latency_ms = alc.Value(static_cast<double>(d.capacity_bytes));
   }
   return d;

@@ -26,8 +26,21 @@ struct ClusterDecision {
 // alc: x = cluster capacity bytes, y = predicted mean latency (ms).
 // target_latency_ms: the replica-equivalent latency to beat.
 // node_capacity_bytes: usable DRAM per node; max_nodes caps the fleet.
+// shards: serving shards the fleet is split across (engine_config.h
+// num_shards). With shards > 1 the node count is rounded up to a multiple
+// of shards so every shard's cluster slice holds the same whole number of
+// nodes, and capacity/latency are recomputed for the rounded fleet;
+// shards = 1 (the default) leaves the decision exactly as before.
 ClusterDecision SizeCluster(const Curve& alc, double target_latency_ms,
-                            uint64_t node_capacity_bytes, size_t max_nodes);
+                            uint64_t node_capacity_bytes, size_t max_nodes,
+                            size_t shards = 1);
+
+// Rounds a requested fleet size up to a whole number of nodes per shard
+// (a multiple of `shards`, at least one node per shard), respecting
+// max_nodes where possible: the result never exceeds the largest multiple
+// of shards <= max_nodes, except that it is never below `shards` itself.
+// shards <= 1 reduces to clamp(nodes, 1, max(max_nodes, 1)).
+size_t RoundNodesToShards(size_t nodes, size_t shards, size_t max_nodes);
 
 }  // namespace macaron
 

@@ -127,7 +127,8 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
   if (config_.enable_cluster && report.latest_alc.has_value()) {
     ClusterDecision cd =
         SizeCluster(*report.latest_alc, config_.cluster_latency_target_ms,
-                    prices_.cache_node_usable_bytes, config_.max_cluster_nodes);
+                    prices_.cache_node_usable_bytes, config_.max_cluster_nodes,
+                    config_.cluster_shards);
     requested_nodes = cd.nodes;
     if (config_.mode == OptimizationMode::kCapacity) {
       // Bound cluster spend relative to the expected window cost of serving
@@ -143,6 +144,13 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
       }
     }
     budget_clamped = cd.nodes < requested_nodes;
+    if (config_.cluster_shards > 1) {
+      // The budget clamp can break the whole-nodes-per-shard invariant the
+      // sizer established; restore it (rounding up keeps the budget clamp
+      // within one shard-multiple of its cut).
+      cd.nodes = RoundNodesToShards(cd.nodes, config_.cluster_shards,
+                                    config_.max_cluster_nodes);
+    }
     d.cluster_nodes = cd.nodes;
     d.latest_alc = report.latest_alc;
     cluster = cd;

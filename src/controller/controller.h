@@ -40,6 +40,10 @@ struct ControllerConfig {
 
   bool enable_cluster = false;
   size_t max_cluster_nodes = 256;
+  // Serving shards the cluster fleet is split across (engine_config.h
+  // num_shards): node counts are kept a multiple of this so every shard
+  // runs an identical whole-node slice. 1 = unsharded (no rounding).
+  size_t cluster_shards = 1;
   double cluster_latency_target_ms = 0.0;  // replica-equivalent latency
   // Cap cluster spend at this fraction of the expected per-window data cost
   // so the latency tier stays proportionate to the workload's bill (§7.5

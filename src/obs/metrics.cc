@@ -66,6 +66,29 @@ Histogram* MetricsRegistry::histogram(std::string_view component, std::string_vi
   return &histograms_.back();
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const Entry& e : other.entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        counter(e.component, e.name)->Inc(other.counters_[e.index].value());
+        break;
+      case Kind::kStats:
+        stats(e.component, e.name)->Merge(other.stats_[e.index]);
+        break;
+      case Kind::kHistogram: {
+        const Histogram& src = other.histograms_[e.index];
+        std::vector<double> bounds;
+        bounds.reserve(src.NumBuckets() - 1);
+        for (size_t b = 0; b + 1 < src.NumBuckets(); ++b) {
+          bounds.push_back(src.UpperBound(b));
+        }
+        histogram(e.component, e.name, std::move(bounds))->Merge(src);
+        break;
+      }
+    }
+  }
+}
+
 uint64_t MetricsRegistry::CounterValue(std::string_view component, std::string_view name) const {
   const Entry* e = Find(component, name);
   if (e == nullptr || e->kind != Kind::kCounter) {

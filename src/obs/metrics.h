@@ -56,6 +56,15 @@ class MetricsRegistry {
   // Reads back a counter's value, or 0 if never registered (test helper).
   uint64_t CounterValue(std::string_view component, std::string_view name) const;
 
+  // Folds `other` into this registry: counters add, stats merge (Welford
+  // combine), histograms add bucket counts (bucket bounds must match).
+  // Metrics absent here are created in `other`'s registration order, so
+  // folding per-shard registries that registered identical components in
+  // identical order preserves the unsharded registry's Json() layout. The
+  // sharded engines call this once per shard, in shard order, after the run
+  // completes — deterministic regardless of how many threads replayed.
+  void MergeFrom(const MetricsRegistry& other);
+
   // One JSON document: { "component": { "metric": ... } }. Counters render
   // as integers, stats as {count, mean, min, max, stddev}, histograms as
   // {total, buckets: [[upper_bound, count], ...]} with a final null bound

@@ -161,6 +161,9 @@ void ObjectStorageCache::EvictToCapacity(uint64_t target_bytes) {
       const ObjectMeta& meta = objects_.at(id);
       live_bytes_ -= meta.size;
       MarkDead(id);
+      if (evict_observer_) {
+        evict_observer_(id);
+      }
     }
   }
   RunGc();

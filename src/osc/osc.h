@@ -13,6 +13,7 @@
 #define MACARON_SRC_OSC_OSC_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -117,6 +118,16 @@ class ObjectStorageCache {
   // detaches, leaving a null-check per site.
   void RegisterMetrics(obs::MetricsRegistry* registry);
 
+  // Observer invoked once per object evicted by EvictToCapacity (lazy
+  // capacity eviction), before GC runs. The engines use it to invalidate
+  // in-flight fill entries for evicted objects (inflight.h): a fill whose
+  // target was evicted must not coalesce later requests. Deletes are not
+  // reported (the caller initiated those itself); GC rewrites never touch
+  // live objects. nullptr (the default) disables.
+  void set_evict_observer(std::function<void(ObjectId)> observer) {
+    evict_observer_ = std::move(observer);
+  }
+
  private:
   struct ObjectMeta {
     uint64_t block = 0;
@@ -148,6 +159,7 @@ class ObjectStorageCache {
   uint64_t live_bytes_ = 0;
   uint64_t garbage_bytes_ = 0;
   OpCounts ops_;
+  std::function<void(ObjectId)> evict_observer_;
   obs::Counter* m_admits_ = nullptr;
   obs::Counter* m_deletes_ = nullptr;
   obs::Counter* m_evictions_ = nullptr;

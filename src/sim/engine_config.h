@@ -54,6 +54,21 @@ struct EngineConfig {
   int analyzer_threads = 1;
   size_t max_cluster_nodes = 256;
 
+  // Sharded serving (see DESIGN.md "Sharded serving"). `num_shards` is a
+  // STRUCTURAL knob: requests are consistent-hash partitioned across
+  // `num_shards` independent serving shards, each owning its own OSC block
+  // log, DRAM cache-cluster slice, TTL shadow, in-flight table, and RNG
+  // stream. num_shards = 1 (the default) reproduces the unsharded engine's
+  // outputs exactly; num_shards > 1 models a genuinely sharded deployment
+  // (different packing order, different latency draws) and therefore feeds
+  // the sweep fingerprint. `shard_threads` is an EXECUTION knob: how many
+  // worker threads replay shards concurrently. Like analyzer_threads it can
+  // never affect results — shards share no mutable state and merge in fixed
+  // shard order — so it is excluded from the fingerprint, and any value
+  // produces bit-identical RunResults, decision traces, and metrics.
+  int num_shards = 1;
+  int shard_threads = 1;
+
   // Static-configuration parameters.
   uint64_t static_capacity_bytes = 0;  // kStaticCapacity
   SimDuration static_ttl = 0;          // kStaticTtl

@@ -1,9 +1,12 @@
 #include "src/sim/event_engine.h"
 
 #include <algorithm>
+#include <future>
 #include <memory>
+#include <vector>
 
 #include "src/cache/inflight.h"
+#include "src/cache/replay_batch.h"
 #include "src/cache/ttl_cache.h"
 #include "src/cloudsim/event_queue.h"
 #include "src/cloudsim/latency.h"
@@ -11,10 +14,12 @@
 #include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/controller/controller.h"
 #include "src/obs/decision_trace.h"
 #include "src/obs/metrics.h"
 #include "src/osc/osc.h"
+#include "src/sim/shard_router.h"
 
 namespace macaron {
 
@@ -23,6 +28,15 @@ namespace {
 // Per-request client -> cache engine hop (consistent-hash routing + RPC).
 constexpr double kClientHopMs = 0.3;
 
+// Prototype-fidelity engine, sharded the same way as the replay engine
+// (see DESIGN.md "Sharded serving"): requests partition across shards by
+// the ingest-time Mix64, each shard owns its serving state plus its own
+// discrete-event queue (deferred admissions and reconfiguration applies
+// are shard-local events), and windows replay shard-parallel while the
+// controller observes on the calling thread. Timeline entries for applied
+// reconfigurations are recorded at their apply times when the decision is
+// scheduled and stably sorted once at the end, reproducing the single
+// global event queue's apply order bit-for-bit at any thread count.
 class EventRunner {
  public:
   EventRunner(const EngineConfig& cfg, const Trace& trace)
@@ -31,36 +45,61 @@ class EventRunner {
         prices_(ScaledInfraPrices(cfg.prices, cfg.infra_scale)),
         truth_(cfg.scenario),
         fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
-        rng_(cfg.seed ^ 0x5eed) {}
+        num_shards_(std::max(cfg.num_shards, 1)),
+        router_(num_shards_),
+        pool_(std::min(std::max(cfg.shard_threads, 1), num_shards_)) {}
 
   RunResult Run();
 
  private:
+  // One serving shard: caches, coalescer, RNG stream, its own event queue,
+  // and the partial results merged deterministically after the run.
+  struct Shard {
+    std::unique_ptr<ObjectStorageCache> osc;
+    std::unique_ptr<CacheCluster> cluster;
+    std::unique_ptr<TtlCache> ttl_shadow;
+    InflightTable inflight;
+    Rng rng{0};
+    EventQueue queue;
+
+    CostMeter costs;
+    uint64_t gets = 0;
+    uint64_t cluster_hits = 0;
+    uint64_t osc_hits = 0;
+    uint64_t remote_fetches = 0;
+    uint64_t delayed_hits = 0;
+    uint64_t egress_bytes = 0;
+    PercentileTracker latency_ms;
+
+    SimTime last_integrate = 0;
+    double osc_byte_ms = 0.0;
+    double node_ms = 0.0;
+
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    ReplayBatch batch;
+  };
+
   void Setup();
-  void HandleRequest(const Request& r);
+  void ReplayWindow(size_t begin, size_t end);
+  void ReplayShardBatch(Shard& sh);
+  void HandleRequest(Shard& sh, const Request& r, uint64_t h);
   void WindowBoundary(SimTime t);
-  void ApplyDecision(SimTime t, const ReconfigDecision& d);
-  void Integrate(SimTime t);
-  void ChargeOscOps();
+  void Finalize();
+  void Integrate(Shard& sh, SimTime t);
+  void ChargeOscOps(Shard& sh);
 
   const EngineConfig& cfg_;
   const Trace& trace_;
   PriceBook prices_;
   GroundTruthLatency truth_;
   FittedLatencyGenerator fitted_;
-  Rng rng_;
+  int num_shards_;
+  ShardRouter router_;
+  ThreadPool pool_;
   RunResult result_;
-  EventQueue queue_;
 
-  std::unique_ptr<ObjectStorageCache> osc_;
-  std::unique_ptr<CacheCluster> cluster_;
+  std::vector<Shard> shards_;
   std::unique_ptr<MacaronController> controller_;
-  std::unique_ptr<TtlCache> ttl_shadow_;
-  InflightTable inflight_;
-
-  SimTime last_integrate_ = 0;
-  double osc_byte_ms_ = 0.0;
-  double node_ms_ = 0.0;
 };
 
 void EventRunner::Setup() {
@@ -84,16 +123,34 @@ void EventRunner::Setup() {
     sampling_ratio = std::clamp(needed, cfg_.sampling_ratio, 1.0);
   }
 
-  osc_ = std::make_unique<ObjectStorageCache>(cfg_.packing);
-  if (cfg_.approach == Approach::kMacaronTtl) {
-    ttl_shadow_ = std::make_unique<TtlCache>(trace_.end_time() + 2 * kDay);
-    ttl_shadow_->set_evict_callback([this](ObjectId id, uint64_t size) {
-      (void)size;
-      osc_->Delete(id);
-    });
+  shards_.resize(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    Shard& sh = shards_[static_cast<size_t>(s)];
+    // Shard 0 inherits the historical engine seed (num_shards = 1 must
+    // reproduce the unsharded engine exactly); others fork distinct streams.
+    sh.rng = Rng((cfg_.seed ^ 0x5eed) ^
+                 (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(s)));
+    sh.osc = std::make_unique<ObjectStorageCache>(cfg_.packing);
+    if (cfg_.approach == Approach::kMacaronTtl) {
+      sh.ttl_shadow = std::make_unique<TtlCache>(trace_.end_time() + 2 * kDay);
+    }
+    if (cfg_.approach == Approach::kMacaron) {
+      sh.cluster = std::make_unique<CacheCluster>(prices_.cache_node_usable_bytes);
+    }
   }
-  if (cfg_.approach == Approach::kMacaron) {
-    cluster_ = std::make_unique<CacheCluster>(prices_.cache_node_usable_bytes);
+  // Coalescer invalidation wiring (see inflight.h): expiring or evicting an
+  // object whose fill is outstanding must cancel the fill's admission, or a
+  // later deferred-admission event would resurrect the dead object.
+  for (Shard& sh : shards_) {
+    Shard* p = &sh;
+    if (sh.ttl_shadow != nullptr) {
+      sh.ttl_shadow->set_evict_callback([p](ObjectId id, uint64_t size) {
+        (void)size;
+        p->osc->Delete(id);
+        p->inflight.Invalidate(id);
+      });
+    }
+    sh.osc->set_evict_observer([p](ObjectId id) { p->inflight.Invalidate(id); });
   }
 
   ControllerConfig cc;
@@ -111,6 +168,7 @@ void EventRunner::Setup() {
   cc.packing_block_bytes = cfg_.packing.block_bytes;
   cc.packing_max_objects = cfg_.packing.max_objects_per_block;
   cc.max_cluster_nodes = cfg_.max_cluster_nodes;
+  cc.cluster_shards = static_cast<size_t>(num_shards_);
   if (cfg_.approach == Approach::kMacaron) {
     cc.enable_cluster = true;
     cc.analyzer.enable_alc = true;
@@ -125,171 +183,305 @@ void EventRunner::Setup() {
   controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
 
   // Observability wiring (no-op when both sinks are null — the default).
+  // As in the replay engine, the controller registers into the engine sink
+  // directly and shard components register into per-shard registries folded
+  // in shard order after the run.
   controller_->SetObservability(cfg_.decision_trace, cfg_.metrics);
   if (cfg_.metrics != nullptr) {
-    osc_->RegisterMetrics(cfg_.metrics);
-    if (cluster_ != nullptr) {
-      cluster_->RegisterMetrics(cfg_.metrics);
+    for (Shard& sh : shards_) {
+      sh.metrics = std::make_unique<obs::MetricsRegistry>();
+      sh.osc->RegisterMetrics(sh.metrics.get());
+      if (sh.cluster != nullptr) {
+        sh.cluster->RegisterMetrics(sh.metrics.get());
+      }
+      sh.inflight.RegisterMetrics(sh.metrics.get());
     }
-    inflight_.RegisterMetrics(cfg_.metrics);
   }
 }
 
-void EventRunner::Integrate(SimTime t) {
-  if (t <= last_integrate_) {
+void EventRunner::Integrate(Shard& sh, SimTime t) {
+  if (t <= sh.last_integrate) {
     return;
   }
-  const double dt = static_cast<double>(t - last_integrate_);
-  osc_byte_ms_ += static_cast<double>(osc_->stored_bytes()) * dt;
-  if (cluster_ != nullptr) {
-    node_ms_ += static_cast<double>(cluster_->num_nodes()) * dt;
+  const double dt = static_cast<double>(t - sh.last_integrate);
+  sh.osc_byte_ms += static_cast<double>(sh.osc->stored_bytes()) * dt;
+  if (sh.cluster != nullptr) {
+    sh.node_ms += static_cast<double>(sh.cluster->num_nodes()) * dt;
   }
-  last_integrate_ = t;
+  sh.last_integrate = t;
 }
 
-void EventRunner::ChargeOscOps() {
-  const ObjectStorageCache::OpCounts ops = osc_->TakeOps();
-  result_.costs.Add(CostCategory::kOperation,
-                    prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
+void EventRunner::ChargeOscOps(Shard& sh) {
+  const ObjectStorageCache::OpCounts ops = sh.osc->TakeOps();
+  sh.costs.Add(CostCategory::kOperation,
+               prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
 }
 
-void EventRunner::HandleRequest(const Request& r) {
-  Integrate(r.time);
-  controller_->Observe(r);
-  // One Mix64 per request; every cache level below reuses it (including the
-  // deferred-admission event, which captures it).
-  const uint64_t h = Mix64(r.id);
+void EventRunner::HandleRequest(Shard& sh, const Request& r, uint64_t h) {
+  Integrate(sh, r.time);
   switch (r.op) {
     case Op::kGet: {
-      ++result_.gets;
-      if (cluster_ != nullptr && cluster_->GetHashed(r.id, h)) {
-        ++result_.cluster_hits;
+      ++sh.gets;
+      if (sh.cluster != nullptr && sh.cluster->GetHashed(r.id, h)) {
+        ++sh.cluster_hits;
         if (cfg_.measure_latency) {
-          result_.latency_ms.Add(
-              kClientHopMs + fitted_.SampleMs(DataSource::kCacheCluster, r.size, rng_));
+          sh.latency_ms.Add(
+              kClientHopMs + fitted_.SampleMs(DataSource::kCacheCluster, r.size, sh.rng));
         }
         return;
       }
-      if (osc_->LookupPrehashed(r.id, h)) {
-        ++result_.osc_hits;
-        if (ttl_shadow_ != nullptr) {
-          ttl_shadow_->GetPrehashed(r.id, h, r.time);
+      if (sh.osc->LookupPrehashed(r.id, h)) {
+        ++sh.osc_hits;
+        if (sh.ttl_shadow != nullptr) {
+          sh.ttl_shadow->GetPrehashed(r.id, h, r.time);
         }
         if (cfg_.measure_latency) {
-          result_.latency_ms.Add(kClientHopMs +
-                                 fitted_.SampleMs(DataSource::kOsc, r.size, rng_));
+          sh.latency_ms.Add(kClientHopMs +
+                            fitted_.SampleMs(DataSource::kOsc, r.size, sh.rng));
         }
-        if (cluster_ != nullptr) {
-          cluster_->PutHashed(r.id, h, r.size);
+        if (sh.cluster != nullptr) {
+          sh.cluster->PutHashed(r.id, h, r.size);
         }
         return;
       }
-      if (auto completion = inflight_.Pending(r.id, r.time)) {
-        ++result_.delayed_hits;
+      if (auto completion = sh.inflight.Pending(r.id, r.time)) {
+        ++sh.delayed_hits;
         if (cfg_.measure_latency) {
-          result_.latency_ms.Add(kClientHopMs + static_cast<double>(*completion - r.time));
+          sh.latency_ms.Add(kClientHopMs + static_cast<double>(*completion - r.time));
         }
         return;
       }
-      ++result_.remote_fetches;
-      result_.egress_bytes += r.size;
-      result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
-      result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-      const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, rng_);
+      ++sh.remote_fetches;
+      sh.egress_bytes += r.size;
+      sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+      sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+      const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, sh.rng);
       if (cfg_.measure_latency) {
-        result_.latency_ms.Add(kClientHopMs + lat);
+        sh.latency_ms.Add(kClientHopMs + lat);
       }
       const SimTime completion = r.time + static_cast<SimTime>(lat) + 1;
-      inflight_.Insert(r.id, completion);
       // Admission happens when the fetch completes; the event carries the
-      // hash so completion does not rehash.
+      // hash so completion does not rehash, and the fill ticket so a DELETE
+      // or mid-flight eviction between now and then cancels the admission
+      // instead of resurrecting a dead object.
+      const uint64_t ticket = sh.inflight.Insert(r.id, completion);
       const ObjectId id = r.id;
       const uint64_t size = r.size;
-      queue_.Schedule(completion, [this, id, h, size](SimTime now) {
-        Integrate(now);
-        osc_->AdmitPrehashed(id, h, size);
-        if (ttl_shadow_ != nullptr) {
-          ttl_shadow_->PutPrehashed(id, h, size, now);
+      Shard* p = &sh;
+      sh.queue.Schedule(completion, [this, p, id, h, size, ticket](SimTime now) {
+        if (!p->inflight.ClaimTicket(id, ticket)) {
+          return;  // superseded: object deleted/evicted/expired mid-flight
         }
-        if (cluster_ != nullptr) {
-          cluster_->PutHashed(id, h, size);
+        Integrate(*p, now);
+        p->osc->AdmitPrehashed(id, h, size);
+        if (p->ttl_shadow != nullptr) {
+          p->ttl_shadow->PutPrehashed(id, h, size, now);
+        }
+        if (p->cluster != nullptr) {
+          p->cluster->PutHashed(id, h, size);
         }
       });
       return;
     }
     case Op::kPut:
-      osc_->AdmitPrehashed(r.id, h, r.size);
-      if (ttl_shadow_ != nullptr) {
-        ttl_shadow_->PutPrehashed(r.id, h, r.size, r.time);
+      sh.osc->AdmitPrehashed(r.id, h, r.size);
+      if (sh.ttl_shadow != nullptr) {
+        sh.ttl_shadow->PutPrehashed(r.id, h, r.size, r.time);
       }
-      if (cluster_ != nullptr) {
-        cluster_->PutHashed(r.id, h, r.size);
+      if (sh.cluster != nullptr) {
+        sh.cluster->PutHashed(r.id, h, r.size);
       }
       return;
     case Op::kDelete:
-      osc_->DeletePrehashed(r.id, h);
-      if (ttl_shadow_ != nullptr) {
-        ttl_shadow_->ErasePrehashed(r.id, h);
+      sh.osc->DeletePrehashed(r.id, h);
+      if (sh.ttl_shadow != nullptr) {
+        sh.ttl_shadow->ErasePrehashed(r.id, h);
       }
-      if (cluster_ != nullptr) {
-        cluster_->DeleteHashed(r.id, h);
+      if (sh.cluster != nullptr) {
+        sh.cluster->DeleteHashed(r.id, h);
       }
-      inflight_.Erase(r.id);
+      sh.inflight.Erase(r.id);
       return;
   }
 }
 
-void EventRunner::ApplyDecision(SimTime t, const ReconfigDecision& d) {
-  Integrate(t);
-  switch (cfg_.approach) {
-    case Approach::kMacaron:
-    case Approach::kMacaronNoCluster: {
-      osc_->EvictToCapacity(d.osc_capacity);
-      if (result_.first_optimized_capacity == 0) {
-        result_.first_optimized_capacity = d.osc_capacity;
-      }
-      result_.osc_capacity_timeline.emplace_back(t, d.osc_capacity);
-      if (cluster_ != nullptr) {
-        const std::vector<uint32_t> added = cluster_->Resize(d.cluster_nodes);
-        const uint64_t primed = cluster_->Prime(*osc_, added);
-        result_.costs.Add(CostCategory::kOperation, prices_.GetCost(primed));
-        result_.cluster_nodes_timeline.emplace_back(t, cluster_->num_nodes());
-      }
-      break;
+void EventRunner::ReplayShardBatch(Shard& sh) {
+  const ReplayBatch& b = sh.batch;
+  for (size_t i = 0; i < b.size(); ++i) {
+    // Shard-local events due by this request's time (deferred admissions,
+    // scheduled reconfiguration applies) fire first, exactly as the single
+    // global event queue interleaved them with the request stream.
+    sh.queue.RunUntil(b.times[i]);
+    Request r;
+    r.time = b.times[i];
+    r.id = b.ids[i];
+    r.size = b.sizes[i];
+    r.op = b.ops[i];
+    HandleRequest(sh, r, b.hashes[i]);
+  }
+}
+
+void EventRunner::ReplayWindow(size_t begin, size_t end) {
+  const std::vector<Request>& reqs = trace_.requests;
+  for (size_t k = begin; k < end; ++k) {
+    const uint64_t h = Mix64(reqs[k].id);
+    shards_[router_.ShardOf(h)].batch.PushBack(reqs[k], h);
+  }
+  // Shard replay overlaps controller observation of the same window (in
+  // trace order) on this thread; the two touch disjoint state.
+  std::vector<std::future<void>> pending;
+  for (Shard& sh : shards_) {
+    if (sh.batch.empty()) {
+      continue;
     }
-    case Approach::kMacaronTtl:
-      ttl_shadow_->SetTtl(d.ttl, t);
-      osc_->RunGc();
-      if (result_.first_optimized_ttl == 0) {
-        result_.first_optimized_ttl = d.ttl;
-      }
-      result_.ttl_timeline.emplace_back(t, d.ttl);
-      break;
-    default:
-      break;
+    Shard* p = &sh;
+    pending.push_back(pool_.Submit([this, p] { ReplayShardBatch(*p); }));
+  }
+  for (size_t k = begin; k < end; ++k) {
+    controller_->Observe(reqs[k]);
+  }
+  for (std::future<void>& f : pending) {
+    f.get();
+  }
+  for (Shard& sh : shards_) {
+    sh.batch.Clear();
   }
 }
 
 void EventRunner::WindowBoundary(SimTime t) {
-  Integrate(t);
-  osc_->FlushOpenBlock();
-  if (ttl_shadow_ != nullptr) {
-    ttl_shadow_->Expire(t);
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    Shard& sh = shards_[s];
+    sh.queue.RunUntil(t);  // drain events due at or before the boundary
+    Integrate(sh, t);
+    sh.osc->FlushOpenBlock();
+    if (sh.ttl_shadow != nullptr) {
+      sh.ttl_shadow->Expire(t);
+    }
+    sh.osc->RunGc();
+  });
+
+  uint64_t garbage = 0;
+  for (const Shard& sh : shards_) {
+    garbage += sh.osc->garbage_bytes();
   }
-  osc_->RunGc();
-  const ReconfigDecision d = controller_->Reconfigure(t, osc_->garbage_bytes());
+  const ReconfigDecision d = controller_->Reconfigure(t, garbage);
   if (d.optimized) {
     ++result_.reconfigs;
     result_.total_reconfig_seconds += d.reconfig_seconds;
     result_.total_analysis_seconds += d.analysis_seconds;
     result_.costs.Add(CostCategory::kServerless, prices_.LambdaCost(d.lambda_gb_seconds));
     // Reconfiguration is applied only after the pipeline completes; requests
-    // continue to be served meanwhile (§7.7: no downtime).
+    // continue to be served meanwhile (§7.7: no downtime). Each shard
+    // schedules its local apply; timeline entries are recorded here at the
+    // apply time and sorted into apply order in Finalize (sharded queues
+    // have no global "first apply runs first" ordering to piggyback on).
     const SimTime apply_at = t + static_cast<SimTime>(d.reconfig_seconds * 1000.0);
-    queue_.Schedule(apply_at, [this, d](SimTime now) { ApplyDecision(now, d); });
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Shard* p = &shards_[s];
+      const uint64_t osc_share = ShareOf(d.osc_capacity, num_shards_, static_cast<int>(s));
+      const size_t node_share =
+          static_cast<size_t>(ShareOf(d.cluster_nodes, num_shards_, static_cast<int>(s)));
+      const SimDuration ttl = d.ttl;
+      const Approach approach = cfg_.approach;
+      p->queue.Schedule(apply_at, [this, p, approach, osc_share, node_share,
+                                   ttl](SimTime now) {
+        Integrate(*p, now);
+        switch (approach) {
+          case Approach::kMacaron:
+          case Approach::kMacaronNoCluster: {
+            p->osc->EvictToCapacity(osc_share);
+            if (p->cluster != nullptr) {
+              const std::vector<uint32_t> added = p->cluster->Resize(node_share);
+              const uint64_t primed = p->cluster->Prime(*p->osc, added);
+              p->costs.Add(CostCategory::kOperation, prices_.GetCost(primed));
+            }
+            break;
+          }
+          case Approach::kMacaronTtl:
+            p->ttl_shadow->SetTtl(ttl, now);
+            p->osc->RunGc();
+            break;
+          default:
+            break;
+        }
+      });
+    }
+    switch (cfg_.approach) {
+      case Approach::kMacaron:
+      case Approach::kMacaronNoCluster:
+        result_.osc_capacity_timeline.emplace_back(apply_at, d.osc_capacity);
+        if (shards_[0].cluster != nullptr) {
+          result_.cluster_nodes_timeline.emplace_back(apply_at, d.cluster_nodes);
+        }
+        break;
+      case Approach::kMacaronTtl:
+        result_.ttl_timeline.emplace_back(apply_at, d.ttl);
+        break;
+      default:
+        break;
+    }
   }
-  ChargeOscOps();
-  inflight_.Sweep(t);
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    Shard& sh = shards_[s];
+    ChargeOscOps(sh);
+    sh.inflight.Sweep(t);
+  });
+}
+
+void EventRunner::Finalize() {
+  const SimTime end = trace_.end_time();
+  const SimDuration span = std::max<SimDuration>(end, 1);
+
+  // Timeline entries were appended at scheduling time; apply order is time
+  // order with scheduling order breaking ties (the global queue's tie rule).
+  const auto by_time = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::stable_sort(result_.osc_capacity_timeline.begin(),
+                   result_.osc_capacity_timeline.end(), by_time);
+  std::stable_sort(result_.cluster_nodes_timeline.begin(),
+                   result_.cluster_nodes_timeline.end(), by_time);
+  std::stable_sort(result_.ttl_timeline.begin(), result_.ttl_timeline.end(), by_time);
+  for (const auto& [at, capacity] : result_.osc_capacity_timeline) {
+    if (result_.first_optimized_capacity == 0) {
+      result_.first_optimized_capacity = capacity;
+    }
+  }
+  for (const auto& [at, ttl] : result_.ttl_timeline) {
+    if (result_.first_optimized_ttl == 0) {
+      result_.first_optimized_ttl = static_cast<SimDuration>(ttl);
+    }
+  }
+
+  double osc_byte_ms_total = 0.0;
+  for (Shard& sh : shards_) {
+    const double gb_months = sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
+    sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
+    osc_byte_ms_total += sh.osc_byte_ms;
+    if (sh.cluster != nullptr) {
+      sh.costs.Add(CostCategory::kClusterNodes,
+                   sh.node_ms / static_cast<double>(kHour) * prices_.cache_node_per_hour);
+    }
+  }
+
+  // Deterministic merge in shard order (same rules as the replay engine).
+  for (Shard& sh : shards_) {
+    result_.costs.Merge(sh.costs);
+    result_.gets += sh.gets;
+    result_.cluster_hits += sh.cluster_hits;
+    result_.osc_hits += sh.osc_hits;
+    result_.remote_fetches += sh.remote_fetches;
+    result_.delayed_hits += sh.delayed_hits;
+    result_.egress_bytes += sh.egress_bytes;
+    for (double v : sh.latency_ms.samples()) {
+      result_.latency_ms.Add(v);
+    }
+  }
+  result_.mean_stored_bytes = osc_byte_ms_total / static_cast<double>(span);
+  result_.costs.Add(CostCategory::kInfra, prices_.VmCost(span));
+  if (cfg_.metrics != nullptr) {
+    for (const Shard& sh : shards_) {
+      cfg_.metrics->MergeFrom(*sh.metrics);
+    }
+  }
 }
 
 RunResult EventRunner::Run() {
@@ -297,40 +489,28 @@ RunResult EventRunner::Run() {
   if (trace_.empty()) {
     return std::move(result_);
   }
+  const std::vector<Request>& reqs = trace_.requests;
+  const size_t n = reqs.size();
   SimTime next_boundary = cfg_.window;
-  for (const Request& r : trace_.requests) {
-    for (;;) {
-      const bool boundary_due = r.time >= next_boundary;
-      const bool event_due = !queue_.empty() && queue_.PeekTime() <= r.time;
-      if (event_due && (!boundary_due || queue_.PeekTime() <= next_boundary)) {
-        queue_.RunNext();
-        continue;
-      }
-      if (boundary_due) {
-        // Boundaries are synchronous; drain earlier events first (handled
-        // above), then run the boundary.
-        WindowBoundary(next_boundary);
-        next_boundary += cfg_.window;
-        continue;
-      }
-      break;
+  size_t i = 0;
+  while (i < n) {
+    while (reqs[i].time >= next_boundary) {
+      WindowBoundary(next_boundary);
+      next_boundary += cfg_.window;
     }
-    HandleRequest(r);
+    size_t j = i;
+    while (j < n && reqs[j].time < next_boundary) {
+      ++j;
+    }
+    ReplayWindow(i, j);
+    i = j;
   }
   const SimTime end = trace_.end_time();
-  queue_.RunUntil(end + 1);
   WindowBoundary(end + 1);
-  queue_.RunAll();
-
-  const SimDuration span = std::max<SimDuration>(end, 1);
-  const double gb_months = osc_byte_ms_ / 1.0e9 / static_cast<double>(kBillingMonth);
-  result_.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
-  result_.mean_stored_bytes = osc_byte_ms_ / static_cast<double>(span);
-  if (cluster_ != nullptr) {
-    result_.costs.Add(CostCategory::kClusterNodes,
-                      node_ms_ / static_cast<double>(kHour) * prices_.cache_node_per_hour);
-  }
-  result_.costs.Add(CostCategory::kInfra, prices_.VmCost(span));
+  // Late events (admissions, a final scheduled apply) still run, as with the
+  // single global queue.
+  pool_.ParallelFor(shards_.size(), [&](size_t s) { shards_[s].queue.RunAll(); });
+  Finalize();
   return std::move(result_);
 }
 

@@ -2,19 +2,24 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <future>
 #include <memory>
 #include <unordered_set>
+#include <vector>
 
 #include "src/cache/inflight.h"
+#include "src/cache/replay_batch.h"
 #include "src/cloudsim/latency.h"
 #include "src/cluster/cache_cluster.h"
 #include "src/common/check.h"
 #include "src/common/hash.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/controller/controller.h"
 #include "src/obs/decision_trace.h"
 #include "src/obs/metrics.h"
 #include "src/osc/osc.h"
+#include "src/sim/shard_router.h"
 #include "src/trace/trace.h"
 
 namespace macaron {
@@ -76,6 +81,20 @@ std::string RunResult::Summary() const {
 namespace {
 
 // Internal run state for one trace replay.
+//
+// The engine is natively sharded (DESIGN.md "Sharded serving"): requests
+// are consistent-hash partitioned across `num_shards` serving shards at
+// ingest (one Mix64 per request, reused by ShardRouter::ShardOf and every
+// cache level below), each shard owns every piece of per-object serving
+// state (OSC, cluster slice, TTL shadow, in-flight table, RNG stream,
+// counters, cost meter, integrals), and windows replay shard-parallel on a
+// pool of `shard_threads` workers while the controller observes the
+// window's raw stream on the calling thread. Shards share no mutable state
+// during replay, and all cross-shard aggregation (controller inputs at
+// boundaries, the final RunResult merge) folds in fixed shard order
+// 0..S-1, so the thread count can never affect any output bit.
+// num_shards = 1 routes everything through shard 0 and reproduces the
+// historical sequential engine exactly.
 class Runner {
  public:
   Runner(const EngineConfig& cfg, const Trace& trace)
@@ -84,11 +103,56 @@ class Runner {
         prices_(ScaledInfraPrices(cfg.prices, cfg.infra_scale)),
         truth_(cfg.scenario),
         fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
-        rng_(cfg.seed ^ 0x5eed) {}
+        num_shards_(std::max(cfg.num_shards, 1)),
+        router_(num_shards_),
+        pool_(std::min(std::max(cfg.shard_threads, 1), num_shards_)) {}
 
   RunResult Run();
 
  private:
+  // All state one serving shard owns. Everything mutated on a worker thread
+  // during replay lives here; a shard never touches another shard's fields.
+  struct Shard {
+    // Macaron-family components (per-shard slices).
+    std::unique_ptr<ObjectStorageCache> osc;
+    std::unique_ptr<CacheCluster> cluster;
+    std::unique_ptr<TtlCache> ttl_shadow;
+    InflightTable inflight;
+    Rng rng{0};
+
+    // Partial RunResult: merged deterministically after the run.
+    CostMeter costs;
+    uint64_t gets = 0;
+    uint64_t cluster_hits = 0;
+    uint64_t osc_hits = 0;
+    uint64_t remote_fetches = 0;
+    uint64_t delayed_hits = 0;
+    uint64_t egress_bytes = 0;
+    PercentileTracker latency_ms;
+
+    // Replicated baseline state (id-partitioned, so per-shard sets are an
+    // exact partition of the global first-touch set).
+    std::unordered_set<ObjectId> seen;
+    uint64_t known_dataset_bytes = 0;
+
+    // Integration state. Each integral accumulates a piecewise-constant
+    // function that only changes at this shard's own event times, so the
+    // per-shard integrals are exact (not an approximation of the global
+    // ones) and sum to the unsharded values.
+    SimTime last_integrate = 0;
+    double osc_byte_ms = 0.0;      // object-storage resident bytes * ms
+    double replica_byte_ms = 0.0;  // replica dataset bytes * ms
+    double node_ms = 0.0;          // cache/ECPC node count * ms
+    double churn_byte_ms = 0.0;    // replica dataset bytes * ms (churn egress)
+
+    // Per-shard metrics registry (allocated only when the run has a
+    // metrics sink); folded into the engine sink after the run.
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+
+    // This window's requests, SoA columns carrying the ingest-time hash.
+    ReplayBatch batch;
+  };
+
   bool IsMacaronFamily() const {
     switch (cfg_.approach) {
       case Approach::kMacaron:
@@ -114,54 +178,45 @@ class Runner {
   }
 
   void Setup();
-  void ProcessRequest(const Request& r);
+  void ReplayWindow(size_t begin, size_t end);
+  void ReplayShardBatch(Shard& sh);
+  void ProcessRequest(Shard& sh, const Request& r, uint64_t h);
   void WindowBoundary(SimTime t);
-  void Integrate(SimTime t);
-  void ChargeOscOps();
-  void RecordLatency(DataSource source, uint64_t size);
-  bool InObservation(SimTime t) const { return UsesController() && t < cfg_.observation; }
+  void ApplyDecision(SimTime t, const ReconfigDecision& d);
+  void Finalize();
+  void Integrate(Shard& sh, SimTime t);
+  void ChargeOscOps(Shard& sh);
+  void RecordLatency(Shard& sh, DataSource source, uint64_t size);
 
   // Per-approach GET paths. `h` is Mix64(r.id), computed once per request
-  // in ProcessRequest and reused by every cache level it touches.
-  void GetRemote(const Request& r);
-  void GetReplicated(const Request& r);
-  void GetEcpc(const Request& r, uint64_t h);
-  void GetMacaron(const Request& r, uint64_t h);
+  // at ingest and reused by every cache level (shard routing included).
+  void GetRemote(Shard& sh, const Request& r);
+  void GetReplicated(Shard& sh, const Request& r);
+  void GetEcpc(Shard& sh, const Request& r, uint64_t h);
+  void GetMacaron(Shard& sh, const Request& r, uint64_t h);
 
   const EngineConfig& cfg_;
   const Trace& trace_;
   PriceBook prices_;
   GroundTruthLatency truth_;
   FittedLatencyGenerator fitted_;
-  Rng rng_;
+  int num_shards_;
+  ShardRouter router_;
+  ThreadPool pool_;
   RunResult result_;
 
-  // Macaron-family components.
-  std::unique_ptr<ObjectStorageCache> osc_;
-  std::unique_ptr<CacheCluster> cluster_;
+  std::vector<Shard> shards_;
   std::unique_ptr<MacaronController> controller_;
-  std::unique_ptr<TtlCache> ttl_shadow_;
-  InflightTable inflight_;
-
-  // Replicated baseline state.
-  std::unordered_set<ObjectId> seen_;
-  uint64_t known_dataset_bytes_ = 0;
 
   // Elastic-cluster-cache parameters (DRAM for ECPC, NVMe for flash-ECPC);
   // Macaron's own cluster uses the DRAM defaults.
   uint64_t node_usable_ = 0;
   double node_price_per_hour_ = 0.0;
   DataSource cluster_hit_source_ = DataSource::kCacheCluster;
-  // Admission-bypass extension state.
+  // Admission-bypass extension state. Written only at window boundaries
+  // (shards idle), read by shards during replay.
   bool admission_bypass_ = false;
   int min_capacity_streak_ = 0;
-
-  // Integration state.
-  SimTime last_integrate_ = 0;
-  double osc_byte_ms_ = 0.0;        // object-storage resident bytes * ms
-  double replica_byte_ms_ = 0.0;    // replica dataset bytes * ms
-  double node_ms_ = 0.0;            // cache/ECPC node count * ms
-  double churn_byte_ms_ = 0.0;      // replica dataset bytes * ms (for churn egress)
 };
 
 void Runner::Setup() {
@@ -186,32 +241,55 @@ void Runner::Setup() {
   // for the elastic-cluster-cache approaches.
   node_usable_ = prices_.cache_node_usable_bytes;
   node_price_per_hour_ = prices_.cache_node_per_hour;
-
-  if (IsMacaronFamily()) {
-    osc_ = std::make_unique<ObjectStorageCache>(cfg_.packing);
-    if (UsesTtlEviction()) {
-      const SimDuration initial_ttl = cfg_.approach == Approach::kStaticTtl
-                                          ? cfg_.static_ttl
-                                          : trace_.end_time() + 2 * kDay;
-      MACARON_CHECK(initial_ttl > 0);
-      ttl_shadow_ = std::make_unique<TtlCache>(initial_ttl);
-      ttl_shadow_->set_evict_callback(
-          [this](ObjectId id, uint64_t size) {
-            (void)size;
-            osc_->Delete(id);
-          });
-    }
-    if (cfg_.approach == Approach::kMacaron) {
-      cluster_ = std::make_unique<CacheCluster>(prices_.cache_node_usable_bytes);
-    }
-  } else if (IsElasticClusterCache()) {
+  if (IsElasticClusterCache()) {
     node_usable_ = cfg_.approach == Approach::kFlashEcpc ? prices_.flash_node_usable_bytes
                                                          : prices_.cache_node_usable_bytes;
     node_price_per_hour_ = cfg_.approach == Approach::kFlashEcpc ? prices_.flash_node_per_hour
                                                                  : prices_.cache_node_per_hour;
     cluster_hit_source_ = cfg_.approach == Approach::kFlashEcpc ? DataSource::kFlash
                                                                 : DataSource::kCacheCluster;
-    cluster_ = std::make_unique<CacheCluster>(node_usable_);
+  }
+
+  shards_.resize(static_cast<size_t>(num_shards_));
+  for (int s = 0; s < num_shards_; ++s) {
+    Shard& sh = shards_[static_cast<size_t>(s)];
+    // Shard 0 inherits the historical engine seed so num_shards = 1
+    // reproduces the unsharded engine's latency draws exactly; other
+    // shards fork deterministic independent streams.
+    sh.rng = Rng((cfg_.seed ^ 0x5eed) ^
+                 (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(s)));
+    if (IsMacaronFamily()) {
+      sh.osc = std::make_unique<ObjectStorageCache>(cfg_.packing);
+      if (UsesTtlEviction()) {
+        const SimDuration initial_ttl = cfg_.approach == Approach::kStaticTtl
+                                            ? cfg_.static_ttl
+                                            : trace_.end_time() + 2 * kDay;
+        MACARON_CHECK(initial_ttl > 0);
+        sh.ttl_shadow = std::make_unique<TtlCache>(initial_ttl);
+      }
+      if (cfg_.approach == Approach::kMacaron) {
+        sh.cluster = std::make_unique<CacheCluster>(prices_.cache_node_usable_bytes);
+      }
+    } else if (IsElasticClusterCache()) {
+      sh.cluster = std::make_unique<CacheCluster>(node_usable_);
+    }
+  }
+  // Coalescer invalidation wiring: a TTL expiry or capacity eviction of an
+  // object whose fill is still outstanding drops the in-flight entry, so
+  // later requests re-fetch instead of coalescing onto a discarded fill.
+  // Done after the resize above so the captured shard pointers are stable.
+  for (Shard& sh : shards_) {
+    Shard* p = &sh;
+    if (sh.ttl_shadow != nullptr) {
+      sh.ttl_shadow->set_evict_callback([p](ObjectId id, uint64_t size) {
+        (void)size;
+        p->osc->Delete(id);
+        p->inflight.Invalidate(id);
+      });
+    }
+    if (sh.osc != nullptr) {
+      sh.osc->set_evict_observer([p](ObjectId id) { p->inflight.Invalidate(id); });
+    }
   }
 
   if (UsesController()) {
@@ -235,6 +313,7 @@ void Runner::Setup() {
     cc.packing_block_bytes = cfg_.packing.block_bytes;
     cc.packing_max_objects = cfg_.packing.max_objects_per_block;
     cc.max_cluster_nodes = cfg_.max_cluster_nodes;
+    cc.cluster_shards = static_cast<size_t>(num_shards_);
     switch (cfg_.approach) {
       case Approach::kMacaron: {
         cc.enable_cluster = true;
@@ -265,171 +344,174 @@ void Runner::Setup() {
     controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
   }
   if (IsElasticClusterCache()) {
-    cluster_->Resize(1);
+    for (Shard& sh : shards_) {
+      sh.cluster->Resize(1);
+    }
   }
 
   // Observability wiring (no-op when both sinks are null — the default).
+  // The controller runs on the calling thread and registers into the
+  // engine's sink directly; shard components register into per-shard
+  // registries that fold into the sink — in shard order — after the run,
+  // so worker threads never share a counter.
   if (controller_ != nullptr) {
     controller_->SetObservability(cfg_.decision_trace, cfg_.metrics);
   }
   if (cfg_.metrics != nullptr) {
-    if (osc_ != nullptr) {
-      osc_->RegisterMetrics(cfg_.metrics);
+    for (Shard& sh : shards_) {
+      sh.metrics = std::make_unique<obs::MetricsRegistry>();
+      if (sh.osc != nullptr) {
+        sh.osc->RegisterMetrics(sh.metrics.get());
+      }
+      if (sh.cluster != nullptr) {
+        sh.cluster->RegisterMetrics(sh.metrics.get());
+      }
+      sh.inflight.RegisterMetrics(sh.metrics.get());
     }
-    if (cluster_ != nullptr) {
-      cluster_->RegisterMetrics(cfg_.metrics);
-    }
-    inflight_.RegisterMetrics(cfg_.metrics);
   }
 }
 
-void Runner::Integrate(SimTime t) {
-  if (t <= last_integrate_) {
+void Runner::Integrate(Shard& sh, SimTime t) {
+  if (t <= sh.last_integrate) {
     return;
   }
-  const double dt = static_cast<double>(t - last_integrate_);
-  if (osc_ != nullptr) {
-    osc_byte_ms_ += static_cast<double>(osc_->stored_bytes()) * dt;
+  const double dt = static_cast<double>(t - sh.last_integrate);
+  if (sh.osc != nullptr) {
+    sh.osc_byte_ms += static_cast<double>(sh.osc->stored_bytes()) * dt;
   }
   if (cfg_.approach == Approach::kReplicated) {
     const double replica_bytes =
-        static_cast<double>(known_dataset_bytes_) / (1.0 - cfg_.dark_data_fraction);
-    replica_byte_ms_ += replica_bytes * dt;
-    churn_byte_ms_ += replica_bytes * dt;
+        static_cast<double>(sh.known_dataset_bytes) / (1.0 - cfg_.dark_data_fraction);
+    sh.replica_byte_ms += replica_bytes * dt;
+    sh.churn_byte_ms += replica_bytes * dt;
   }
-  if (cluster_ != nullptr) {
-    node_ms_ += static_cast<double>(cluster_->num_nodes()) * dt;
+  if (sh.cluster != nullptr) {
+    sh.node_ms += static_cast<double>(sh.cluster->num_nodes()) * dt;
   }
-  last_integrate_ = t;
+  sh.last_integrate = t;
 }
 
-void Runner::RecordLatency(DataSource source, uint64_t size) {
+void Runner::RecordLatency(Shard& sh, DataSource source, uint64_t size) {
   if (!cfg_.measure_latency) {
     return;
   }
-  result_.latency_ms.Add(fitted_.SampleMs(source, size, rng_));
+  sh.latency_ms.Add(fitted_.SampleMs(source, size, sh.rng));
 }
 
-void Runner::GetRemote(const Request& r) {
-  ++result_.remote_fetches;
-  result_.egress_bytes += r.size;
-  result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
-  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  RecordLatency(DataSource::kRemoteLake, r.size);
+void Runner::GetRemote(Shard& sh, const Request& r) {
+  ++sh.remote_fetches;
+  sh.egress_bytes += r.size;
+  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  RecordLatency(sh, DataSource::kRemoteLake, r.size);
 }
 
-void Runner::GetReplicated(const Request& r) {
+void Runner::GetReplicated(Shard& sh, const Request& r) {
   // All reads are served by the local replica.
-  ++result_.osc_hits;
-  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  RecordLatency(DataSource::kOsc, r.size);
+  ++sh.osc_hits;
+  sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  RecordLatency(sh, DataSource::kOsc, r.size);
 }
 
-void Runner::GetEcpc(const Request& r, uint64_t h) {
-  if (cluster_->GetHashed(r.id, h)) {
-    ++result_.cluster_hits;
-    RecordLatency(cluster_hit_source_, r.size);
+void Runner::GetEcpc(Shard& sh, const Request& r, uint64_t h) {
+  if (sh.cluster->GetHashed(r.id, h)) {
+    ++sh.cluster_hits;
+    RecordLatency(sh, cluster_hit_source_, r.size);
     return;
   }
-  ++result_.remote_fetches;
-  result_.egress_bytes += r.size;
-  result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
-  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  RecordLatency(DataSource::kRemoteLake, r.size);
-  cluster_->PutHashed(r.id, h, r.size);
+  ++sh.remote_fetches;
+  sh.egress_bytes += r.size;
+  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  RecordLatency(sh, DataSource::kRemoteLake, r.size);
+  sh.cluster->PutHashed(r.id, h, r.size);
 }
 
-void Runner::GetMacaron(const Request& r, uint64_t h) {
+void Runner::GetMacaron(Shard& sh, const Request& r, uint64_t h) {
   // A fetch still in flight means the object is not yet actually available,
   // even though it was admitted to cache metadata at request time: the
   // duplicate access is delayed until the fetch completes (§5.2).
-  if (auto completion = inflight_.Pending(r.id, r.time)) {
-    ++result_.delayed_hits;
+  if (auto completion = sh.inflight.Pending(r.id, r.time)) {
+    ++sh.delayed_hits;
     if (cfg_.measure_latency) {
-      result_.latency_ms.Add(static_cast<double>(*completion - r.time));
+      sh.latency_ms.Add(static_cast<double>(*completion - r.time));
     }
     return;
   }
-  if (cluster_ != nullptr && cluster_->GetHashed(r.id, h)) {
-    ++result_.cluster_hits;
-    RecordLatency(DataSource::kCacheCluster, r.size);
+  if (sh.cluster != nullptr && sh.cluster->GetHashed(r.id, h)) {
+    ++sh.cluster_hits;
+    RecordLatency(sh, DataSource::kCacheCluster, r.size);
     // Inclusive caching: refresh OSC recency so hot data stays resident.
-    if (osc_->Contains(r.id)) {
-      if (ttl_shadow_ != nullptr) {
-        ttl_shadow_->GetPrehashed(r.id, h, r.time);
+    if (sh.osc->Contains(r.id)) {
+      if (sh.ttl_shadow != nullptr) {
+        sh.ttl_shadow->GetPrehashed(r.id, h, r.time);
       }
     }
     return;
   }
-  if (osc_->LookupPrehashed(r.id, h)) {
-    ++result_.osc_hits;
-    if (ttl_shadow_ != nullptr) {
-      ttl_shadow_->GetPrehashed(r.id, h, r.time);
+  if (sh.osc->LookupPrehashed(r.id, h)) {
+    ++sh.osc_hits;
+    if (sh.ttl_shadow != nullptr) {
+      sh.ttl_shadow->GetPrehashed(r.id, h, r.time);
     }
-    RecordLatency(DataSource::kOsc, r.size);
-    if (cluster_ != nullptr) {
-      cluster_->PutHashed(r.id, h, r.size);  // promote
+    RecordLatency(sh, DataSource::kOsc, r.size);
+    if (sh.cluster != nullptr) {
+      sh.cluster->PutHashed(r.id, h, r.size);  // promote
     }
     return;
   }
-  ++result_.remote_fetches;
-  result_.egress_bytes += r.size;
-  result_.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
-  result_.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, rng_);
+  ++sh.remote_fetches;
+  sh.egress_bytes += r.size;
+  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
+  const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, sh.rng);
   if (cfg_.measure_latency) {
-    result_.latency_ms.Add(lat);
+    sh.latency_ms.Add(lat);
   }
-  inflight_.Insert(r.id, r.time + static_cast<SimTime>(lat) + 1);
+  sh.inflight.Insert(r.id, r.time + static_cast<SimTime>(lat) + 1);
   if (!admission_bypass_) {
-    osc_->AdmitPrehashed(r.id, h, r.size);
-    if (ttl_shadow_ != nullptr) {
-      ttl_shadow_->PutPrehashed(r.id, h, r.size, r.time);
+    sh.osc->AdmitPrehashed(r.id, h, r.size);
+    if (sh.ttl_shadow != nullptr) {
+      sh.ttl_shadow->PutPrehashed(r.id, h, r.size, r.time);
     }
   }
-  if (cluster_ != nullptr) {
-    cluster_->PutHashed(r.id, h, r.size);
+  if (sh.cluster != nullptr) {
+    sh.cluster->PutHashed(r.id, h, r.size);
   }
 }
 
-void Runner::ProcessRequest(const Request& r) {
-  Integrate(r.time);
-  if (controller_ != nullptr) {
-    controller_->Observe(r);
-  }
-  // The one Mix64 of the request path: every cache level below (ring
-  // routing, cluster nodes, OSC replacement order, TTL shadow) reuses it.
-  const uint64_t h = Mix64(r.id);
+void Runner::ProcessRequest(Shard& sh, const Request& r, uint64_t h) {
+  Integrate(sh, r.time);
   if (cfg_.approach == Approach::kReplicated &&
       (r.op == Op::kGet || r.op == Op::kPut)) {
-    if (seen_.insert(r.id).second) {
-      known_dataset_bytes_ += r.size;
+    if (sh.seen.insert(r.id).second) {
+      sh.known_dataset_bytes += r.size;
       // Replication must transfer every byte of the (growing) dataset once,
       // dark data included: first-touch bytes proxy the dataset growth rate
       // the paper bills sync egress on (§7.1).
       const double sync_bytes =
           static_cast<double>(r.size) / (1.0 - cfg_.dark_data_fraction);
-      result_.costs.Add(CostCategory::kEgress,
-                        prices_.EgressCost(static_cast<uint64_t>(sync_bytes)));
-      result_.egress_bytes += static_cast<uint64_t>(sync_bytes);
+      sh.costs.Add(CostCategory::kEgress,
+                   prices_.EgressCost(static_cast<uint64_t>(sync_bytes)));
+      sh.egress_bytes += static_cast<uint64_t>(sync_bytes);
     }
   }
   switch (r.op) {
     case Op::kGet:
-      ++result_.gets;
+      ++sh.gets;
       switch (cfg_.approach) {
         case Approach::kRemote:
-          GetRemote(r);
+          GetRemote(sh, r);
           break;
         case Approach::kReplicated:
-          GetReplicated(r);
+          GetReplicated(sh, r);
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          GetEcpc(r, h);
+          GetEcpc(sh, r, h);
           break;
         default:
-          GetMacaron(r, h);
+          GetMacaron(sh, r, h);
           break;
       }
       break;
@@ -442,17 +524,17 @@ void Runner::ProcessRequest(const Request& r) {
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          cluster_->PutHashed(r.id, h, r.size);
+          sh.cluster->PutHashed(r.id, h, r.size);
           break;
         default:
           if (!admission_bypass_) {
-            osc_->AdmitPrehashed(r.id, h, r.size);
+            sh.osc->AdmitPrehashed(r.id, h, r.size);
           }
-          if (ttl_shadow_ != nullptr) {
-            ttl_shadow_->PutPrehashed(r.id, h, r.size, r.time);
+          if (sh.ttl_shadow != nullptr) {
+            sh.ttl_shadow->PutPrehashed(r.id, h, r.size, r.time);
           }
-          if (cluster_ != nullptr) {
-            cluster_->PutHashed(r.id, h, r.size);
+          if (sh.cluster != nullptr) {
+            sh.cluster->PutHashed(r.id, h, r.size);
           }
           break;
       }
@@ -462,119 +544,268 @@ void Runner::ProcessRequest(const Request& r) {
         case Approach::kRemote:
           break;
         case Approach::kReplicated:
-          if (seen_.erase(r.id) > 0) {
-            known_dataset_bytes_ -= std::min(known_dataset_bytes_, r.size);
+          if (sh.seen.erase(r.id) > 0) {
+            sh.known_dataset_bytes -= std::min(sh.known_dataset_bytes, r.size);
           }
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          cluster_->DeleteHashed(r.id, h);
+          sh.cluster->DeleteHashed(r.id, h);
           break;
         default:
-          osc_->DeletePrehashed(r.id, h);
-          if (ttl_shadow_ != nullptr) {
-            ttl_shadow_->ErasePrehashed(r.id, h);
+          sh.osc->DeletePrehashed(r.id, h);
+          if (sh.ttl_shadow != nullptr) {
+            sh.ttl_shadow->ErasePrehashed(r.id, h);
           }
-          if (cluster_ != nullptr) {
-            cluster_->DeleteHashed(r.id, h);
+          if (sh.cluster != nullptr) {
+            sh.cluster->DeleteHashed(r.id, h);
           }
-          inflight_.Erase(r.id);
+          sh.inflight.Erase(r.id);
           break;
       }
       break;
   }
 }
 
-void Runner::ChargeOscOps() {
-  if (osc_ == nullptr) {
+void Runner::ReplayShardBatch(Shard& sh) {
+  const ReplayBatch& b = sh.batch;
+  for (size_t i = 0; i < b.size(); ++i) {
+    Request r;
+    r.time = b.times[i];
+    r.id = b.ids[i];
+    r.size = b.sizes[i];
+    r.op = b.ops[i];
+    ProcessRequest(sh, r, b.hashes[i]);
+  }
+}
+
+void Runner::ReplayWindow(size_t begin, size_t end) {
+  const std::vector<Request>& reqs = trace_.requests;
+  // Partition this window into per-shard SoA columns. The one Mix64 of the
+  // request path happens here; shard routing and every cache level reuse it.
+  for (size_t k = begin; k < end; ++k) {
+    const uint64_t h = Mix64(reqs[k].id);
+    shards_[router_.ShardOf(h)].batch.PushBack(reqs[k], h);
+  }
+  // Shards replay their columns on the pool while the controller observes
+  // the window's raw stream (in trace order) on this thread. The analyzer
+  // shares no state with the serving shards and its report is only read at
+  // the next boundary — after both sides finish — so the overlap cannot
+  // affect any output. With a workerless pool, Submit runs the shard
+  // inline, preserving the same results on a single thread.
+  std::vector<std::future<void>> pending;
+  for (Shard& sh : shards_) {
+    if (sh.batch.empty()) {
+      continue;
+    }
+    Shard* p = &sh;
+    pending.push_back(pool_.Submit([this, p] { ReplayShardBatch(*p); }));
+  }
+  if (controller_ != nullptr) {
+    for (size_t k = begin; k < end; ++k) {
+      controller_->Observe(reqs[k]);
+    }
+  }
+  for (std::future<void>& f : pending) {
+    f.get();
+  }
+  for (Shard& sh : shards_) {
+    sh.batch.Clear();
+  }
+}
+
+void Runner::ChargeOscOps(Shard& sh) {
+  if (sh.osc == nullptr) {
     return;
   }
-  const ObjectStorageCache::OpCounts ops = osc_->TakeOps();
-  result_.costs.Add(CostCategory::kOperation,
-                    prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
+  const ObjectStorageCache::OpCounts ops = sh.osc->TakeOps();
+  sh.costs.Add(CostCategory::kOperation,
+               prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
+}
+
+void Runner::ApplyDecision(SimTime t, const ReconfigDecision& d) {
+  switch (cfg_.approach) {
+    case Approach::kMacaron:
+    case Approach::kMacaronNoCluster: {
+      pool_.ParallelFor(shards_.size(), [&](size_t s) {
+        Shard& sh = shards_[s];
+        sh.osc->EvictToCapacity(ShareOf(d.osc_capacity, num_shards_, static_cast<int>(s)));
+        if (sh.cluster != nullptr) {
+          const std::vector<uint32_t> added = sh.cluster->Resize(
+              ShareOf(d.cluster_nodes, num_shards_, static_cast<int>(s)));
+          if (cfg_.enable_priming) {
+            const uint64_t primed = sh.cluster->Prime(*sh.osc, added);
+            sh.costs.Add(CostCategory::kOperation, prices_.GetCost(primed));
+          }
+        }
+      });
+      if (result_.first_optimized_capacity == 0) {
+        result_.first_optimized_capacity = d.osc_capacity;
+      }
+      result_.osc_capacity_timeline.emplace_back(t, d.osc_capacity);
+      if (shards_[0].cluster != nullptr) {
+        size_t total_nodes = 0;
+        for (const Shard& sh : shards_) {
+          total_nodes += sh.cluster->num_nodes();
+        }
+        result_.cluster_nodes_timeline.emplace_back(t, total_nodes);
+      }
+      // Admission-bypass extension: engage when even the best cache
+      // configuration is predicted to cost at least as much per window
+      // as serving everything remotely (no capacity, no packing PUTs).
+      if (cfg_.enable_admission_bypass && !d.cost_curve.empty()) {
+        const double best_with_cache = d.cost_curve.y(d.cost_curve.ArgMin());
+        const double no_cache_egress = prices_.EgressCost(
+            static_cast<uint64_t>(d.expected_window_get_bytes));
+        if (best_with_cache >= no_cache_egress * 0.98) {
+          ++min_capacity_streak_;
+        } else {
+          min_capacity_streak_ = 0;
+        }
+        admission_bypass_ = min_capacity_streak_ >= cfg_.admission_bypass_windows;
+      }
+      break;
+    }
+    case Approach::kMacaronTtl: {
+      pool_.ParallelFor(shards_.size(), [&](size_t s) {
+        Shard& sh = shards_[s];
+        MACARON_CHECK(sh.ttl_shadow != nullptr);
+        sh.ttl_shadow->SetTtl(d.ttl, t);
+        sh.osc->RunGc();
+      });
+      if (result_.first_optimized_ttl == 0) {
+        result_.first_optimized_ttl = d.ttl;
+      }
+      result_.ttl_timeline.emplace_back(t, d.ttl);
+      break;
+    }
+    case Approach::kEcpc:
+    case Approach::kFlashEcpc: {
+      const size_t want = static_cast<size_t>(std::min<uint64_t>(
+          (d.osc_capacity + node_usable_ - 1) / node_usable_, cfg_.max_cluster_nodes));
+      const size_t total = RoundNodesToShards(want, static_cast<size_t>(num_shards_),
+                                              cfg_.max_cluster_nodes);
+      pool_.ParallelFor(shards_.size(), [&](size_t s) {
+        shards_[s].cluster->Resize(
+            ShareOf(total, num_shards_, static_cast<int>(s)));
+      });
+      size_t total_nodes = 0;
+      for (const Shard& sh : shards_) {
+        total_nodes += sh.cluster->num_nodes();
+      }
+      result_.cluster_nodes_timeline.emplace_back(t, total_nodes);
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 void Runner::WindowBoundary(SimTime t) {
-  Integrate(t);
-  if (osc_ != nullptr) {
-    osc_->FlushOpenBlock();  // timer-driven flush of a partial block
-    if (ttl_shadow_ != nullptr) {
-      ttl_shadow_->Expire(t);
+  // Per-shard maintenance (parallel; every touched field is shard-local).
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    Shard& sh = shards_[s];
+    Integrate(sh, t);
+    if (sh.osc != nullptr) {
+      sh.osc->FlushOpenBlock();  // timer-driven flush of a partial block
+      if (sh.ttl_shadow != nullptr) {
+        sh.ttl_shadow->Expire(t);
+      }
+      // Collect blocks that deletions/evictions pushed past the GC threshold
+      // since the last boundary, so garbage is not billed indefinitely.
+      sh.osc->RunGc();
     }
-    // Collect blocks that deletions/evictions pushed past the GC threshold
-    // since the last boundary, so garbage is not billed indefinitely.
-    osc_->RunGc();
-  }
-  if (cfg_.approach == Approach::kStaticCapacity && t >= cfg_.observation) {
-    MACARON_CHECK(cfg_.static_capacity_bytes > 0);
-    osc_->EvictToCapacity(cfg_.static_capacity_bytes);
-  }
+    if (cfg_.approach == Approach::kStaticCapacity && t >= cfg_.observation) {
+      MACARON_CHECK(cfg_.static_capacity_bytes > 0);
+      sh.osc->EvictToCapacity(
+          ShareOf(cfg_.static_capacity_bytes, num_shards_, static_cast<int>(s)));
+    }
+  });
 
   if (controller_ != nullptr) {
-    const uint64_t garbage = osc_ != nullptr ? osc_->garbage_bytes() : 0;
+    uint64_t garbage = 0;
+    for (const Shard& sh : shards_) {
+      garbage += sh.osc != nullptr ? sh.osc->garbage_bytes() : 0;
+    }
     const ReconfigDecision d = controller_->Reconfigure(t, garbage);
     if (d.optimized) {
       ++result_.reconfigs;
       result_.total_reconfig_seconds += d.reconfig_seconds;
       result_.total_analysis_seconds += d.analysis_seconds;
       result_.costs.Add(CostCategory::kServerless, prices_.LambdaCost(d.lambda_gb_seconds));
-      switch (cfg_.approach) {
-        case Approach::kMacaron:
-        case Approach::kMacaronNoCluster: {
-          osc_->EvictToCapacity(d.osc_capacity);
-          if (result_.first_optimized_capacity == 0) {
-            result_.first_optimized_capacity = d.osc_capacity;
-          }
-          result_.osc_capacity_timeline.emplace_back(t, d.osc_capacity);
-          if (cluster_ != nullptr) {
-            const std::vector<uint32_t> added = cluster_->Resize(d.cluster_nodes);
-            if (cfg_.enable_priming) {
-              const uint64_t primed = cluster_->Prime(*osc_, added);
-              result_.costs.Add(CostCategory::kOperation, prices_.GetCost(primed));
-            }
-            result_.cluster_nodes_timeline.emplace_back(t, cluster_->num_nodes());
-          }
-          // Admission-bypass extension: engage when even the best cache
-          // configuration is predicted to cost at least as much per window
-          // as serving everything remotely (no capacity, no packing PUTs).
-          if (cfg_.enable_admission_bypass && !d.cost_curve.empty()) {
-            const double best_with_cache = d.cost_curve.y(d.cost_curve.ArgMin());
-            const double no_cache_egress = prices_.EgressCost(
-                static_cast<uint64_t>(d.expected_window_get_bytes));
-            if (best_with_cache >= no_cache_egress * 0.98) {
-              ++min_capacity_streak_;
-            } else {
-              min_capacity_streak_ = 0;
-            }
-            admission_bypass_ = min_capacity_streak_ >= cfg_.admission_bypass_windows;
-          }
-          break;
-        }
-        case Approach::kMacaronTtl: {
-          MACARON_CHECK(ttl_shadow_ != nullptr);
-          ttl_shadow_->SetTtl(d.ttl, t);
-          osc_->RunGc();
-          if (result_.first_optimized_ttl == 0) {
-            result_.first_optimized_ttl = d.ttl;
-          }
-          result_.ttl_timeline.emplace_back(t, d.ttl);
-          break;
-        }
-        case Approach::kEcpc:
-        case Approach::kFlashEcpc: {
-          const size_t nodes = std::min<uint64_t>(
-              (d.osc_capacity + node_usable_ - 1) / node_usable_, cfg_.max_cluster_nodes);
-          cluster_->Resize(std::max<size_t>(nodes, 1));
-          result_.cluster_nodes_timeline.emplace_back(t, cluster_->num_nodes());
-          break;
-        }
-        default:
-          break;
-      }
+      ApplyDecision(t, d);
     }
   }
-  ChargeOscOps();
-  inflight_.Sweep(t);
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    Shard& sh = shards_[s];
+    ChargeOscOps(sh);
+    sh.inflight.Sweep(t);
+  });
+}
+
+void Runner::Finalize() {
+  const SimTime end = trace_.end_time();
+  const SimDuration span = std::max<SimDuration>(end, 1);
+
+  // Convert per-shard integrals into per-shard costs (still shard-local, so
+  // a single shard reproduces the unsharded addition sequence exactly).
+  double osc_byte_ms_total = 0.0;
+  double replica_byte_ms_total = 0.0;
+  for (Shard& sh : shards_) {
+    if (sh.osc != nullptr) {
+      const double gb_months = sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
+      sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
+      osc_byte_ms_total += sh.osc_byte_ms;
+    }
+    if (cfg_.approach == Approach::kReplicated) {
+      const double gb_months = sh.replica_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
+      sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
+      replica_byte_ms_total += sh.replica_byte_ms;
+      // Retention churn: the dataset turns over every `retention`; replaced
+      // data must be synchronized to the replica.
+      const double churn_bytes = sh.churn_byte_ms / static_cast<double>(cfg_.retention);
+      sh.costs.Add(CostCategory::kEgress,
+                   prices_.EgressCost(static_cast<uint64_t>(churn_bytes)));
+      sh.egress_bytes += static_cast<uint64_t>(churn_bytes);
+      // Replica GET op costs are charged inline.
+    }
+    if (sh.cluster != nullptr) {
+      const double node_hours = sh.node_ms / static_cast<double>(kHour);
+      sh.costs.Add(CostCategory::kClusterNodes, node_hours * node_price_per_hour_);
+    }
+  }
+
+  // Deterministic merge, fixed shard order 0..S-1. Counters and per-category
+  // costs fold by addition; latency samples concatenate in shard order
+  // (PercentileTracker preserves insertion order, so the merged tracker
+  // serializes identically at any thread count).
+  for (Shard& sh : shards_) {
+    result_.costs.Merge(sh.costs);
+    result_.gets += sh.gets;
+    result_.cluster_hits += sh.cluster_hits;
+    result_.osc_hits += sh.osc_hits;
+    result_.remote_fetches += sh.remote_fetches;
+    result_.delayed_hits += sh.delayed_hits;
+    result_.egress_bytes += sh.egress_bytes;
+    for (double v : sh.latency_ms.samples()) {
+      result_.latency_ms.Add(v);
+    }
+  }
+  if (shards_[0].osc != nullptr) {
+    result_.mean_stored_bytes = osc_byte_ms_total / static_cast<double>(span);
+  }
+  if (cfg_.approach == Approach::kReplicated) {
+    result_.mean_stored_bytes = replica_byte_ms_total / static_cast<double>(span);
+  }
+  if (IsMacaronFamily() || IsElasticClusterCache()) {
+    // One r5.xlarge hosting the controller and OSC manager.
+    result_.costs.Add(CostCategory::kInfra, prices_.VmCost(span));
+  }
+  if (cfg_.metrics != nullptr) {
+    for (const Shard& sh : shards_) {
+      cfg_.metrics->MergeFrom(*sh.metrics);
+    }
+  }
 }
 
 RunResult Runner::Run() {
@@ -582,46 +813,27 @@ RunResult Runner::Run() {
   if (trace_.empty()) {
     return std::move(result_);
   }
+  const std::vector<Request>& reqs = trace_.requests;
+  const size_t n = reqs.size();
   SimTime next_boundary = cfg_.window;
-  for (const Request& r : trace_.requests) {
-    while (r.time >= next_boundary) {
+  size_t i = 0;
+  while (i < n) {
+    // Boundaries due before the next request fire first (including the
+    // catch-up over empty windows the sequential engine performed
+    // per-request).
+    while (reqs[i].time >= next_boundary) {
       WindowBoundary(next_boundary);
       next_boundary += cfg_.window;
     }
-    ProcessRequest(r);
+    size_t j = i;
+    while (j < n && reqs[j].time < next_boundary) {
+      ++j;
+    }
+    ReplayWindow(i, j);
+    i = j;
   }
-  const SimTime end = trace_.end_time();
-  WindowBoundary(end + 1);
-
-  // Convert integrals into costs.
-  const SimDuration span = std::max<SimDuration>(end, 1);
-  if (osc_ != nullptr) {
-    const double gb_months = osc_byte_ms_ / 1.0e9 / static_cast<double>(kBillingMonth);
-    result_.costs.Add(CostCategory::kCapacity,
-                      gb_months * prices_.object_storage_per_gb_month);
-    result_.mean_stored_bytes = osc_byte_ms_ / static_cast<double>(span);
-  }
-  if (cfg_.approach == Approach::kReplicated) {
-    const double gb_months = replica_byte_ms_ / 1.0e9 / static_cast<double>(kBillingMonth);
-    result_.costs.Add(CostCategory::kCapacity,
-                      gb_months * prices_.object_storage_per_gb_month);
-    result_.mean_stored_bytes = replica_byte_ms_ / static_cast<double>(span);
-    // Retention churn: the dataset turns over every `retention`; replaced
-    // data must be synchronized to the replica.
-    const double churn_bytes = churn_byte_ms_ / static_cast<double>(cfg_.retention);
-    result_.costs.Add(CostCategory::kEgress,
-                      prices_.EgressCost(static_cast<uint64_t>(churn_bytes)));
-    result_.egress_bytes += static_cast<uint64_t>(churn_bytes);
-    // Replica GET op costs are charged inline.
-  }
-  if (cluster_ != nullptr) {
-    const double node_hours = node_ms_ / static_cast<double>(kHour);
-    result_.costs.Add(CostCategory::kClusterNodes, node_hours * node_price_per_hour_);
-  }
-  if (IsMacaronFamily() || IsElasticClusterCache()) {
-    // One r5.xlarge hosting the controller and OSC manager.
-    result_.costs.Add(CostCategory::kInfra, prices_.VmCost(span));
-  }
+  WindowBoundary(trace_.end_time() + 1);
+  Finalize();
   return std::move(result_);
 }
 

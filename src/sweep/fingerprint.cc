@@ -77,6 +77,10 @@ Fingerprint FingerprintEngineConfig(const EngineConfig& c) {
   h.MixF64(c.sampling_ratio);
   h.MixI32(c.num_minicaches);
   // analyzer_threads intentionally omitted (bit-identical at any value).
+  // num_shards is structural (changes routing, per-shard capacities, RNG
+  // streams); shard_threads intentionally omitted (execution-only — shards
+  // share no mutable state, so thread count cannot affect any output bit).
+  h.MixI32(c.num_shards);
   h.MixU64(c.max_cluster_nodes);
   h.MixU64(c.static_capacity_bytes);
   h.MixI64(c.static_ttl);

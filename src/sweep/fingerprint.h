@@ -16,6 +16,10 @@
 // EngineConfig::analyzer_threads is deliberately excluded: the analyzer's
 // fan-out yields bit-identical curves at any thread count (see
 // DESIGN.md "Analyzer threading model"), so results are shared across it.
+// EngineConfig::shard_threads is excluded for the same reason (serving
+// shards share no mutable state — see DESIGN.md "Sharded serving"), while
+// num_shards IS fingerprinted: it changes routing and per-shard capacity
+// splits, i.e. the simulated deployment itself.
 // The observability sink pointers (EngineConfig::decision_trace / metrics)
 // are likewise excluded: attaching them never changes a result, only emits
 // a side-channel trace, so warm cached results stay valid either way.
@@ -38,7 +42,9 @@ namespace sweep {
 // Bump to invalidate every persisted result (engine semantics changed).
 // v2: analyzer excludes deletes from mean_object_bytes; cluster sizer
 // recomputes capacity/latency after the max_nodes clamp.
-inline constexpr std::string_view kSweepVersionSalt = "macaron-sweep-v2";
+// v3: in-flight coalescer invalidation on mid-flight evict/expire/delete
+// (stale fills no longer admit or coalesce), sharded serving engine.
+inline constexpr std::string_view kSweepVersionSalt = "macaron-sweep-v3";
 
 struct Fingerprint {
   uint64_t hi = 0;

@@ -10,8 +10,11 @@
 //
 // Writes go to a unique temp file in the same directory and are renamed into
 // place, so concurrent writers of the same key and readers racing a writer
-// only ever see complete blobs; a torn or foreign file fails deserialization
-// and reads as a miss.
+// only ever see complete blobs. Each file is framed with a magic tag, the
+// payload size, and an FNV-1a checksum of the payload; Load verifies all
+// three before deserializing, so a truncated, bit-flipped, or foreign file
+// is detected up front and reads as a miss (the job re-executes) instead of
+// being trusted because it happens to parse.
 
 #ifndef MACARON_SRC_SWEEP_RESULT_STORE_H_
 #define MACARON_SRC_SWEEP_RESULT_STORE_H_

@@ -275,5 +275,36 @@ TEST(InflightTest, EraseRemoves) {
   EXPECT_FALSE(t.Pending(1, 50).has_value());
 }
 
+TEST(InflightTest, InvalidateDropsEntryAndReports) {
+  InflightTable t;
+  t.Insert(1, 100);
+  EXPECT_TRUE(t.Invalidate(1));
+  EXPECT_FALSE(t.Pending(1, 50).has_value()) << "a later access must re-fetch";
+  EXPECT_FALSE(t.Invalidate(1)) << "nothing left to invalidate";
+  EXPECT_FALSE(t.Invalidate(42));
+}
+
+TEST(InflightTest, ClaimTicketConsumesOnlyTheMatchingFill) {
+  InflightTable t;
+  const uint64_t ticket = t.Insert(1, 100);
+  EXPECT_FALSE(t.ClaimTicket(1, ticket + 1)) << "wrong ticket must not claim";
+  EXPECT_TRUE(t.ClaimTicket(1, ticket));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.ClaimTicket(1, ticket)) << "a ticket claims at most once";
+}
+
+TEST(InflightTest, DeleteThenRefetchInvalidatesTheOldTicket) {
+  // The event engine's deferred admission claims its ticket at completion
+  // time; a DELETE (Erase) followed by a fresh fetch must leave the old
+  // fill's ticket dead while the new fill's ticket stays claimable.
+  InflightTable t;
+  const uint64_t old_ticket = t.Insert(1, 100);
+  t.Erase(1);  // DELETE arrives mid-flight
+  const uint64_t new_ticket = t.Insert(1, 200);
+  EXPECT_NE(new_ticket, old_ticket);
+  EXPECT_FALSE(t.ClaimTicket(1, old_ticket)) << "stale fill must not admit";
+  EXPECT_TRUE(t.ClaimTicket(1, new_ticket));
+}
+
 }  // namespace
 }  // namespace macaron

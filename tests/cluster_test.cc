@@ -71,6 +71,58 @@ TEST(HashRingTest, AddingNodeMovesMinimalShare) {
   EXPECT_EQ(moved_elsewhere, 0);
 }
 
+TEST(HashRingTest, RemovingNodeMovesOnlyItsOwnShare) {
+  HashRing ring(128);
+  for (uint32_t n = 1; n <= 8; ++n) {
+    ring.AddNode(n);
+  }
+  std::map<ObjectId, uint32_t> before;
+  const int total = 20000;
+  for (ObjectId id = 0; id < static_cast<ObjectId>(total); ++id) {
+    before[id] = ring.Route(id);
+  }
+  ring.RemoveNode(8);
+  int moved = 0;
+  for (ObjectId id = 0; id < static_cast<ObjectId>(total); ++id) {
+    const uint32_t now = ring.Route(id);
+    if (before[id] == 8) {
+      EXPECT_NE(now, 8u);
+      ++moved;
+    } else {
+      // Consistent hashing: keys not owned by the removed node stay put. A
+      // full-remap regression (e.g. ring entries drifting on removal) fails
+      // here immediately.
+      EXPECT_EQ(now, before[id]) << "id " << id << " moved without cause";
+    }
+  }
+  EXPECT_NEAR(moved / static_cast<double>(total), 1.0 / 8.0, 0.05);
+}
+
+TEST(HashRingTest, AddRemoveRoundTripRestoresRoutingExactly) {
+  // AddNode and RemoveNode must be exact inverses even when virtual-replica
+  // positions collide: the ring stores exact (position, node) pairs, so a
+  // removal can never take out another node's colliding entry (the old
+  // position-keyed map silently overwrote on collision and then removed the
+  // survivor, remapping a slice of the ring forever).
+  HashRing ring(128);
+  for (uint32_t n = 1; n <= 16; ++n) {
+    ring.AddNode(n);
+  }
+  std::map<ObjectId, uint32_t> before;
+  const int total = 20000;
+  for (ObjectId id = 0; id < static_cast<ObjectId>(total); ++id) {
+    before[id] = ring.Route(id);
+  }
+  for (uint32_t churn = 17; churn < 22; ++churn) {
+    ring.AddNode(churn);
+    ring.RemoveNode(churn);
+  }
+  EXPECT_EQ(ring.num_nodes(), 16u);
+  for (ObjectId id = 0; id < static_cast<ObjectId>(total); ++id) {
+    ASSERT_EQ(ring.Route(id), before[id]) << "id " << id;
+  }
+}
+
 TEST(HashRingTest, RemoveNodeRedistributes) {
   HashRing ring(128);
   ring.AddNode(1);

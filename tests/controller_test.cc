@@ -146,6 +146,39 @@ TEST(ClusterSizerTest, UnclampedDecisionsLeaveFlagClear) {
   EXPECT_FALSE(f.clamped);
 }
 
+TEST(ClusterSizerTest, RoundNodesToShardsInvariants) {
+  // shards <= 1: plain clamp to [1, max_nodes].
+  EXPECT_EQ(RoundNodesToShards(0, 1, 100), 1u);
+  EXPECT_EQ(RoundNodesToShards(7, 1, 100), 7u);
+  EXPECT_EQ(RoundNodesToShards(200, 1, 100), 100u);
+  // shards > 1: round up to a multiple of shards...
+  EXPECT_EQ(RoundNodesToShards(1, 4, 100), 4u);
+  EXPECT_EQ(RoundNodesToShards(4, 4, 100), 4u);
+  EXPECT_EQ(RoundNodesToShards(5, 4, 100), 8u);
+  // ...capped at the largest multiple of shards under max_nodes...
+  EXPECT_EQ(RoundNodesToShards(99, 4, 10), 8u);
+  // ...but never below one node per shard, even when max_nodes < shards.
+  EXPECT_EQ(RoundNodesToShards(1, 8, 4), 8u);
+}
+
+TEST(ClusterSizerTest, ShardedSizingRoundsFleetAndRecomputes) {
+  // Unsharded choice is 3 nodes (3 GB); 4 shards force a 4-node fleet, and
+  // the decision must describe the rounded fleet's capacity and latency.
+  const Curve alc({1e9, 2e9, 3e9, 4e9}, {100.0, 50.0, 20.0, 19.0});
+  const ClusterDecision base = SizeCluster(alc, 25.0, static_cast<uint64_t>(1e9), 100);
+  ASSERT_EQ(base.nodes, 3u);
+  const ClusterDecision d =
+      SizeCluster(alc, 25.0, static_cast<uint64_t>(1e9), 100, /*shards=*/4);
+  EXPECT_EQ(d.nodes, 4u);
+  EXPECT_EQ(d.capacity_bytes, static_cast<uint64_t>(4e9));
+  EXPECT_NEAR(d.predicted_latency_ms, 19.0, 1e-9);
+  // A choice already aligned to the shard count is untouched.
+  const ClusterDecision aligned =
+      SizeCluster(alc, 25.0, static_cast<uint64_t>(1e9), 100, /*shards=*/3);
+  EXPECT_EQ(aligned.nodes, 3u);
+  EXPECT_EQ(aligned.capacity_bytes, base.capacity_bytes);
+}
+
 // --- TTL optimizer ---
 
 TEST(TtlOptimizerTest, BalancesEgressAgainstCapacity) {

@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -147,6 +149,19 @@ TEST(FingerprintTest, AnalyzerThreadsDoesNotChangeTheKey) {
   a.analyzer_threads = 1;
   b.analyzer_threads = 16;
   EXPECT_EQ(sweep::FingerprintEngineConfig(a), sweep::FingerprintEngineConfig(b));
+}
+
+TEST(FingerprintTest, ShardKnobs) {
+  // num_shards is structural (different routing, per-shard capacity splits,
+  // RNG streams) and must change the key; shard_threads is execution-only
+  // (shards share no mutable state) and must not.
+  const EngineConfig base = SmallConfig(Approach::kMacaronNoCluster);
+  EngineConfig c = base;
+  c.num_shards = 8;
+  EXPECT_NE(sweep::FingerprintEngineConfig(c), sweep::FingerprintEngineConfig(base));
+  c = base;
+  c.shard_threads = 8;
+  EXPECT_EQ(sweep::FingerprintEngineConfig(c), sweep::FingerprintEngineConfig(base));
 }
 
 TEST(FingerprintTest, TraceContentAndProfileIdentities) {
@@ -378,7 +393,7 @@ TEST(HashOncePipelineTest, BothEnginesByteStableAcrossRuns) {
 // the cluster sizer recomputes capacity/latency after the max_nodes clamp —
 // both change simulated results, so cached v1 entries had to be retired.
 TEST(HashOncePipelineTest, SweepVersionSaltDeliberate) {
-  EXPECT_EQ(sweep::kSweepVersionSalt, "macaron-sweep-v2");
+  EXPECT_EQ(sweep::kSweepVersionSalt, "macaron-sweep-v3");
 }
 
 TEST(ResultStoreTest, DisabledStoreIsInert) {
@@ -387,6 +402,106 @@ TEST(ResultStoreTest, DisabledStoreIsInert) {
   EXPECT_FALSE(store.Load("00", &r));
   store.Store("00", r);  // no crash, no file
   EXPECT_FALSE(store.Load("00", &r));
+}
+
+TEST(ResultStoreTest, RejectsCorruptedFiles) {
+  const std::string dir = TempStoreDir("store_corrupt");
+  sweep::ResultStore store(dir);
+  ASSERT_TRUE(store.enabled());
+
+  RunResult r;
+  r.trace_name = "corrupt-trace";
+  r.approach_name = "macaron";
+  r.gets = 123;
+  r.costs.Add(CostCategory::kEgress, 1.5);
+  ASSERT_TRUE(store.Store("aa", r));
+  RunResult loaded;
+  ASSERT_TRUE(store.Load("aa", &loaded));
+  EXPECT_EQ(loaded.gets, r.gets);
+
+  const std::string path = dir + "/aa.run";
+  const auto read_file = [&path]() {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  };
+  const auto write_file = [&path](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  const std::string good = read_file();
+  ASSERT_GT(good.size(), 32u);  // magic + size + checksum + payload
+
+  // A flipped payload bit fails the checksum.
+  std::string flipped = good;
+  flipped.back() = static_cast<char>(flipped.back() ^ 0x01);
+  write_file(flipped);
+  EXPECT_FALSE(store.Load("aa", &loaded));
+
+  // A truncated file fails the size check.
+  write_file(good.substr(0, good.size() - 1));
+  EXPECT_FALSE(store.Load("aa", &loaded));
+
+  // Trailing bytes mean the file was not written by Store.
+  write_file(good + "x");
+  EXPECT_FALSE(store.Load("aa", &loaded));
+
+  // A foreign (pre-framing or arbitrary) file fails the magic check — the
+  // store must not trust any <fp>.run file that merely exists.
+  write_file(SerializeRunResult(r));
+  EXPECT_FALSE(store.Load("aa", &loaded));
+
+  // The original framed bytes still load.
+  write_file(good);
+  EXPECT_TRUE(store.Load("aa", &loaded));
+  EXPECT_EQ(loaded.gets, r.gets);
+  EXPECT_EQ(loaded.trace_name, r.trace_name);
+}
+
+TEST(ResultStoreTest, CorruptFileTriggersReExecution) {
+  // End-to-end: a scheduler pointed at a store whose cached file is corrupt
+  // must recompute the job (miss), not fail or return garbage.
+  const std::string dir = TempStoreDir("store_corrupt_sched");
+  auto trace = std::make_shared<const Trace>(SmallTrace("corrupt-e2e", 31));
+  sweep::SweepJobSpec spec;
+  spec.trace = trace;
+  spec.trace_name = trace->name;
+  spec.config = SmallConfig(Approach::kMacaronNoCluster);
+
+  std::string first_blob;
+  {
+    sweep::SweepScheduler::Options opt;
+    opt.threads = 1;
+    opt.store_dir = dir;
+    sweep::SweepScheduler sched(std::move(opt));
+    first_blob = SerializeRunResult(sched.Result(sched.Submit(spec)));
+  }
+
+  // Corrupt every cached file in the store.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string bytes;
+    {
+      std::ifstream in(entry.path(), std::ios::binary);
+      bytes.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  {
+    sweep::SweepScheduler::Options opt;
+    opt.threads = 1;
+    opt.store_dir = dir;
+    sweep::SweepScheduler sched(std::move(opt));
+    const size_t id = sched.Submit(spec);
+    EXPECT_EQ(SerializeRunResult(sched.Result(id)), first_blob)
+        << "re-executed result must match the original run";
+    EXPECT_FALSE(sched.Metrics(id).cache_hit) << "corrupt file must not be served";
+    EXPECT_EQ(sched.stats().store_hits, 0u);
+    EXPECT_EQ(sched.stats().executed, 1u);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
