@@ -39,6 +39,7 @@
 
 #include "bench/harness.h"
 #include "bench/suite.h"
+#include "src/cache/simd.h"
 #include "src/common/thread_pool.h"
 
 using namespace macaron;
@@ -74,8 +75,11 @@ void WriteJson(const std::string& path, int threads, double total_seconds,
     std::fprintf(stderr, "bench_all: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"threads\": %d,\n  \"total_seconds\": %.3f,\n", threads,
-               total_seconds);
+  // "macaron_simd" mirrors bench_micro's custom context: which cache-core
+  // probe path this binary compiled (results are identical either way; only
+  // the timings differ).
+  std::fprintf(f, "{\n  \"threads\": %d,\n  \"macaron_simd\": \"%s\",\n  \"total_seconds\": %.3f,\n",
+               threads, SimdFeatureString(), total_seconds);
   std::fprintf(f,
                "  \"jobs\": {\"submitted\": %zu, \"unique\": %zu, \"executed\": %zu, "
                "\"store_hits\": %zu, \"peak_in_flight\": %d, \"busy_seconds\": %.3f},\n",

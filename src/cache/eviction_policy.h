@@ -72,6 +72,14 @@ class EvictionCache {
   virtual bool ErasePrehashed(ObjectId id, uint64_t hash) = 0;
   virtual void Resize(uint64_t capacity_bytes) = 0;
 
+  // Hints the CPU to pull the key's index lines (tag metadata + cell) into
+  // cache ahead of an operation on the same hash. Purely advisory — never
+  // affects results. Policies override to prefetch their primary index
+  // (S3-FIFO also pulls its ghost table); the replay loops call this for
+  // request i+k while processing request i to hide the index's random-load
+  // latency.
+  virtual void PrefetchPrehashed(uint64_t) const {}
+
   virtual uint64_t capacity() const = 0;
   virtual uint64_t used_bytes() const = 0;
   virtual size_t num_entries() const = 0;

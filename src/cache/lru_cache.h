@@ -33,7 +33,7 @@ class LruCache {
   bool Get(ObjectId id) { return GetPrehashed(id, Mix64(id)); }
   // Looks up without promoting (for inspection).
   bool Contains(ObjectId id) const { return index_.Contains(id); }
-  // Hints the CPU to load `id`'s index cell; see FlatIndex::Prefetch.
+  // Hints the CPU to load `id`'s index lines; see FlatIndex::Prefetch.
   void Prefetch(ObjectId id) const { index_.Prefetch(id); }
   // Returns the stored size of `id`, or 0 if absent.
   uint64_t SizeOf(ObjectId id) const;

@@ -1,0 +1,51 @@
+// SIMD feature selection for the cache core.
+//
+// FlatIndex (flat_index.h) probes its tag-byte metadata array in groups of
+// 16 using SSE2 compare + movemask. This header centralizes the dispatch
+// decision so every translation unit agrees on it:
+//
+//   * MACARON_SIMD      — build-level toggle (CMake option of the same
+//                         name; -DMACARON_SIMD=OFF forces the scalar
+//                         fallback everywhere). Defaults to on.
+//   * MACARON_SIMD_SSE2 — 1 when the toggle is on AND the target supports
+//                         SSE2 (always true on x86-64). This is the macro
+//                         the probe loops test.
+//
+// The SIMD and scalar paths implement the exact same probe sequence (plain
+// linear probing over the tag array), so the choice affects nanoseconds,
+// never results: hit/miss/eviction semantics, table layout, and therefore
+// every engine/bench output are bit-identical in both builds. The scalar
+// CI lane (-DMACARON_SIMD=OFF) and the differential suite pin this.
+
+#ifndef MACARON_SRC_CACHE_SIMD_H_
+#define MACARON_SRC_CACHE_SIMD_H_
+
+#ifndef MACARON_SIMD
+#define MACARON_SIMD 1
+#endif
+
+#if MACARON_SIMD && defined(__SSE2__)
+#define MACARON_SIMD_SSE2 1
+#include <emmintrin.h>
+#else
+#define MACARON_SIMD_SSE2 0
+#endif
+
+namespace macaron {
+
+// Human-readable description of the compiled probe path, recorded in the
+// bench harness JSON context ("macaron_simd") so recorded numbers carry the
+// feature set they were measured with.
+inline constexpr const char* SimdFeatureString() {
+#if MACARON_SIMD_SSE2
+  return "sse2";
+#elif MACARON_SIMD
+  return "scalar (no SSE2 target support)";
+#else
+  return "scalar (MACARON_SIMD=OFF)";
+#endif
+}
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_CACHE_SIMD_H_

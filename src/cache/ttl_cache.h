@@ -44,6 +44,8 @@ class TtlCache {
   bool GetPrehashed(ObjectId id, uint64_t hash, SimTime now);
   void PutPrehashed(ObjectId id, uint64_t hash, uint64_t size, SimTime now);
   bool ErasePrehashed(ObjectId id, uint64_t hash);
+  // Hints the CPU to pull `hash`'s index lines; see FlatIndex::Prefetch.
+  void PrefetchPrehashed(uint64_t hash) const { index_.PrefetchPrehashed(hash); }
 
   // Evicts every entry whose last access is older than now - ttl. Called
   // lazily by Get/Put and explicitly at window boundaries.

@@ -9,6 +9,7 @@ namespace macaron {
 
 namespace {
 constexpr size_t kBatchCapacity = 4096;  // sampled requests per replay fan-out
+constexpr size_t kPrefetchAhead = 8;     // see ReplayKernel (eviction_policy.cc)
 }  // namespace
 
 AlcBank::AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, double ratio,
@@ -76,6 +77,12 @@ void AlcBank::ReplayGridPoint(size_t i) {
   Level& level = levels_[i];
   const size_t n = batch_.size();
   for (size_t k = 0; k < n; ++k) {
+    if (k + kPrefetchAhead < n) {
+      // Cluster level only: every request probes it, while the OSC level
+      // is reached on cluster misses. Prefetching both indexes here was
+      // measurably slower — the extra stream evicts more than it hides.
+      level.cluster.PrefetchPrehashed(batch_.hashes[k + kPrefetchAhead]);
+    }
     const ObjectId id = batch_.ids[k];
     const uint64_t hash = batch_.hashes[k];
     const uint64_t size = batch_.sizes[k];

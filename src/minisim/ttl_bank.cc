@@ -9,6 +9,7 @@ namespace macaron {
 
 namespace {
 constexpr size_t kBatchCapacity = 4096;  // sampled requests per replay fan-out
+constexpr size_t kPrefetchAhead = 8;     // see ReplayKernel (eviction_policy.cc)
 }  // namespace
 
 std::vector<SimDuration> StandardTtlGrid(SimDuration max_ttl) {
@@ -77,6 +78,9 @@ void TtlBank::ReplayGridPoint(size_t i) {
   Entry& e = entries_[i];
   const size_t n = batch_.size();
   for (size_t k = 0; k < n; ++k) {
+    if (k + kPrefetchAhead < n) {
+      e.cache.PrefetchPrehashed(batch_.hashes[k + kPrefetchAhead]);
+    }
     const ObjectId id = batch_.ids[k];
     const uint64_t hash = batch_.hashes[k];
     const SimTime time = batch_.times[k];

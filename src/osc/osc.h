@@ -64,6 +64,11 @@ class ObjectStorageCache {
   // Marks `id` Deleted and updates GC bookkeeping.
   void Delete(ObjectId id) { DeletePrehashed(id, Mix64(id)); }
   void DeletePrehashed(ObjectId id, uint64_t h);
+  // Hints the CPU to pull `h`'s replacement-order index lines; the engines'
+  // batch loops call this for an upcoming request while processing the
+  // current one. Advisory only (the unordered_map metadata is not covered —
+  // its buckets aren't addressable without hashing `id` again).
+  void PrefetchPrehashed(uint64_t h) const { order_->PrefetchPrehashed(h); }
 
   // --- Maintenance (off the request path) ---
 

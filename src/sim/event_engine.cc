@@ -307,7 +307,19 @@ void EventRunner::HandleRequest(Shard& sh, const Request& r, uint64_t h) {
 
 void EventRunner::ReplayShardBatch(Shard& sh) {
   const ReplayBatch& b = sh.batch;
-  for (size_t i = 0; i < b.size(); ++i) {
+  // See Runner::ReplayShardBatch (replay_engine.cc) for the prefetch story.
+  constexpr size_t kPrefetchAhead = 8;
+  const size_t n = b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchAhead < n) {
+      const uint64_t ahead = b.hashes[i + kPrefetchAhead];
+      if (sh.osc != nullptr) {
+        sh.osc->PrefetchPrehashed(ahead);
+      }
+      if (sh.ttl_shadow != nullptr) {
+        sh.ttl_shadow->PrefetchPrehashed(ahead);
+      }
+    }
     // Shard-local events due by this request's time (deferred admissions,
     // scheduled reconfiguration applies) fire first, exactly as the single
     // global event queue interleaved them with the request stream.

@@ -569,7 +569,22 @@ void Runner::ProcessRequest(Shard& sh, const Request& r, uint64_t h) {
 
 void Runner::ReplayShardBatch(Shard& sh) {
   const ReplayBatch& b = sh.batch;
-  for (size_t i = 0; i < b.size(); ++i) {
+  // Prefetch distance for the OSC order index / TTL shadow of upcoming
+  // requests; see ReplayKernel (eviction_policy.cc) for the rationale. The
+  // cluster is skipped: reaching its per-node index would duplicate ring
+  // routing here.
+  constexpr size_t kPrefetchAhead = 8;
+  const size_t n = b.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchAhead < n) {
+      const uint64_t ahead = b.hashes[i + kPrefetchAhead];
+      if (sh.osc != nullptr) {
+        sh.osc->PrefetchPrehashed(ahead);
+      }
+      if (sh.ttl_shadow != nullptr) {
+        sh.ttl_shadow->PrefetchPrehashed(ahead);
+      }
+    }
     Request r;
     r.time = b.times[i];
     r.id = b.ids[i];

@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -445,6 +447,120 @@ TEST(HashOnceDifferentialTest, TtlBankCurvesIndependentOfSalt) {
     EXPECT_EQ(ca.mrc.ys(), cb.mrc.ys()) << "window " << w;
     EXPECT_EQ(ca.bmc.ys(), cb.bmc.ys()) << "window " << w;
     EXPECT_EQ(ca.capacity.ys(), cb.capacity.ys()) << "window " << w;
+  }
+}
+
+// --- SIMD / scalar probe-path independence ---
+//
+// The cache core's group-probing build toggle (MACARON_SIMD, src/cache/
+// simd.h) must never affect results. These tests pin the bank curves to a
+// probe-path-independent golden: a hand replay of the same admitted stream
+// through the seed reference implementations (std::list +
+// std::unordered_map — no FlatIndex, no probing at all). The identical
+// assertions run in the default (SIMD) build and in the -DMACARON_SIMD=OFF
+// scalar ctest lane, so both probe paths are pinned to the same bytes —
+// i.e. SIMD bank curves == scalar bank curves, byte for byte. (FlatIndex's
+// own SIMD-vs-scalar equivalence is fuzzed directly, in either build, in
+// flat_index_test.cc via the *Scalar reference entry points.)
+
+TEST(SimdScalarDifferentialTest, MrcBankCurvesMatchProbeFreeReference) {
+  const auto grid = UniformSizeGrid(50'000, 2'000'000, 8);
+  for (const EvictionPolicyKind kind :
+       {EvictionPolicyKind::kLru, EvictionPolicyKind::kFifo, EvictionPolicyKind::kSlru,
+        EvictionPolicyKind::kS3Fifo}) {
+    SCOPED_TRACE(EvictionPolicyName(kind));
+    // Full sampling: every request is admitted, mini capacities equal the
+    // grid, and EndWindow's realized admission rate is exactly 1.
+    MrcBank bank(grid, /*ratio=*/1.0, /*salt=*/0xabadcafeull, kind);
+    std::vector<std::unique_ptr<EvictionCache>> refs;
+    for (const uint64_t capacity : grid) {
+      refs.push_back(MakeReferenceEvictionCache(kind, capacity));
+    }
+    for (int w = 0; w < 3; ++w) {
+      const auto reqs = ZipfWindow(3000, 20'000, 131 + w);
+      std::vector<uint64_t> misses(grid.size(), 0);
+      std::vector<uint64_t> missed_bytes(grid.size(), 0);
+      for (const Request& r : reqs) {
+        bank.Process(r);
+        for (size_t i = 0; i < grid.size(); ++i) {
+          if (!refs[i]->Get(r.id)) {
+            ++misses[i];
+            missed_bytes[i] += r.size;
+            refs[i]->Put(r.id, r.size);  // mini-sim semantics: admit on miss
+          }
+        }
+      }
+      const WindowCurves c = bank.EndWindow();
+      ASSERT_EQ(c.sampled_gets, reqs.size()) << "window " << w;
+      for (size_t i = 0; i < grid.size(); ++i) {
+        const double want_mr = std::min(
+            1.0, static_cast<double>(misses[i]) / static_cast<double>(reqs.size()));
+        EXPECT_EQ(c.mrc.ys()[i], want_mr) << "window " << w << " grid " << i;
+        EXPECT_EQ(c.bmc.ys()[i], static_cast<double>(missed_bytes[i]))
+            << "window " << w << " grid " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdScalarDifferentialTest, TtlBankCurvesMatchProbeFreeReference) {
+  const std::vector<SimDuration> grid = {50'000, 200'000, 800'000};
+  constexpr SimDuration kWindow = 300'000;
+  TtlBank bank(grid, /*ratio=*/1.0, /*salt=*/0xabadd00dull);
+  // Per-TTL mirror of TtlBank::Entry, replaying through the seed reference
+  // cache with the same Advance arithmetic (expire at the boundary, then
+  // integrate resident bytes) in the same per-request order, so the
+  // capacity curve's floating-point accumulation matches bit for bit.
+  struct RefEntry {
+    RefTtlCache cache;
+    uint64_t misses = 0;
+    uint64_t missed_bytes = 0;
+    double byte_time = 0.0;
+    SimTime last_update = 0;
+  };
+  std::vector<RefEntry> refs;
+  for (const SimDuration ttl : grid) {
+    refs.emplace_back(RefEntry{RefTtlCache(ttl), 0, 0, 0.0, 0});
+  }
+  const auto advance = [](RefEntry& e, SimTime now) {
+    if (now > e.last_update) {
+      e.cache.Expire(now);
+      e.byte_time += static_cast<double>(e.cache.used_bytes()) *
+                     static_cast<double>(now - e.last_update);
+      e.last_update = now;
+    }
+  };
+  SimTime window_start = 0;
+  for (int w = 0; w < 3; ++w) {
+    const auto reqs = ZipfWindow(2000, 15'000, 247 + w);
+    for (const Request& r : reqs) {
+      bank.Process(r);
+      for (RefEntry& e : refs) {
+        advance(e, r.time);
+        if (!e.cache.Get(r.id, r.time)) {
+          ++e.misses;
+          e.missed_bytes += r.size;
+          e.cache.Put(r.id, r.size, r.time);
+        }
+      }
+    }
+    const TtlWindowCurves c = bank.EndWindow(kWindow);
+    const SimTime window_end = window_start + kWindow;
+    for (size_t i = 0; i < grid.size(); ++i) {
+      RefEntry& e = refs[i];
+      advance(e, window_end);
+      const double want_mr = std::min(
+          1.0, static_cast<double>(e.misses) / static_cast<double>(reqs.size()));
+      EXPECT_EQ(c.mrc.ys()[i], want_mr) << "window " << w << " grid " << i;
+      EXPECT_EQ(c.bmc.ys()[i], static_cast<double>(e.missed_bytes))
+          << "window " << w << " grid " << i;
+      EXPECT_EQ(c.capacity.ys()[i], e.byte_time / static_cast<double>(kWindow))
+          << "window " << w << " grid " << i;
+      e.misses = 0;
+      e.missed_bytes = 0;
+      e.byte_time = 0.0;
+    }
+    window_start = window_end;
   }
 }
 
