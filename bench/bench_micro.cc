@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,8 +35,11 @@
 #include "src/sweep/fingerprint.h"
 #include "src/sweep/result_store.h"
 #include "src/sweep/scheduler.h"
+#include "src/trace/columnar_io.h"
+#include "src/trace/request_source.h"
 #include "src/trace/sampler.h"
 #include "src/trace/splitter.h"
+#include "src/trace/stream_source.h"
 #include "src/trace/synthetic.h"
 
 namespace macaron {
@@ -450,6 +456,119 @@ void BM_ShardedReplayEvent(benchmark::State& state) {
                           static_cast<int64_t>(EngineReplayTrace().requests.size()));
 }
 BENCHMARK(BM_ShardedReplayEvent)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// --- Out-of-core trace pipeline ---
+//
+// The BM_TraceStream* group measures the streaming delivery path on the
+// same workload as BM_EngineReplay*: columnar encode/decode cost in
+// isolation (round trip, cursor drain) and what decode-ahead overlap buys
+// when an engine is on the other end of the cursor.
+
+// The engine-replay trace, captured once as an MCTC file in TempDir-less
+// /tmp (benchmarks run outside gtest). The file outlives the process; its
+// size is a few MB.
+const std::string& EngineReplayColumnarPath() {
+  static const std::string* path = [] {
+    auto* p = new std::string("/tmp/macaron-bm-engine.mctc");
+    std::string error;
+    if (!WriteTraceColumnar(EngineReplayTrace(), *p, &error)) {
+      std::fprintf(stderr, "bench_micro: columnar capture failed: %s\n", error.c_str());
+      std::abort();
+    }
+    return p;
+  }();
+  return *path;
+}
+
+// One iteration = write the trace as MCTC and materialize it back:
+// per-column delta+varint encode, per-chunk FNV, footer build, then the
+// full decode + verify path. Items = requests through the codec (both
+// directions count once).
+void BM_ColumnarRoundTrip(benchmark::State& state) {
+  const Trace& t = EngineReplayTrace();
+  const std::string path = "/tmp/macaron-bm-roundtrip.mctc";
+  for (auto _ : state) {
+    std::string error;
+    if (!WriteTraceColumnar(t, path, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    Trace back;
+    if (!ReadTraceColumnar(path, &back, &error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(back.requests.data());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(t.requests.size()));
+}
+BENCHMARK(BM_ColumnarRoundTrip)->Unit(benchmark::kMillisecond);
+
+// Pure decode throughput: drain a source through the ChunkCursor with no
+// engine attached (decode-ahead off — this measures the decode itself, not
+// the overlap). Arg 0 reads the MCTC file (varint decode + checksum +
+// prehash); Arg 1 generates the synthetic stream (sampler + lognormal +
+// prehash). Items = requests decoded.
+void BM_TraceStreamDecode(benchmark::State& state) {
+  const bool synthetic = state.range(0) != 0;
+  std::unique_ptr<RequestSource> source;
+  if (synthetic) {
+    StreamProfile p;
+    p.name = "bm_stream";
+    p.num_requests = EngineReplayTrace().requests.size();
+    p.population = 1ull << 16;
+    p.zipf_alpha = 0.8;
+    p.duration = 2 * kDay;
+    p.mean_object_bytes = 500ull * 1000;
+    p.seed = 21;
+    source = std::make_unique<SyntheticStreamSource>(p);
+  } else {
+    std::string error;
+    source = ColumnarTraceSource::Open(EngineReplayColumnarPath(), &error);
+    if (!source) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+  }
+  int64_t requests = 0;
+  for (auto _ : state) {
+    ChunkCursor cursor(*source, /*decode_ahead=*/false);
+    uint64_t sum = 0;
+    while (const ReplayBatch* chunk = cursor.Next()) {
+      requests += static_cast<int64_t>(chunk->size());
+      sum += chunk->hashes.empty() ? 0 : chunk->hashes.back();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(requests);
+  state.SetLabel(synthetic ? "synthetic" : "columnar_file");
+}
+BENCHMARK(BM_TraceStreamDecode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// End-to-end streamed replay from the columnar file, decode-ahead off
+// (Arg 0) vs on (Arg 1). The spread is what overlapping chunk N+1's decode
+// with chunk N's replay buys; compare against BM_EngineReplayMacaron for
+// the cost of streaming delivery vs the materialized `const Trace&` path
+// (same workload, same config).
+void BM_TraceStreamReplayOverlap(benchmark::State& state) {
+  const EngineConfig base = EngineReplayConfig(Approach::kMacaronNoCluster);
+  std::string error;
+  const auto source = ColumnarTraceSource::Open(EngineReplayColumnarPath(), &error);
+  if (!source) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  EngineConfig cfg = base;
+  cfg.stream_decode_ahead = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReplayEngine(cfg).Run(*source).costs.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(EngineReplayTrace().requests.size()));
+}
+BENCHMARK(BM_TraceStreamReplayOverlap)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_HashRingRoute(benchmark::State& state) {
   HashRing ring;

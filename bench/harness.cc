@@ -1,5 +1,6 @@
 #include "bench/harness.h"
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -13,27 +14,108 @@
 namespace macaron {
 namespace bench {
 
-const Trace& GetTrace(const std::string& name) {
-  // Node-based map: entries never move, so the returned references and the
-  // per-entry once_flags stay stable while other threads insert.
+namespace {
+
+// Bounded trace cache. A generating entry exists with a null trace so
+// concurrent callers for the same name block on one generation (the
+// condition variable replaces the old per-entry once_flag, which could not
+// support regeneration after eviction). Unpinned entries evict LRU when the
+// byte budget is exceeded; callers hold shared_ptrs, so eviction only drops
+// the cache's reference — nothing is freed mid-replay.
+struct TraceCache {
   struct Entry {
-    std::once_flag once;
-    Trace trace;
+    std::shared_ptr<const Trace> trace;  // null while generating
+    uint64_t bytes = 0;
+    uint64_t last_use = 0;
   };
-  static std::mutex mu;
-  static std::map<std::string, Entry>* cache = new std::map<std::string, Entry>();
-  Entry* entry;
-  {
-    std::lock_guard<std::mutex> lock(mu);
-    entry = &(*cache)[name];
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::string, Entry> entries;
+  uint64_t total_bytes = 0;
+  uint64_t use_counter = 0;
+};
+TraceCache* g_trace_cache = new TraceCache();
+
+// Approximate bytes cached per trace (unlimited when unset or 0).
+uint64_t EnvTraceCacheBytes() {
+  const char* s = std::getenv("MACARON_TRACE_CACHE_BYTES");
+  if (s == nullptr || *s == '\0') {
+    return 0;
   }
-  // Generation runs outside the map lock: distinct workloads generate
+  return std::strtoull(s, nullptr, 10);
+}
+
+// Drops least-recently-used completed entries until the budget holds (the
+// just-inserted `keep` is exempt — evicting it would thrash). Caller holds
+// the cache mutex.
+void EvictTracesLocked(TraceCache& c, uint64_t budget, const std::string& keep) {
+  while (c.total_bytes > budget) {
+    auto victim = c.entries.end();
+    for (auto it = c.entries.begin(); it != c.entries.end(); ++it) {
+      if (it->second.trace == nullptr || it->first == keep) {
+        continue;  // generating entries and the fresh insert stay
+      }
+      if (victim == c.entries.end() || it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == c.entries.end()) {
+      return;  // nothing evictable left
+    }
+    c.total_bytes -= victim->second.bytes;
+    c.entries.erase(victim);
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const Trace> GetTraceShared(const std::string& name) {
+  TraceCache& c = *g_trace_cache;
+  std::unique_lock<std::mutex> lock(c.mu);
+  for (;;) {
+    auto it = c.entries.find(name);
+    if (it == c.entries.end()) {
+      break;  // this caller generates
+    }
+    if (it->second.trace != nullptr) {
+      it->second.last_use = ++c.use_counter;
+      return it->second.trace;
+    }
+    c.cv.wait(lock);  // another caller is generating this name
+  }
+  c.entries[name];  // placeholder: trace == nullptr marks "generating"
+  lock.unlock();
+
+  // Generation runs outside the lock: distinct workloads generate
   // concurrently, concurrent callers for the same name block on one winner.
-  std::call_once(entry->once, [&] {
-    const WorkloadProfile p = ProfileByName(name);
-    entry->trace = SplitObjects(GenerateTrace(p), p.max_object_bytes);
-  });
-  return entry->trace;
+  const WorkloadProfile p = ProfileByName(name);
+  auto trace =
+      std::make_shared<const Trace>(SplitObjects(GenerateTrace(p), p.max_object_bytes));
+  const uint64_t bytes = trace->requests.size() * sizeof(Request) + sizeof(Trace);
+
+  lock.lock();
+  TraceCache::Entry& entry = c.entries[name];
+  entry.trace = trace;
+  entry.bytes = bytes;
+  entry.last_use = ++c.use_counter;
+  c.total_bytes += bytes;
+  const uint64_t budget = EnvTraceCacheBytes();
+  if (budget > 0) {
+    EvictTracesLocked(c, budget, name);
+  }
+  c.cv.notify_all();
+  return trace;
+}
+
+const Trace& GetTrace(const std::string& name) {
+  // Pinning map: holding the shared_ptr forever keeps the returned
+  // reference valid for the process lifetime regardless of cache eviction.
+  static std::mutex pin_mu;
+  static auto* pinned = new std::map<std::string, std::shared_ptr<const Trace>>();
+  std::shared_ptr<const Trace> trace = GetTraceShared(name);
+  std::lock_guard<std::mutex> lock(pin_mu);
+  auto [it, inserted] = pinned->emplace(name, std::move(trace));
+  return *it->second;
 }
 
 std::vector<std::string> AllTraceNames() {
@@ -120,7 +202,7 @@ sweep::SweepScheduler& SharedSweep() {
     opt.threads = g_configured ? g_threads : EnvThreads();
     opt.store_dir = g_configured ? *g_cache_dir : EnvCacheDir();
     opt.obs_dir = g_configured ? *g_obs_dir : EnvObsDir();
-    opt.trace_provider = [](const std::string& n) -> const Trace& { return GetTrace(n); };
+    opt.trace_provider = [](const std::string& n) { return GetTraceShared(n); };
     *g_sweep = std::make_unique<sweep::SweepScheduler>(std::move(opt));
   }
   return **g_sweep;
@@ -141,6 +223,26 @@ size_t Submit(Trace trace, const EngineConfig& config, sweep::JobEngine engine) 
   auto owned = std::make_shared<const Trace>(std::move(trace));
   spec.trace_name = owned->name;
   spec.trace = std::move(owned);
+  spec.config = config;
+  spec.engine = engine;
+  return SharedSweep().Submit(std::move(spec));
+}
+
+size_t SubmitColumnar(const std::string& path, const EngineConfig& config,
+                      sweep::JobEngine engine) {
+  sweep::SweepJobSpec spec;
+  spec.trace_path = path;
+  spec.trace_identity = sweep::FingerprintColumnarFile(path);
+  spec.config = config;
+  spec.engine = engine;
+  return SharedSweep().Submit(std::move(spec));
+}
+
+size_t SubmitStream(const StreamProfile& profile, const EngineConfig& config,
+                    sweep::JobEngine engine) {
+  sweep::SweepJobSpec spec;
+  spec.stream = profile;
+  spec.trace_identity = sweep::FingerprintStreamProfile(profile);
   spec.config = config;
   spec.engine = engine;
   return SharedSweep().Submit(std::move(spec));

@@ -58,6 +58,21 @@ struct ReplayBatch {
     ops.push_back(r.op);
     times.push_back(r.time);
   }
+
+  // Column-wise append, for copying a row between SoA batches (the sharded
+  // engines partition decoded source chunks into per-shard batches this way)
+  // without round-tripping through a Request struct.
+  void Append(ObjectId id, uint64_t hash, uint64_t size, Op op, SimTime time) {
+    ids.push_back(id);
+    hashes.push_back(hash);
+    sizes.push_back(size);
+    ops.push_back(op);
+    times.push_back(time);
+  }
+
+  // The row as a Request (the controller's Observe path consumes rows in
+  // stream order as structs).
+  Request RowAt(size_t i) const { return Request{times[i], ids[i], sizes[i], ops[i]}; }
 };
 
 }  // namespace macaron

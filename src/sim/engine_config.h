@@ -69,6 +69,13 @@ struct EngineConfig {
   int num_shards = 1;
   int shard_threads = 1;
 
+  // Decode-ahead for streamed sources (see request_source.h): while the
+  // shards replay chunk N, a background worker decodes and prehashes chunk
+  // N+1. An EXECUTION knob like shard_threads — the delivered request
+  // stream is identical either way, so it is excluded from the sweep
+  // fingerprint; disable to debug or to save the extra thread.
+  bool stream_decode_ahead = true;
+
   // Static-configuration parameters.
   uint64_t static_capacity_bytes = 0;  // kStaticCapacity
   SimDuration static_ttl = 0;          // kStaticTtl

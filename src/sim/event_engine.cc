@@ -20,6 +20,7 @@
 #include "src/obs/metrics.h"
 #include "src/osc/osc.h"
 #include "src/sim/shard_router.h"
+#include "src/trace/request_source.h"
 
 namespace macaron {
 
@@ -39,9 +40,10 @@ constexpr double kClientHopMs = 0.3;
 // global event queue's apply order bit-for-bit at any thread count.
 class EventRunner {
  public:
-  EventRunner(const EngineConfig& cfg, const Trace& trace)
+  EventRunner(const EngineConfig& cfg, RequestSource& source)
       : cfg_(cfg),
-        trace_(trace),
+        source_(source),
+        info_(source.Info()),
         prices_(ScaledInfraPrices(cfg.prices, cfg.infra_scale)),
         truth_(cfg.scenario),
         fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
@@ -80,7 +82,7 @@ class EventRunner {
   };
 
   void Setup();
-  void ReplayWindow(size_t begin, size_t end);
+  void ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end);
   void ReplayShardBatch(Shard& sh);
   void HandleRequest(Shard& sh, const Request& r, uint64_t h);
   void WindowBoundary(SimTime t);
@@ -89,7 +91,8 @@ class EventRunner {
   void ChargeOscOps(Shard& sh);
 
   const EngineConfig& cfg_;
-  const Trace& trace_;
+  RequestSource& source_;
+  const SourceInfo& info_;
   PriceBook prices_;
   GroundTruthLatency truth_;
   FittedLatencyGenerator fitted_;
@@ -103,13 +106,13 @@ class EventRunner {
 };
 
 void EventRunner::Setup() {
-  result_.trace_name = trace_.name;
+  result_.trace_name = info_.name;
   result_.approach_name = std::string(ApproachName(cfg_.approach)) + "-proto";
   MACARON_CHECK(cfg_.approach == Approach::kMacaron ||
                 cfg_.approach == Approach::kMacaronNoCluster ||
                 cfg_.approach == Approach::kMacaronTtl);
 
-  const TraceStats stats = ComputeStats(trace_);
+  const TraceStats& stats = info_.stats;
   result_.dataset_bytes = stats.unique_bytes;
 
   // Same sampled-object-population floor as the replay engine (see
@@ -132,7 +135,7 @@ void EventRunner::Setup() {
                  (0x9e3779b97f4a7c15ull * static_cast<uint64_t>(s)));
     sh.osc = std::make_unique<ObjectStorageCache>(cfg_.packing);
     if (cfg_.approach == Approach::kMacaronTtl) {
-      sh.ttl_shadow = std::make_unique<TtlCache>(trace_.end_time() + 2 * kDay);
+      sh.ttl_shadow = std::make_unique<TtlCache>(info_.end_time + 2 * kDay);
     }
     if (cfg_.approach == Approach::kMacaron) {
       sh.cluster = std::make_unique<CacheCluster>(prices_.cache_node_usable_bytes);
@@ -178,7 +181,7 @@ void EventRunner::Setup() {
   if (cfg_.approach == Approach::kMacaronTtl) {
     cc.mode = OptimizationMode::kTtl;
     cc.analyzer.enable_ttl = true;
-    cc.analyzer.max_ttl = std::max<SimDuration>(trace_.duration(), kDay);
+    cc.analyzer.max_ttl = std::max<SimDuration>(info_.duration(), kDay);
   }
   controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
 
@@ -333,13 +336,15 @@ void EventRunner::ReplayShardBatch(Shard& sh) {
   }
 }
 
-void EventRunner::ReplayWindow(size_t begin, size_t end) {
-  const std::vector<Request>& reqs = trace_.requests;
+void EventRunner::ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end) {
+  // Hashes were computed once at decode; partition reuses them (see
+  // Runner::ReplaySegment).
   for (size_t k = begin; k < end; ++k) {
-    const uint64_t h = Mix64(reqs[k].id);
-    shards_[router_.ShardOf(h)].batch.PushBack(reqs[k], h);
+    const uint64_t h = chunk.hashes[k];
+    shards_[router_.ShardOf(h)].batch.Append(chunk.ids[k], h, chunk.sizes[k], chunk.ops[k],
+                                             chunk.times[k]);
   }
-  // Shard replay overlaps controller observation of the same window (in
+  // Shard replay overlaps controller observation of the same segment (in
   // trace order) on this thread; the two touch disjoint state.
   std::vector<std::future<void>> pending;
   for (Shard& sh : shards_) {
@@ -350,7 +355,7 @@ void EventRunner::ReplayWindow(size_t begin, size_t end) {
     pending.push_back(pool_.Submit([this, p] { ReplayShardBatch(*p); }));
   }
   for (size_t k = begin; k < end; ++k) {
-    controller_->Observe(reqs[k]);
+    controller_->Observe(chunk.RowAt(k));
   }
   for (std::future<void>& f : pending) {
     f.get();
@@ -441,7 +446,7 @@ void EventRunner::WindowBoundary(SimTime t) {
 }
 
 void EventRunner::Finalize() {
-  const SimTime end = trace_.end_time();
+  const SimTime end = info_.end_time;
   const SimDuration span = std::max<SimDuration>(end, 1);
 
   // Timeline entries were appended at scheduling time; apply order is time
@@ -498,27 +503,28 @@ void EventRunner::Finalize() {
 
 RunResult EventRunner::Run() {
   Setup();
-  if (trace_.empty()) {
+  if (info_.empty()) {
     return std::move(result_);
   }
-  const std::vector<Request>& reqs = trace_.requests;
-  const size_t n = reqs.size();
+  ChunkCursor cursor(source_, cfg_.stream_decode_ahead);
   SimTime next_boundary = cfg_.window;
-  size_t i = 0;
-  while (i < n) {
-    while (reqs[i].time >= next_boundary) {
-      WindowBoundary(next_boundary);
-      next_boundary += cfg_.window;
+  while (const ReplayBatch* chunk = cursor.Next()) {
+    const size_t n = chunk->size();
+    size_t i = 0;
+    while (i < n) {
+      while (chunk->times[i] >= next_boundary) {
+        WindowBoundary(next_boundary);
+        next_boundary += cfg_.window;
+      }
+      size_t j = i;
+      while (j < n && chunk->times[j] < next_boundary) {
+        ++j;
+      }
+      ReplaySegment(*chunk, i, j);
+      i = j;
     }
-    size_t j = i;
-    while (j < n && reqs[j].time < next_boundary) {
-      ++j;
-    }
-    ReplayWindow(i, j);
-    i = j;
   }
-  const SimTime end = trace_.end_time();
-  WindowBoundary(end + 1);
+  WindowBoundary(info_.end_time + 1);
   // Late events (admissions, a final scheduled apply) still run, as with the
   // single global queue.
   pool_.ParallelFor(shards_.size(), [&](size_t s) { shards_[s].queue.RunAll(); });
@@ -529,7 +535,12 @@ RunResult EventRunner::Run() {
 }  // namespace
 
 RunResult EventEngine::Run(const Trace& trace) const {
-  EventRunner runner(config_, trace);
+  TraceSource source(trace);
+  return Run(source);
+}
+
+RunResult EventEngine::Run(RequestSource& source) const {
+  EventRunner runner(config_, source);
   return runner.Run();
 }
 

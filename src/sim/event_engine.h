@@ -20,6 +20,7 @@
 
 #include "src/sim/engine_config.h"
 #include "src/sim/run_result.h"
+#include "src/trace/request_source.h"
 #include "src/trace/trace.h"
 
 namespace macaron {
@@ -30,6 +31,10 @@ class EventEngine {
 
   // Supports the Macaron approaches (with/without cluster, TTL).
   RunResult Run(const Trace& trace) const;
+
+  // Streaming form; same semantics and bit-identity guarantees as
+  // ReplayEngine::Run(RequestSource&). Rewinds the source before replaying.
+  RunResult Run(RequestSource& source) const;
 
  private:
   EngineConfig config_;

@@ -20,6 +20,7 @@
 #include "src/obs/metrics.h"
 #include "src/osc/osc.h"
 #include "src/sim/shard_router.h"
+#include "src/trace/request_source.h"
 #include "src/trace/trace.h"
 
 namespace macaron {
@@ -95,11 +96,19 @@ namespace {
 // 0..S-1, so the thread count can never affect any output bit.
 // num_shards = 1 routes everything through shard 0 and reproduces the
 // historical sequential engine exactly.
+//
+// The request stream arrives through a RequestSource, one SoA chunk at a
+// time (decode-ahead overlaps the next chunk's decode with replay), so a
+// trace never has to exist in memory at once. Windows are split into
+// chunk-bounded segments; the split preserves per-shard request order,
+// controller observation order, RNG streams, and the boundary sequence, so
+// streamed and materialized replays of the same stream are bit-identical.
 class Runner {
  public:
-  Runner(const EngineConfig& cfg, const Trace& trace)
+  Runner(const EngineConfig& cfg, RequestSource& source)
       : cfg_(cfg),
-        trace_(trace),
+        source_(source),
+        info_(source.Info()),
         prices_(ScaledInfraPrices(cfg.prices, cfg.infra_scale)),
         truth_(cfg.scenario),
         fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
@@ -178,7 +187,7 @@ class Runner {
   }
 
   void Setup();
-  void ReplayWindow(size_t begin, size_t end);
+  void ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end);
   void ReplayShardBatch(Shard& sh);
   void ProcessRequest(Shard& sh, const Request& r, uint64_t h);
   void WindowBoundary(SimTime t);
@@ -196,7 +205,8 @@ class Runner {
   void GetMacaron(Shard& sh, const Request& r, uint64_t h);
 
   const EngineConfig& cfg_;
-  const Trace& trace_;
+  RequestSource& source_;
+  const SourceInfo& info_;
   PriceBook prices_;
   GroundTruthLatency truth_;
   FittedLatencyGenerator fitted_;
@@ -220,10 +230,10 @@ class Runner {
 };
 
 void Runner::Setup() {
-  result_.trace_name = trace_.name;
+  result_.trace_name = info_.name;
   result_.approach_name = ApproachName(cfg_.approach);
 
-  const TraceStats stats = ComputeStats(trace_);
+  const TraceStats& stats = info_.stats;
   const uint64_t dataset =
       cfg_.dataset_bytes_hint != 0 ? cfg_.dataset_bytes_hint : stats.unique_bytes;
   result_.dataset_bytes = dataset;
@@ -263,7 +273,7 @@ void Runner::Setup() {
       if (UsesTtlEviction()) {
         const SimDuration initial_ttl = cfg_.approach == Approach::kStaticTtl
                                             ? cfg_.static_ttl
-                                            : trace_.end_time() + 2 * kDay;
+                                            : info_.end_time + 2 * kDay;
         MACARON_CHECK(initial_ttl > 0);
         sh.ttl_shadow = std::make_unique<TtlCache>(initial_ttl);
       }
@@ -327,7 +337,7 @@ void Runner::Setup() {
       case Approach::kMacaronTtl:
         cc.mode = OptimizationMode::kTtl;
         cc.analyzer.enable_ttl = true;
-        cc.analyzer.max_ttl = std::max<SimDuration>(trace_.duration(), kDay);
+        cc.analyzer.max_ttl = std::max<SimDuration>(info_.duration(), kDay);
         break;
       case Approach::kEcpc:
       case Approach::kFlashEcpc:
@@ -594,16 +604,17 @@ void Runner::ReplayShardBatch(Shard& sh) {
   }
 }
 
-void Runner::ReplayWindow(size_t begin, size_t end) {
-  const std::vector<Request>& reqs = trace_.requests;
-  // Partition this window into per-shard SoA columns. The one Mix64 of the
-  // request path happens here; shard routing and every cache level reuse it.
+void Runner::ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end) {
+  // Partition this segment of the decoded chunk into per-shard SoA columns.
+  // The hash column was filled once at decode (the one Mix64 of the request
+  // path); shard routing and every cache level reuse it.
   for (size_t k = begin; k < end; ++k) {
-    const uint64_t h = Mix64(reqs[k].id);
-    shards_[router_.ShardOf(h)].batch.PushBack(reqs[k], h);
+    const uint64_t h = chunk.hashes[k];
+    shards_[router_.ShardOf(h)].batch.Append(chunk.ids[k], h, chunk.sizes[k], chunk.ops[k],
+                                             chunk.times[k]);
   }
   // Shards replay their columns on the pool while the controller observes
-  // the window's raw stream (in trace order) on this thread. The analyzer
+  // the segment's raw stream (in trace order) on this thread. The analyzer
   // shares no state with the serving shards and its report is only read at
   // the next boundary — after both sides finish — so the overlap cannot
   // affect any output. With a workerless pool, Submit runs the shard
@@ -618,7 +629,7 @@ void Runner::ReplayWindow(size_t begin, size_t end) {
   }
   if (controller_ != nullptr) {
     for (size_t k = begin; k < end; ++k) {
-      controller_->Observe(reqs[k]);
+      controller_->Observe(chunk.RowAt(k));
     }
   }
   for (std::future<void>& f : pending) {
@@ -759,7 +770,7 @@ void Runner::WindowBoundary(SimTime t) {
 }
 
 void Runner::Finalize() {
-  const SimTime end = trace_.end_time();
+  const SimTime end = info_.end_time;
   const SimDuration span = std::max<SimDuration>(end, 1);
 
   // Convert per-shard integrals into per-shard costs (still shard-local, so
@@ -825,29 +836,31 @@ void Runner::Finalize() {
 
 RunResult Runner::Run() {
   Setup();
-  if (trace_.empty()) {
+  if (info_.empty()) {
     return std::move(result_);
   }
-  const std::vector<Request>& reqs = trace_.requests;
-  const size_t n = reqs.size();
+  ChunkCursor cursor(source_, cfg_.stream_decode_ahead);
   SimTime next_boundary = cfg_.window;
-  size_t i = 0;
-  while (i < n) {
-    // Boundaries due before the next request fire first (including the
-    // catch-up over empty windows the sequential engine performed
-    // per-request).
-    while (reqs[i].time >= next_boundary) {
-      WindowBoundary(next_boundary);
-      next_boundary += cfg_.window;
+  while (const ReplayBatch* chunk = cursor.Next()) {
+    const size_t n = chunk->size();
+    size_t i = 0;
+    while (i < n) {
+      // Boundaries due before the next request fire first (including the
+      // catch-up over empty windows the sequential engine performed
+      // per-request).
+      while (chunk->times[i] >= next_boundary) {
+        WindowBoundary(next_boundary);
+        next_boundary += cfg_.window;
+      }
+      size_t j = i;
+      while (j < n && chunk->times[j] < next_boundary) {
+        ++j;
+      }
+      ReplaySegment(*chunk, i, j);
+      i = j;
     }
-    size_t j = i;
-    while (j < n && reqs[j].time < next_boundary) {
-      ++j;
-    }
-    ReplayWindow(i, j);
-    i = j;
   }
-  WindowBoundary(trace_.end_time() + 1);
+  WindowBoundary(info_.end_time + 1);
   Finalize();
   return std::move(result_);
 }
@@ -855,7 +868,12 @@ RunResult Runner::Run() {
 }  // namespace
 
 RunResult ReplayEngine::Run(const Trace& trace) const {
-  Runner runner(config_, trace);
+  TraceSource source(trace);
+  return Run(source);
+}
+
+RunResult ReplayEngine::Run(RequestSource& source) const {
+  Runner runner(config_, source);
   return runner.Run();
 }
 

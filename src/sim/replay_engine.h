@@ -12,6 +12,7 @@
 
 #include "src/sim/engine_config.h"
 #include "src/sim/run_result.h"
+#include "src/trace/request_source.h"
 #include "src/trace/trace.h"
 
 namespace macaron {
@@ -22,6 +23,15 @@ class ReplayEngine {
 
   // Runs `trace` end-to-end and returns the metered result.
   RunResult Run(const Trace& trace) const;
+
+  // Streaming form: replays whatever `source` delivers, one chunk at a
+  // time, with optional decode-ahead (cfg.stream_decode_ahead). Peak memory
+  // is O(chunk), independent of the trace length. Bit-identical to the
+  // materialized form for the same request stream: windows are split into
+  // chunk-bounded segments, which preserves per-shard request order, the
+  // controller's observation order, every RNG stream, and the boundary
+  // sequence. Rewinds (Reset) the source before replaying.
+  RunResult Run(RequestSource& source) const;
 
   const EngineConfig& config() const { return config_; }
 

@@ -12,6 +12,7 @@
 #include "src/sim/event_engine.h"
 #include "src/sim/replay_engine.h"
 #include "src/sim/report_io.h"
+#include "src/trace/columnar_io.h"
 
 namespace macaron {
 namespace sweep {
@@ -73,20 +74,37 @@ SweepScheduler::~SweepScheduler() {
 }
 
 size_t SweepScheduler::Submit(SweepJobSpec spec) {
-  if (spec.trace == nullptr && !spec.trace_name.empty() && options_.trace_provider == nullptr) {
+  const int forms = (spec.trace != nullptr ? 1 : 0) + (!spec.trace_path.empty() ? 1 : 0) +
+                    (spec.stream.has_value() ? 1 : 0) +
+                    (spec.trace == nullptr && !spec.trace_name.empty() ? 1 : 0);
+  if (forms == 0) {
+    throw std::invalid_argument(
+        "sweep: job has no trace (need one of: trace, trace_name, trace_path, stream)");
+  }
+  if (forms > 1) {
+    throw std::invalid_argument("sweep: job specifies more than one trace form");
+  }
+  if (spec.trace == nullptr && spec.trace_path.empty() && !spec.stream.has_value() &&
+      options_.trace_provider == nullptr) {
     throw std::invalid_argument("sweep: named job submitted without a trace provider");
   }
-  if (spec.trace == nullptr && spec.trace_name.empty()) {
-    throw std::invalid_argument("sweep: job has neither a trace nor a trace name");
+  if (spec.stream.has_value() && spec.engine == JobEngine::kOracle) {
+    throw std::invalid_argument(
+        "sweep: oracle jobs need a materialized trace (streamed profiles are unbounded)");
   }
   Fingerprint trace_identity = spec.trace_identity;
   if (trace_identity.IsZero()) {
-    if (spec.trace == nullptr) {
+    if (spec.trace != nullptr) {
+      trace_identity = FingerprintTraceContent(*spec.trace);
+    } else if (!spec.trace_path.empty()) {
+      trace_identity = FingerprintColumnarFile(spec.trace_path);  // throws if unreadable
+    } else if (spec.stream.has_value()) {
+      trace_identity = FingerprintStreamProfile(*spec.stream);
+    } else {
       throw std::invalid_argument(
           "sweep: named job needs an explicit trace identity (content hashing would force "
           "generation at submit time)");
     }
-    trace_identity = FingerprintTraceContent(*spec.trace);
   }
   const Fingerprint key = JobFingerprint(trace_identity, FingerprintEngineConfig(spec.config),
                                          static_cast<int>(spec.engine));
@@ -129,8 +147,39 @@ void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
     if (store_.Load(hex, &exec->result)) {
       exec->metrics.cache_hit = true;
     } else {
-      const Trace& trace =
-          spec.trace != nullptr ? *spec.trace : options_.trace_provider(spec.trace_name);
+      // Resolve the job's request stream. Materialized forms keep shared
+      // ownership alive for the run (so a provider-side eviction cannot
+      // free a trace mid-replay); streamed forms build a RequestSource and
+      // never hold the full trace in memory.
+      std::shared_ptr<const Trace> held;
+      std::unique_ptr<RequestSource> streamed;
+      if (spec.trace != nullptr) {
+        held = spec.trace;
+      } else if (!spec.trace_path.empty()) {
+        std::string error;
+        if (spec.engine == JobEngine::kOracle) {
+          // The oracle needs the whole trace at once; materialize the file.
+          auto materialized = std::make_shared<Trace>();
+          if (!ReadTraceColumnar(spec.trace_path, materialized.get(), &error)) {
+            throw std::runtime_error("sweep: " + error);
+          }
+          held = std::move(materialized);
+        } else {
+          auto opened = ColumnarTraceSource::Open(spec.trace_path, &error);
+          if (opened == nullptr) {
+            throw std::runtime_error("sweep: " + error);
+          }
+          streamed = std::move(opened);
+        }
+      } else if (spec.stream.has_value()) {
+        streamed = std::make_unique<SyntheticStreamSource>(*spec.stream);
+      } else {
+        held = options_.trace_provider(spec.trace_name);
+        if (held == nullptr) {
+          throw std::runtime_error("sweep: trace provider returned null for " +
+                                   spec.trace_name);
+        }
+      }
       // Observability sinks for this execution (oracle jobs have no
       // controller to trace). Local to the job: deliberately excluded from
       // the fingerprint, so attaching them cannot invalidate warm results.
@@ -144,18 +193,21 @@ void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
       }
       switch (spec.engine) {
         case JobEngine::kReplay:
-          exec->result = ReplayEngine(cfg).Run(trace);
+          exec->result = streamed != nullptr ? ReplayEngine(cfg).Run(*streamed)
+                                             : ReplayEngine(cfg).Run(*held);
           break;
         case JobEngine::kEvent:
-          exec->result = EventEngine(cfg).Run(trace);
+          exec->result = streamed != nullptr ? EventEngine(cfg).Run(*streamed)
+                                             : EventEngine(cfg).Run(*held);
           break;
         case JobEngine::kOracle: {
-          const std::string& name = spec.trace_name.empty() ? trace.name : spec.trace_name;
-          exec->result = OracularToRunResult(name, RunOracularWithConfig(trace, spec.config));
+          const std::string& name = spec.trace_name.empty() ? held->name : spec.trace_name;
+          exec->result = OracularToRunResult(name, RunOracularWithConfig(*held, spec.config));
           break;
         }
       }
-      exec->metrics.requests = trace.size();
+      exec->metrics.requests =
+          streamed != nullptr ? streamed->Info().num_requests : held->size();
       store_.Store(hex, exec->result);
       if (observed) {
         const std::string base = options_.obs_dir + "/" + hex;

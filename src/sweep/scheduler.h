@@ -27,6 +27,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "src/sim/run_result.h"
 #include "src/sweep/fingerprint.h"
 #include "src/sweep/result_store.h"
+#include "src/trace/stream_source.h"
 #include "src/trace/trace.h"
 
 namespace macaron {
@@ -50,16 +52,24 @@ enum class JobEngine : int {
 };
 
 struct SweepJobSpec {
-  // Either an explicit trace, or a name the scheduler resolves through the
-  // trace provider on a worker (named resolution lets trace generation
-  // itself run concurrently). When `trace` is set it must stay alive until
-  // the job completes — pass ownership via the shared_ptr if in doubt.
+  // The trace, in exactly one of four forms:
+  //  * an explicit in-memory trace (`trace`; must stay alive until the job
+  //    completes — pass ownership via the shared_ptr if in doubt);
+  //  * a name the scheduler resolves through the trace provider on a worker
+  //    (named resolution lets trace generation itself run concurrently);
+  //  * a columnar (MCTC) file path, streamed chunk by chunk — the trace is
+  //    never materialized, so file-backed jobs run in O(chunk) memory;
+  //  * a streamed synthetic profile (stream_source.h), likewise
+  //    never materialized.
   std::string trace_name;
   std::shared_ptr<const Trace> trace;
+  std::string trace_path;
+  std::optional<StreamProfile> stream;
 
   // Identity of the trace for the result-store key. Zero means "derive":
-  // content hash of `trace` when set (named-only jobs must supply one, since
-  // hashing would force generation at submit time).
+  // content hash of `trace` when set, chunk-directory hash for
+  // `trace_path`, profile hash for `stream` (named-only jobs must supply
+  // one, since hashing would force generation at submit time).
   Fingerprint trace_identity;
 
   EngineConfig config;
@@ -91,8 +101,11 @@ class SweepScheduler {
     // Persistent store directory; empty disables persistence.
     std::string store_dir;
     // Resolves trace names for jobs submitted without an explicit trace.
-    // Called from worker threads; must be thread-safe.
-    std::function<const Trace&(const std::string&)> trace_provider;
+    // Called from worker threads; must be thread-safe. Returns shared
+    // ownership so a provider may evict its own cache (the bench harness
+    // caps it via MACARON_TRACE_CACHE_BYTES) while jobs still hold the
+    // traces they are replaying.
+    std::function<std::shared_ptr<const Trace>(const std::string&)> trace_provider;
     // Observability output directory; empty (the default) disables. When
     // set, every executed replay/event job runs with a decision trace and
     // metrics registry attached and writes <fingerprint>.trace.jsonl /

@@ -1,0 +1,87 @@
+// Bounded-memory synthetic request stream.
+//
+// GenerateTrace (synthetic.h) materializes every request — it sorts the
+// full arrival timestamp vector — so it cannot reach the 10^8..10^9+
+// request horizons where cloud-cache economics play out (long-horizon TTL
+// and capacity effects). SyntheticStreamSource generates a Zipf-popularity
+// workload one chunk at a time instead: request i's timestamp is computed
+// by index (evenly paced over the configured span, monotone by
+// construction), popularity ranks come from the O(1)-memory
+// rejection-inversion ZipfSampler, per-object sizes are a stateless
+// lognormal transform of the object id, and optional popularity drift
+// rotates which objects hold the hot ranks on a fixed cadence. Peak memory
+// is O(chunk + object population), independent of num_requests.
+//
+// Determinism: the stream is a pure function of the profile. Generation is
+// sequential (one RNG advanced request by request), so the delivered
+// request sequence is identical at every chunk size — chunk boundaries
+// only change how the same stream is sliced. The exact TraceStats the
+// engines configure from are computed by a streaming pre-pass at
+// construction (same bounded memory).
+
+#ifndef MACARON_SRC_TRACE_STREAM_SOURCE_H_
+#define MACARON_SRC_TRACE_STREAM_SOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/trace/request_source.h"
+
+namespace macaron {
+
+// Parameters of a streamed synthetic workload. Unlike WorkloadProfile this
+// is sized in requests, not bytes: the point is horizon scale.
+struct StreamProfile {
+  std::string name = "stream";
+  uint64_t num_requests = 0;
+  // Distinct object slots; ids are a fixed pseudorandom relabeling of
+  // [0, population), so unique_objects approaches `population` from below.
+  uint64_t population = 1ull << 20;
+  double zipf_alpha = 0.8;
+  // Request timestamps pace evenly over [0, duration].
+  SimDuration duration = 2 * kDay;
+  uint64_t mean_object_bytes = 1ull << 20;  // lognormal mean of object sizes
+  double object_size_sigma = 0.5;           // lognormal sigma (0 = fixed size)
+  double put_fraction = 0.1;
+  double delete_fraction = 0.0;
+  // Popularity drift: every `drift_period` of simulated time, the mapping
+  // from popularity rank to object rotates by population/16 slots, so the
+  // hot set moves through the id space. 0 disables drift.
+  SimDuration drift_period = 0;
+  uint64_t seed = 1;
+};
+
+class SyntheticStreamSource : public RequestSource {
+ public:
+  explicit SyntheticStreamSource(const StreamProfile& profile,
+                                 size_t chunk_records = kDefaultChunkRecords);
+
+  const SourceInfo& Info() const override { return info_; }
+  void Reset() override;
+  bool FillNext(ReplayBatch* out) override;
+
+  const StreamProfile& profile() const { return profile_; }
+
+ private:
+  Request GenerateNext();
+  SimTime TimeAt(uint64_t i) const;
+  uint64_t SizeForId(ObjectId id) const;
+
+  StreamProfile profile_;
+  size_t chunk_records_;
+  ZipfSampler zipf_;
+  Rng rng_;
+  uint64_t pos_ = 0;
+  uint64_t id_salt_ = 0;
+  uint64_t size_salt_a_ = 0;
+  uint64_t size_salt_b_ = 0;
+  uint64_t drift_step_ = 0;
+  double size_mu_ = 0.0;
+  SourceInfo info_;
+};
+
+}  // namespace macaron
+
+#endif  // MACARON_SRC_TRACE_STREAM_SOURCE_H_

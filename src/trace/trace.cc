@@ -70,57 +70,74 @@ double FitZipfAlpha(const std::unordered_map<ObjectId, uint64_t>& freq) {
 
 }  // namespace
 
-TraceStats ComputeStats(const Trace& trace) {
-  TraceStats s;
-  std::unordered_map<ObjectId, uint64_t> sizes;
-  std::unordered_map<ObjectId, uint64_t> get_freq;
-  std::vector<uint64_t> all_sizes;
-  sizes.reserve(trace.size() / 4 + 16);
-  get_freq.reserve(trace.size() / 4 + 16);
-  all_sizes.reserve(trace.size());
-  for (const Request& r : trace.requests) {
-    ++s.num_requests;
-    all_sizes.push_back(r.size);
-    switch (r.op) {
-      case Op::kGet: {
-        ++s.num_gets;
-        s.get_bytes += r.size;
-        auto [it, inserted] = sizes.try_emplace(r.id, r.size);
-        if (inserted) {
-          s.unique_bytes += r.size;
-          s.unique_get_bytes += r.size;
-        }
-        get_freq[r.id]++;
-        break;
-      }
-      case Op::kPut: {
-        ++s.num_puts;
-        s.put_bytes += r.size;
-        auto [it, inserted] = sizes.try_emplace(r.id, r.size);
-        if (inserted) {
-          s.unique_bytes += r.size;
-        }
-        break;
-      }
-      case Op::kDelete:
-        ++s.num_deletes;
-        break;
-    }
+void TraceStatsBuilder::Add(const Request& r) {
+  if (!any_) {
+    first_time_ = r.time;
+    any_ = true;
   }
-  s.unique_objects = sizes.size();
+  last_time_ = r.time;
+  ++s_.num_requests;
+  ++size_counts_[r.size];
+  switch (r.op) {
+    case Op::kGet: {
+      ++s_.num_gets;
+      s_.get_bytes += r.size;
+      auto [it, inserted] = sizes_.try_emplace(r.id, r.size);
+      if (inserted) {
+        s_.unique_bytes += r.size;
+        s_.unique_get_bytes += r.size;
+      }
+      get_freq_[r.id]++;
+      break;
+    }
+    case Op::kPut: {
+      ++s_.num_puts;
+      s_.put_bytes += r.size;
+      auto [it, inserted] = sizes_.try_emplace(r.id, r.size);
+      if (inserted) {
+        s_.unique_bytes += r.size;
+      }
+      break;
+    }
+    case Op::kDelete:
+      ++s_.num_deletes;
+      break;
+  }
+}
+
+TraceStats TraceStatsBuilder::Finish() const {
+  TraceStats s = s_;
+  s.unique_objects = sizes_.size();
   s.compulsory_miss_ratio =
       s.get_bytes == 0 ? 0.0
                        : static_cast<double>(s.unique_get_bytes) / static_cast<double>(s.get_bytes);
-  s.zipf_alpha = FitZipfAlpha(get_freq);
-  const SimDuration span = trace.duration();
+  s.zipf_alpha = FitZipfAlpha(get_freq_);
+  const SimDuration span = last_time_ - first_time_;
   s.mean_request_rate =
       span <= 0 ? 0.0 : static_cast<double>(s.num_requests) / DurationSeconds(span);
-  if (!all_sizes.empty()) {
-    const size_t mid = all_sizes.size() / 2;
-    std::nth_element(all_sizes.begin(), all_sizes.begin() + mid, all_sizes.end());
-    s.median_object_bytes = all_sizes[mid];
+  if (s.num_requests > 0) {
+    // The mid-th order statistic of the full size sequence, read off the
+    // ordered size -> count histogram (identical to nth_element on a vector
+    // of every request's size, without materializing that vector).
+    const uint64_t mid = s.num_requests / 2;
+    uint64_t cum = 0;
+    for (const auto& [size, count] : size_counts_) {
+      cum += count;
+      if (cum > mid) {
+        s.median_object_bytes = size;
+        break;
+      }
+    }
   }
   return s;
+}
+
+TraceStats ComputeStats(const Trace& trace) {
+  TraceStatsBuilder b;
+  for (const Request& r : trace.requests) {
+    b.Add(r);
+  }
+  return b.Finish();
 }
 
 std::string TraceStats::Summary() const {

@@ -4,7 +4,9 @@
 #define MACARON_SRC_TRACE_TRACE_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/trace/request.h"
@@ -46,6 +48,31 @@ struct TraceStats {
 };
 
 TraceStats ComputeStats(const Trace& trace);
+
+// Streaming accumulator behind ComputeStats: feed requests one at a time
+// (in trace order) and Finish() at end of stream. Produces bit-identical
+// TraceStats to ComputeStats over the same request sequence, but never
+// needs the trace materialized — the out-of-core sources (columnar reader,
+// synthetic stream generator) run their stats pre-pass through this.
+// Memory is O(unique objects + distinct sizes), independent of trace
+// length; the median is exact, taken from an ordered size -> count map
+// instead of an all-sizes vector.
+class TraceStatsBuilder {
+ public:
+  void Add(const Request& r);
+  // Derived fields use the observed [first, last] request-time span, the
+  // same span Trace::duration() yields on a sorted trace.
+  TraceStats Finish() const;
+
+ private:
+  TraceStats s_;
+  std::unordered_map<ObjectId, uint64_t> sizes_;
+  std::unordered_map<ObjectId, uint64_t> get_freq_;
+  std::map<uint64_t, uint64_t> size_counts_;
+  SimTime first_time_ = 0;
+  SimTime last_time_ = 0;
+  bool any_ = false;
+};
 
 }  // namespace macaron
 

@@ -12,7 +12,10 @@ namespace macaron {
 namespace {
 
 constexpr char kMagic[4] = {'M', 'C', 'T', 'R'};
-constexpr uint32_t kVersion = 1;
+// v1: raw packed records. v2: each staging chunk framed with its record
+// count and FNV-1a checksum. The writer emits v2; the reader accepts both.
+constexpr uint32_t kLegacyVersion = 1;
+constexpr uint32_t kVersion = 2;
 
 struct PackedRecord {
   int64_t time;
@@ -36,6 +39,21 @@ struct FileCloser {
   }
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+uint64_t Fnv1a(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
 
 // Parses one CSV field as an integer, advancing `p` past the field and the
 // trailing delimiter. Rejects empty/malformed/overflowing fields.
@@ -84,7 +102,13 @@ bool WriteTraceBinary(const Trace& trace, const std::string& path) {
       rec.op = static_cast<uint8_t>(r.op);
       chunk[i] = rec;
     }
-    if (std::fwrite(chunk.data(), sizeof(PackedRecord), n, f.get()) != n) {
+    // v2 chunk frame: record count + checksum of the packed bytes, so a
+    // reader can pinpoint the first damaged chunk instead of reading short.
+    const uint32_t chunk_count = static_cast<uint32_t>(n);
+    const uint64_t chunk_fnv = Fnv1a(chunk.data(), n * sizeof(PackedRecord));
+    if (std::fwrite(&chunk_count, sizeof(chunk_count), 1, f.get()) != 1 ||
+        std::fwrite(&chunk_fnv, sizeof(chunk_fnv), 1, f.get()) != 1 ||
+        std::fwrite(chunk.data(), sizeof(PackedRecord), n, f.get()) != n) {
       return false;
     }
     done += n;
@@ -92,17 +116,44 @@ bool WriteTraceBinary(const Trace& trace, const std::string& path) {
   return true;
 }
 
-bool ReadTraceBinary(const std::string& path, Trace* out) {
+namespace {
+
+// Appends `n` validated records from the staging chunk.
+bool AppendRecords(const std::vector<PackedRecord>& chunk, size_t n, Trace* out,
+                   std::string* error) {
+  for (size_t i = 0; i < n; ++i) {
+    const PackedRecord& rec = chunk[i];
+    if (rec.op > static_cast<uint8_t>(Op::kDelete)) {
+      SetError(error, "mctr: op byte out of range (corrupt record)");
+      return false;
+    }
+    out->requests.push_back(Request{rec.time, rec.id, rec.size, static_cast<Op>(rec.op)});
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ReadTraceBinary(const std::string& path, Trace* out, std::string* error) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (f == nullptr) {
+    SetError(error, "mctr: cannot open " + path);
     return false;
   }
   char magic[4];
   uint32_t version = 0;
   uint64_t count = 0;
-  if (std::fread(magic, 1, 4, f.get()) != 4 || std::memcmp(magic, kMagic, 4) != 0 ||
-      std::fread(&version, sizeof(version), 1, f.get()) != 1 || version != kVersion ||
-      std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+  if (std::fread(magic, 1, 4, f.get()) != 4 || std::memcmp(magic, kMagic, 4) != 0) {
+    SetError(error, "mctr: " + path + ": missing MCTR magic (foreign file)");
+    return false;
+  }
+  if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+      (version != kLegacyVersion && version != kVersion)) {
+    SetError(error, "mctr: " + path + ": unsupported version " + std::to_string(version));
+    return false;
+  }
+  if (std::fread(&count, sizeof(count), 1, f.get()) != 1) {
+    SetError(error, "mctr: " + path + ": truncated header");
     return false;
   }
   out->requests.clear();
@@ -110,33 +161,69 @@ bool ReadTraceBinary(const std::string& path, Trace* out) {
   // trigger a huge allocation before the first failed read.
   const long header_end = std::ftell(f.get());
   if (header_end < 0 || std::fseek(f.get(), 0, SEEK_END) != 0) {
+    SetError(error, "mctr: " + path + ": seek failed");
     return false;
   }
   const long file_end = std::ftell(f.get());
   if (file_end < header_end || std::fseek(f.get(), header_end, SEEK_SET) != 0) {
+    SetError(error, "mctr: " + path + ": seek failed");
     return false;
   }
-  const uint64_t available =
-      static_cast<uint64_t>(file_end - header_end) / sizeof(PackedRecord);
+  const uint64_t body_bytes = static_cast<uint64_t>(file_end - header_end);
+  const uint64_t available = version == kLegacyVersion
+                                 ? body_bytes / sizeof(PackedRecord)
+                                 : body_bytes;  // v2 framing checked per chunk below
   if (count > available) {
+    SetError(error, "mctr: " + path + ": header claims " + std::to_string(count) +
+                        " records but the file is too short (truncated)");
     return false;
   }
   out->requests.reserve(count);
-  std::vector<PackedRecord> chunk(std::min<uint64_t>(kChunkRecords, count));
+  std::vector<PackedRecord> chunk(
+      static_cast<size_t>(std::min<uint64_t>(kChunkRecords, std::max<uint64_t>(count, 1))));
   uint64_t done = 0;
+  size_t chunk_index = 0;
   while (done < count) {
-    const size_t n = static_cast<size_t>(std::min<uint64_t>(kChunkRecords, count - done));
-    if (std::fread(chunk.data(), sizeof(PackedRecord), n, f.get()) != n) {
-      return false;
-    }
-    for (size_t i = 0; i < n; ++i) {
-      const PackedRecord& rec = chunk[i];
-      if (rec.op > static_cast<uint8_t>(Op::kDelete)) {
+    size_t n = static_cast<size_t>(std::min<uint64_t>(kChunkRecords, count - done));
+    if (version == kVersion) {
+      uint32_t framed_count = 0;
+      uint64_t framed_fnv = 0;
+      if (std::fread(&framed_count, sizeof(framed_count), 1, f.get()) != 1 ||
+          std::fread(&framed_fnv, sizeof(framed_fnv), 1, f.get()) != 1) {
+        SetError(error, "mctr: " + path + ": truncated at chunk " + std::to_string(chunk_index) +
+                            " frame header");
         return false;
       }
-      out->requests.push_back(Request{rec.time, rec.id, rec.size, static_cast<Op>(rec.op)});
+      if (framed_count == 0 || framed_count > kChunkRecords || framed_count > count - done) {
+        SetError(error, "mctr: " + path + ": implausible chunk " + std::to_string(chunk_index) +
+                            " record count");
+        return false;
+      }
+      n = framed_count;
+      if (std::fread(chunk.data(), sizeof(PackedRecord), n, f.get()) != n) {
+        SetError(error, "mctr: " + path + ": truncated in chunk " + std::to_string(chunk_index));
+        return false;
+      }
+      if (Fnv1a(chunk.data(), n * sizeof(PackedRecord)) != framed_fnv) {
+        SetError(error, "mctr: " + path + ": chunk " + std::to_string(chunk_index) +
+                            " checksum mismatch (corrupt data)");
+        return false;
+      }
+    } else {
+      if (std::fread(chunk.data(), sizeof(PackedRecord), n, f.get()) != n) {
+        SetError(error, "mctr: " + path + ": truncated in chunk " + std::to_string(chunk_index));
+        return false;
+      }
+    }
+    if (!AppendRecords(chunk, n, out, error)) {
+      return false;
     }
     done += n;
+    ++chunk_index;
+  }
+  if (std::fgetc(f.get()) != EOF) {
+    SetError(error, "mctr: " + path + ": trailing bytes after the last record (torn write?)");
+    return false;
   }
   return true;
 }

@@ -10,10 +10,16 @@
 
 namespace macaron {
 
-// Binary format: magic "MCTR", u32 version, u64 count, then packed records.
-// Returns false on I/O failure.
+// Row binary format: magic "MCTR", u32 version, u64 count, then packed
+// records. The writer emits version 2, which frames every staging chunk
+// with its record count and an FNV-1a checksum (the hardened-ResultStore
+// discipline), so truncation and bit rot are detected chunk by chunk. The
+// reader accepts version 1 (legacy: magic + count-vs-file-size validation
+// only) and version 2 (checksummed). Returns false on failure; when
+// `error` is non-null it receives a clear description instead of the
+// caller guessing from a silent short read.
 bool WriteTraceBinary(const Trace& trace, const std::string& path);
-bool ReadTraceBinary(const std::string& path, Trace* out);
+bool ReadTraceBinary(const std::string& path, Trace* out, std::string* error = nullptr);
 
 // CSV format: header "time_ms,op,object_id,size_bytes", one row per request.
 bool WriteTraceCsv(const Trace& trace, const std::string& path);

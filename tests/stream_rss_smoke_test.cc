@@ -1,0 +1,85 @@
+// Bounded-memory smoke test for the out-of-core pipeline: replays a
+// 10^7-request synthetic stream through the ReplayEngine and asserts peak
+// RSS stays far below what materializing the trace would need (10^7
+// requests are 320 MB of Request records alone, before generation
+// overhead). This is the end-to-end check that no stage of the streaming
+// path — generator pre-pass, chunk decode, decode-ahead buffers, engine —
+// accumulates O(trace) state.
+//
+// The RSS assertion is skipped under ASan/TSan (shadow memory and quarantine
+// inflate ru_maxrss by design); the replay itself still runs.
+
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+
+#include <cstdint>
+
+#include "src/sim/replay_engine.h"
+#include "src/trace/stream_source.h"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MACARON_RSS_INFLATED_BY_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MACARON_RSS_INFLATED_BY_SANITIZER 1
+#endif
+
+namespace macaron {
+namespace {
+
+uint64_t PeakRssBytes() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // Linux: KB
+}
+
+TEST(StreamRssSmokeTest, TenMillionRequestsInBoundedMemory) {
+  StreamProfile p;
+  p.name = "rss-smoke";
+  p.num_requests = 10'000'000;
+  p.population = 1ull << 17;
+  p.zipf_alpha = 0.9;
+  p.duration = 2 * kDay;
+  p.mean_object_bytes = 1ull << 20;
+  p.put_fraction = 0.1;
+  p.seed = 5;
+
+  EngineConfig cfg;
+  cfg.approach = Approach::kMacaronNoCluster;
+  cfg.prices = PriceBook::Aws(DeploymentScenario::kCrossCloud);
+  cfg.num_shards = 4;
+  cfg.shard_threads = 4;
+  cfg.stream_decode_ahead = true;
+  // Latency percentiles store every sample (O(requests) by design — the
+  // RunResult serialization depends on the exact sample sequence); they are
+  // orthogonal to the out-of-core trace path this test bounds.
+  cfg.measure_latency = false;
+
+  SyntheticStreamSource source(p);
+  ASSERT_EQ(source.Info().num_requests, p.num_requests);
+  const RunResult r = ReplayEngine(cfg).Run(source);
+
+  // The whole stream must actually have been replayed.
+  EXPECT_EQ(r.gets, source.Info().stats.num_gets);
+  EXPECT_GT(r.gets, p.num_requests / 2);
+
+  const uint64_t materialized_bytes = p.num_requests * sizeof(Request);
+  const uint64_t peak = PeakRssBytes();
+#ifdef MACARON_RSS_INFLATED_BY_SANITIZER
+  GTEST_SKIP() << "sanitizer build: peak RSS " << (peak >> 20)
+               << " MiB is dominated by shadow memory; bound not meaningful";
+#else
+  // Well under the 320 MB the materialized request vector alone would take;
+  // actual peak is O(chunk buffers + object population), ~100 MiB.
+  const uint64_t budget = 256ull << 20;
+  EXPECT_LT(peak, budget) << "peak RSS " << (peak >> 20) << " MiB — the streaming path is "
+                          << "holding O(trace) state (materialized would be "
+                          << (materialized_bytes >> 20) << " MiB)";
+#endif
+}
+
+}  // namespace
+}  // namespace macaron

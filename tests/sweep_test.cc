@@ -242,14 +242,14 @@ TEST(SweepSchedulerTest, PersistentStoreServesSecondProcess) {
   const WorkloadProfile profile = SmallProfile("persist", 9);
   const sweep::Fingerprint identity = sweep::FingerprintWorkloadProfile(profile);
   std::atomic<int> generations{0};
-  auto provider = [&](const std::string& name) -> const Trace& {
-    static std::map<std::string, Trace>* memo = new std::map<std::string, Trace>();
+  auto provider = [&](const std::string& name) -> std::shared_ptr<const Trace> {
+    static auto* memo = new std::map<std::string, std::shared_ptr<const Trace>>();
     static std::mutex mu;
     std::lock_guard<std::mutex> lock(mu);
     auto it = memo->find(name);
     if (it == memo->end()) {
       generations.fetch_add(1);
-      it = memo->emplace(name, SmallTrace("persist", 9)).first;
+      it = memo->emplace(name, std::make_shared<const Trace>(SmallTrace("persist", 9))).first;
     }
     return it->second;
   };

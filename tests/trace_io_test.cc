@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "src/trace/trace.h"
@@ -97,6 +100,117 @@ TEST(TraceIoBulkTest, BinaryRejectsBadOp) {
   std::fclose(f);
   Trace back;
   EXPECT_FALSE(ReadTraceBinary(path, &back));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryChecksumCatchesMidFileBitFlip) {
+  // Damage deep inside the second chunk: v1 would read it back silently;
+  // the v2 per-chunk FNV must name the damaged chunk.
+  const Trace t = MakeBigTrace((1 << 16) + 500);
+  const std::string path = TempPath("bitflip.mctr");
+  ASSERT_TRUE(WriteTraceBinary(t, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  // Past the header (16), first chunk frame (12) + records (64K * 32), and
+  // the second chunk's frame (12): inside the second chunk's records.
+  ASSERT_EQ(std::fseek(f, 16 + 12 + (1 << 16) * 32 + 12 + 100, SEEK_SET), 0);
+  const int orig = std::fgetc(f);
+  ASSERT_NE(orig, EOF);
+  ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+  std::fputc(orig ^ 0x10, f);
+  std::fclose(f);
+  Trace back;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &back, &error));
+  EXPECT_NE(error.find("chunk 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryLegacyV1StillReads) {
+  // Hand-built v1 file: unframed packed records straight after the header.
+  const Trace t = MakeBigTrace(100);
+  std::string blob = "MCTR";
+  const uint32_t version = 1;
+  const uint64_t count = t.requests.size();
+  blob.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  blob.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Request& r : t.requests) {
+    char rec[32] = {};
+    std::memcpy(rec, &r.time, 8);
+    std::memcpy(rec + 8, &r.id, 8);
+    std::memcpy(rec + 16, &r.size, 8);
+    rec[24] = static_cast<char>(r.op);
+    blob.append(rec, sizeof(rec));
+  }
+  const std::string path = TempPath("legacy_v1.mctr");
+  WriteFile(path, blob);
+  Trace back;
+  std::string error;
+  ASSERT_TRUE(ReadTraceBinary(path, &back, &error)) << error;
+  ASSERT_EQ(back.requests.size(), t.requests.size());
+  for (size_t i = 0; i < t.requests.size(); ++i) {
+    ASSERT_EQ(back.requests[i], t.requests[i]) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryRejectsForeignMagic) {
+  const std::string path = TempPath("foreign.mctr");
+  WriteFile(path, "PNG\x89 definitely not a trace file");
+  Trace t;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &t, &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryRejectsUnsupportedVersion) {
+  std::string blob = "MCTR";
+  const uint32_t version = 9;
+  const uint64_t count = 0;
+  blob.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  blob.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  const std::string path = TempPath("badversion.mctr");
+  WriteFile(path, blob);
+  Trace t;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &t, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryRejectsTrailingBytes) {
+  Trace t;
+  t.requests.push_back(Request{0, 1, 100, Op::kGet});
+  const std::string path = TempPath("trailing.mctr");
+  ASSERT_TRUE(WriteTraceBinary(t, path));
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc('x', f);
+  std::fclose(f);
+  Trace back;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &back, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoBulkTest, BinaryRejectsTruncatedTail) {
+  // Chop the final record: the v2 frame claims more records than remain.
+  const Trace t = MakeBigTrace(1000);
+  const std::string path = TempPath("chopped.mctr");
+  ASSERT_TRUE(WriteTraceBinary(t, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 16), 0);
+  Trace back;
+  std::string error;
+  EXPECT_FALSE(ReadTraceBinary(path, &back, &error));
+  EXPECT_FALSE(error.empty());
   std::remove(path.c_str());
 }
 
