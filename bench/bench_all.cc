@@ -11,6 +11,7 @@
 // Usage:
 //   bench_all [--threads N] [--cache-dir DIR] [--cold] [--only SUBSTR]
 //             [--json PATH] [--metrics] [--metrics-dir DIR] [--list]
+//             [--compare BASELINE.json] [--compare-threshold PCT]
 //
 //   --threads N      worker threads (default: MACARON_SWEEP_THREADS or cores)
 //   --cache-dir D    persistent result cache (default: MACARON_RESULT_CACHE
@@ -25,6 +26,17 @@
 //   --metrics-dir D  observability output directory (default
 //                    .macaron-metrics; implies --metrics)
 //   --list           print figure names and exit
+//   --compare B      after the run, diff per-figure wall clock and scheduler
+//                    busy-seconds against a BENCH_sweep.json recorded by a
+//                    previous run (the --json output); prints one delta line
+//                    per figure and exits 3 if anything regressed beyond the
+//                    threshold. Meaningful for like-for-like runs (both
+//                    --cold, same --threads); the delta report goes to
+//                    stderr so figure stdout stays byte-identical.
+//   --compare-threshold PCT
+//                    regression tolerance for --compare, percent (default
+//                    15; small figures additionally get a 50 ms floor so
+//                    scheduler jitter does not trip the gate)
 //
 // Only simulated jobs emit traces: a result served from a warm cache ran no
 // controller, so --metrics over a warm store writes nothing. Combine with
@@ -32,8 +44,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -95,6 +109,111 @@ void WriteJson(const std::string& path, int threads, double total_seconds,
   std::fclose(f);
 }
 
+// Baseline data mined from a previous run's --json report. The file format
+// is our own WriteJson output, so a targeted scan beats dragging in a JSON
+// parser: one "busy_seconds" scalar plus {"name", "seconds"} per figure.
+struct Baseline {
+  bool ok = false;
+  double busy_seconds = -1.0;
+  std::vector<std::pair<std::string, double>> figure_seconds;
+};
+
+Baseline ReadBaseline(const std::string& path) {
+  Baseline b;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return b;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+
+  const auto find_double_after = [&](const char* key, size_t from, double* out) -> size_t {
+    const size_t k = text.find(key, from);
+    if (k == std::string::npos) {
+      return std::string::npos;
+    }
+    const size_t colon = text.find(':', k);
+    if (colon == std::string::npos) {
+      return std::string::npos;
+    }
+    *out = std::strtod(text.c_str() + colon + 1, nullptr);
+    return colon;
+  };
+
+  double busy = -1.0;
+  if (find_double_after("\"busy_seconds\"", 0, &busy) != std::string::npos) {
+    b.busy_seconds = busy;
+  }
+  size_t pos = text.find("\"figures\"");
+  while (pos != std::string::npos) {
+    const size_t name_key = text.find("\"name\"", pos);
+    if (name_key == std::string::npos) {
+      break;
+    }
+    const size_t open = text.find('"', text.find(':', name_key) + 1);
+    const size_t close = open == std::string::npos ? std::string::npos : text.find('"', open + 1);
+    if (close == std::string::npos) {
+      break;
+    }
+    double seconds = 0.0;
+    const size_t spos = find_double_after("\"seconds\"", close, &seconds);
+    if (spos == std::string::npos) {
+      break;
+    }
+    b.figure_seconds.emplace_back(text.substr(open + 1, close - open - 1), seconds);
+    pos = spos;
+  }
+  b.ok = !b.figure_seconds.empty() || b.busy_seconds >= 0.0;
+  return b;
+}
+
+// Per-figure wall-clock deltas vs the baseline, to stderr (figure stdout
+// must stay byte-identical under --compare). Returns the number of
+// regressions beyond `threshold_pct` — with an absolute 50 ms floor so the
+// gate measures the simulator, not scheduler jitter on sub-100 ms figures.
+int CompareWithBaseline(const Baseline& base, double threshold_pct,
+                        const std::vector<FigureTiming>& timings,
+                        const sweep::SweepStats& stats) {
+  constexpr double kAbsFloorSeconds = 0.05;
+  int regressions = 0;
+  std::fprintf(stderr, "\nbench_all: --compare deltas (threshold %+.0f%%)\n", threshold_pct);
+  for (const FigureTiming& ft : timings) {
+    double base_seconds = -1.0;
+    for (const auto& [name, seconds] : base.figure_seconds) {
+      if (name == ft.name) {
+        base_seconds = seconds;
+        break;
+      }
+    }
+    if (base_seconds < 0.0) {
+      std::fprintf(stderr, "  %-28s %7.3fs  (not in baseline)\n", ft.name.c_str(), ft.seconds);
+      continue;
+    }
+    const double delta = ft.seconds - base_seconds;
+    const double pct = base_seconds > 0.0 ? 100.0 * delta / base_seconds : 0.0;
+    const bool regressed =
+        delta > kAbsFloorSeconds && base_seconds > 0.0 && pct > threshold_pct;
+    std::fprintf(stderr, "  %-28s %7.3fs vs %7.3fs  %+7.1f%%%s\n", ft.name.c_str(), ft.seconds,
+                 base_seconds, pct, regressed ? "  [REGRESSION]" : "");
+    regressions += regressed ? 1 : 0;
+  }
+  if (base.busy_seconds >= 0.0) {
+    const double delta = stats.busy_seconds - base.busy_seconds;
+    const double pct = base.busy_seconds > 0.0 ? 100.0 * delta / base.busy_seconds : 0.0;
+    const bool regressed =
+        delta > kAbsFloorSeconds && base.busy_seconds > 0.0 && pct > threshold_pct;
+    std::fprintf(stderr, "  %-28s %7.3fs vs %7.3fs  %+7.1f%%%s\n", "(scheduler busy)",
+                 stats.busy_seconds, base.busy_seconds, pct, regressed ? "  [REGRESSION]" : "");
+    regressions += regressed ? 1 : 0;
+  }
+  return regressions;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +226,8 @@ int main(int argc, char** argv) {
   bool metrics = false;
   std::string metrics_dir = ".macaron-metrics";
   std::string json_path = "BENCH_sweep.json";
+  std::string compare_path;
+  double compare_threshold = 15.0;
   std::vector<std::string> only;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -139,6 +260,10 @@ int main(int argc, char** argv) {
       only.push_back(next("--only"));
     } else if (arg == "--json") {
       json_path = next("--json");
+    } else if (arg == "--compare") {
+      compare_path = next("--compare");
+    } else if (arg == "--compare-threshold") {
+      compare_threshold = std::atof(next("--compare-threshold").c_str());
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg == "--metrics-dir") {
@@ -230,6 +355,19 @@ int main(int argc, char** argv) {
                  "bench_all: decision traces + metrics for %zu simulated jobs in %s "
                  "(warm-cache jobs emit none)\n",
                  stats.executed, metrics_dir.c_str());
+  }
+  if (!compare_path.empty()) {
+    const Baseline base = ReadBaseline(compare_path);
+    if (!base.ok) {
+      std::fprintf(stderr, "bench_all: --compare cannot read %s\n", compare_path.c_str());
+      return 2;
+    }
+    const int regressions = CompareWithBaseline(base, compare_threshold, timings, stats);
+    if (regressions > 0) {
+      std::fprintf(stderr, "bench_all: %d figure(s) regressed beyond %.0f%%\n", regressions,
+                   compare_threshold);
+      return failures == 0 ? 3 : 1;
+    }
   }
   return failures == 0 ? 0 : 1;
 }

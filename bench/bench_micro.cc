@@ -24,6 +24,7 @@
 #include "src/cluster/hash_ring.h"
 #include "src/common/rng.h"
 #include "src/common/zipf.h"
+#include "src/controller/analyzer.h"
 #include "src/minisim/alc_bank.h"
 #include "src/minisim/mrc_bank.h"
 #include "src/minisim/size_grid.h"
@@ -340,6 +341,68 @@ void BM_MiniSimWindowTtl(benchmark::State& state) {
                           static_cast<int64_t>(MiniSimWindowStream().size()));
 }
 BENCHMARK(BM_MiniSimWindowTtl)->Unit(benchmark::kMillisecond);
+
+// --- Columnar observe path (the engines' ObserveColumns hot path) ---
+//
+// One iteration = one full analysis window through a three-bank analyzer
+// (MRC + ALC + TTL), fed the way the engines feed it: SoA chunks with
+// ingest-domain hashes. Arg 0 replays the chunks per row through
+// Observe/Process (the old critical path); Arg 1 feeds whole chunks through
+// ProcessColumns (salted rehash + branch-free compaction + bulk append).
+// The spread is what the columnar observe path saves per request.
+void BM_ObserveColumns(benchmark::State& state) {
+  const bool columnar = state.range(0) != 0;
+  static const std::vector<ReplayBatch>* chunks = [] {
+    auto* c = new std::vector<ReplayBatch>();
+    Rng rng(14);
+    ZipfSampler zipf(300000, 0.7);
+    constexpr size_t kChunk = 4096;
+    constexpr size_t kTotal = 1 << 17;
+    SimTime t = 0;
+    for (size_t done = 0; done < kTotal; done += kChunk) {
+      ReplayBatch chunk;
+      chunk.Reserve(kChunk);
+      for (size_t i = 0; i < kChunk; ++i) {
+        const ObjectId id = zipf.Sample(rng);
+        Op op = Op::kGet;
+        if (i % 16 == 7) {
+          op = Op::kPut;
+        }
+        chunk.Append(id, Mix64(id), 100000, op, t += 8);
+      }
+      c->push_back(std::move(chunk));
+    }
+    return c;
+  }();
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 9);
+  AnalyzerConfig cfg;
+  cfg.sampling_ratio = 0.05;
+  cfg.num_minicaches = 24;
+  cfg.min_capacity_bytes = 50'000'000;
+  cfg.max_capacity_bytes = 5'000'000'000;
+  cfg.enable_alc = true;
+  cfg.enable_ttl = true;
+  cfg.max_ttl = 7 * kDay;
+  WorkloadAnalyzer analyzer(cfg, &gen);
+  int64_t requests = 0;
+  for (auto _ : state) {
+    for (const ReplayBatch& chunk : *chunks) {
+      if (columnar) {
+        analyzer.ProcessColumns(chunk, 0, chunk.size());
+      } else {
+        for (size_t i = 0; i < chunk.size(); ++i) {
+          analyzer.Process(chunk.RowAt(i));
+        }
+      }
+      requests += static_cast<int64_t>(chunk.size());
+    }
+    analyzer.EndWindow(15 * kMinute);
+  }
+  state.SetItemsProcessed(requests);
+  state.SetLabel(columnar ? "columns" : "per_row");
+}
+BENCHMARK(BM_ObserveColumns)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_MiniSimWindowAlc(benchmark::State& state) {
   GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);

@@ -59,8 +59,7 @@ struct ReplayBatch {
     times.push_back(r.time);
   }
 
-  // Column-wise append, for copying a row between SoA batches (the sharded
-  // engines partition decoded source chunks into per-shard batches this way)
+  // Column-wise append of one row, for scattering rows between SoA batches
   // without round-tripping through a Request struct.
   void Append(ObjectId id, uint64_t hash, uint64_t size, Op op, SimTime time) {
     ids.push_back(id);
@@ -70,8 +69,50 @@ struct ReplayBatch {
     times.push_back(time);
   }
 
-  // The row as a Request (the controller's Observe path consumes rows in
-  // stream order as structs).
+  // Bulk append of the contiguous rows [begin, end) of `src` — five column
+  // memmoves instead of per-row push_backs. The single-shard engines
+  // partition whole chunk segments this way.
+  void AppendRange(const ReplayBatch& src, size_t begin, size_t end) {
+    ids.insert(ids.end(), src.ids.begin() + begin, src.ids.begin() + end);
+    hashes.insert(hashes.end(), src.hashes.begin() + begin, src.hashes.begin() + end);
+    sizes.insert(sizes.end(), src.sizes.begin() + begin, src.sizes.begin() + end);
+    ops.insert(ops.end(), src.ops.begin() + begin, src.ops.begin() + end);
+    times.insert(times.end(), src.times.begin() + begin, src.times.begin() + end);
+  }
+
+  // Grows every column by `n` default-initialized rows and returns the old
+  // size — the base offset for writers that scatter rows into place through
+  // the raw column pointers (count-then-bulk-copy shard partitioning).
+  size_t GrowBy(size_t n) {
+    const size_t base = ids.size();
+    ids.resize(base + n);
+    hashes.resize(base + n);
+    sizes.resize(base + n);
+    ops.resize(base + n);
+    times.resize(base + n);
+    return base;
+  }
+
+  // Gather-append of `n` rows of `src` picked by `idx` (positions relative
+  // to `src_base`), with the hash column overridden by `with_hashes`: the
+  // mini-sim banks compact sampler-admitted rows out of an engine chunk
+  // this way, substituting the bank's own salted hash domain for the
+  // chunk's ingest hashes.
+  void AppendGather(const ReplayBatch& src, size_t src_base, const uint32_t* idx,
+                    const uint64_t* with_hashes, size_t n) {
+    const size_t base = GrowBy(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t k = src_base + idx[i];
+      ids[base + i] = src.ids[k];
+      hashes[base + i] = with_hashes[i];
+      sizes[base + i] = src.sizes[k];
+      ops[base + i] = src.ops[k];
+      times[base + i] = src.times[k];
+    }
+  }
+
+  // The row as a Request (scalar compatibility paths consume rows in stream
+  // order as structs).
   Request RowAt(size_t i) const { return Request{times[i], ids[i], sizes[i], ops[i]}; }
 };
 

@@ -1,6 +1,10 @@
 #include "src/cloudsim/latency.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/units.h"
@@ -22,38 +26,41 @@ const char* DataSourceName(DataSource s) {
   }
 }
 
-GroundTruthLatency::GroundTruthLatency(LatencyScenario scenario) {
+GroundTruthLatency::GroundTruthLatency(LatencyScenario scenario) : scenario_(scenario) {
   // DRAM cache node over the local network: ~1 ms first byte, ~1 GB/s.
   params_[static_cast<size_t>(DataSource::kCacheCluster)] = SourceParams{
-      GammaDistribution::FitMoments(1.2, 0.16), /*bytes_per_ms=*/1.0e6, /*jitter=*/0.1};
+      GammaDistribution::FitMoments(1.2, 0.16), /*bytes_per_ms=*/1.0e6, /*jitter=*/0.1, {}};
   // Local object storage: tens of ms first byte, ~200 MB/s effective.
   params_[static_cast<size_t>(DataSource::kOsc)] = SourceParams{
-      GammaDistribution::FitMoments(22.0, 90.0), /*bytes_per_ms=*/2.0e5, /*jitter=*/0.15};
+      GammaDistribution::FitMoments(22.0, 90.0), /*bytes_per_ms=*/2.0e5, /*jitter=*/0.15, {}};
   // NVMe flash cache node over the local network: a few ms, ~500 MB/s.
   params_[static_cast<size_t>(DataSource::kFlash)] = SourceParams{
-      GammaDistribution::FitMoments(3.0, 1.0), /*bytes_per_ms=*/5.0e5, /*jitter=*/0.1};
+      GammaDistribution::FitMoments(3.0, 1.0), /*bytes_per_ms=*/5.0e5, /*jitter=*/0.1, {}};
   // Remote data lake: hundreds of ms, scenario-dependent.
   SourceParams remote;
   switch (scenario) {
     case LatencyScenario::kCrossCloudUs:
       remote = SourceParams{GammaDistribution::FitMoments(140.0, 1600.0),
-                            /*bytes_per_ms=*/5.0e4, /*jitter=*/0.2};
+                            /*bytes_per_ms=*/5.0e4, /*jitter=*/0.2, {}};
       break;
     case LatencyScenario::kCrossRegionUs:
       remote = SourceParams{GammaDistribution::FitMoments(120.0, 1200.0),
-                            /*bytes_per_ms=*/5.0e4, /*jitter=*/0.2};
+                            /*bytes_per_ms=*/5.0e4, /*jitter=*/0.2, {}};
       break;
     case LatencyScenario::kCrossRegionUsEu:
       remote = SourceParams{GammaDistribution::FitMoments(280.0, 6400.0),
-                            /*bytes_per_ms=*/2.5e4, /*jitter=*/0.25};
+                            /*bytes_per_ms=*/2.5e4, /*jitter=*/0.25, {}};
       break;
   }
   params_[static_cast<size_t>(DataSource::kRemoteLake)] = remote;
+  for (SourceParams& p : params_) {
+    p.first_byte_prep = p.first_byte.Prepared();
+  }
 }
 
 double GroundTruthLatency::SampleMs(DataSource source, uint64_t size, Rng& rng) const {
   const SourceParams& p = Params(source);
-  const double first_byte = p.first_byte.Sample(rng);
+  const double first_byte = rng.NextGammaPrepared(p.first_byte_prep);
   const double transfer = static_cast<double>(size) / p.bytes_per_ms;
   const double jittered =
       transfer <= 0.0
@@ -105,11 +112,31 @@ size_t FittedLatencyGenerator::BucketIndex(uint64_t size) {
 FittedLatencyGenerator::FittedLatencyGenerator(const GroundTruthLatency& truth,
                                                int samples_per_bucket, uint64_t seed) {
   MACARON_CHECK(samples_per_bucket >= 2);
+  // The fit table is a pure function of (scenario, samples_per_bucket,
+  // seed), and engines construct one generator per run: memoize tables
+  // process-wide so sweeps and repeated runs skip the calibration pass
+  // (sources x buckets x samples_per_bucket ground-truth draws). Cache hits
+  // are bit-identical to a fresh fit by construction; misses compute
+  // outside the lock (a racing duplicate fit produces the identical table,
+  // and the first insert wins).
+  static std::mutex mu;
+  static std::map<std::tuple<int, int, uint64_t>, std::shared_ptr<const Fits>> cache;
+  const auto key =
+      std::make_tuple(static_cast<int>(truth.scenario()), samples_per_bucket, seed);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) {
+      fits_ = it->second;
+      return;
+    }
+  }
+  auto table = std::make_shared<Fits>();
   Rng rng(seed);
   const auto& sizes = BucketSizesImpl();
   for (int s = 0; s < static_cast<int>(DataSource::kNumSources); ++s) {
     const DataSource source = static_cast<DataSource>(s);
-    auto& fits = fits_[static_cast<size_t>(s)];
+    auto& fits = (*table)[static_cast<size_t>(s)];
     fits.reserve(sizes.size());
     for (uint64_t size : sizes) {
       std::vector<double> samples;
@@ -117,18 +144,21 @@ FittedLatencyGenerator::FittedLatencyGenerator(const GroundTruthLatency& truth,
       for (int i = 0; i < samples_per_bucket; ++i) {
         samples.push_back(truth.SampleMs(source, size, rng));
       }
-      fits.push_back(GammaDistribution::FitSamples(samples));
+      const GammaDistribution fit = GammaDistribution::FitSamples(samples);
+      fits.push_back(Bucket{fit, fit.Prepared()});
     }
   }
+  std::lock_guard<std::mutex> lock(mu);
+  fits_ = cache.emplace(key, std::move(table)).first->second;
 }
 
 double FittedLatencyGenerator::SampleMs(DataSource source, uint64_t size, Rng& rng) const {
-  const auto& fit = fits_[static_cast<size_t>(source)][BucketIndex(size)];
-  return fit.Sample(rng);
+  const Bucket& b = (*fits_)[static_cast<size_t>(source)][BucketIndex(size)];
+  return rng.NextGammaPrepared(b.prep);
 }
 
 double FittedLatencyGenerator::FittedMeanMs(DataSource source, uint64_t size) const {
-  return fits_[static_cast<size_t>(source)][BucketIndex(size)].Mean();
+  return (*fits_)[static_cast<size_t>(source)][BucketIndex(size)].fit.Mean();
 }
 
 }  // namespace macaron

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/gamma.h"
@@ -64,17 +65,21 @@ class GroundTruthLatency : public LatencySampler {
   // The distribution mean (for validation).
   double MeanMs(DataSource source, uint64_t size) const;
 
+  LatencyScenario scenario() const { return scenario_; }
+
  private:
   struct SourceParams {
     GammaDistribution first_byte;  // ms
     double bytes_per_ms = 1.0;     // transfer bandwidth
     double transfer_jitter = 0.1;  // relative sd of the transfer term
+    GammaPrep first_byte_prep;     // sampling constants, prepared once
   };
 
   const SourceParams& Params(DataSource source) const {
     return params_[static_cast<size_t>(source)];
   }
 
+  LatencyScenario scenario_;
   std::array<SourceParams, static_cast<size_t>(DataSource::kNumSources)> params_;
 };
 
@@ -94,7 +99,17 @@ class FittedLatencyGenerator : public LatencySampler {
   static size_t BucketIndex(uint64_t size);
 
  private:
-  std::array<std::vector<GammaDistribution>, static_cast<size_t>(DataSource::kNumSources)> fits_;
+  struct Bucket {
+    GammaDistribution fit;
+    GammaPrep prep;  // sampling constants, prepared at fit time
+  };
+  using Fits =
+      std::array<std::vector<Bucket>, static_cast<size_t>(DataSource::kNumSources)>;
+
+  // Shared immutable fit table: the fit is a pure function of (scenario,
+  // samples_per_bucket, seed), and engines construct one generator per run,
+  // so the constructor memoizes tables process-wide and hits share them.
+  std::shared_ptr<const Fits> fits_;
 };
 
 }  // namespace macaron

@@ -21,6 +21,9 @@ struct GammaDistribution {
   double Mean() const { return shape * scale; }
   double Variance() const { return shape * scale * scale; }
   double Sample(Rng& rng) const { return rng.NextGamma(shape, scale); }
+  // Precompute the sampling constants for draw-heavy call sites;
+  // rng.NextGammaPrepared(Prepared()) is bit-identical to Sample(rng).
+  GammaPrep Prepared() const { return GammaPrep::For(shape, scale); }
 
   // Method-of-moments fit. Degenerate samples (zero variance) fall back to a
   // near-deterministic distribution around the mean.

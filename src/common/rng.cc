@@ -23,15 +23,19 @@ double Rng::NextExponential(double rate) {
   return -std::log(NextDoublePositive()) / rate;
 }
 
-double Rng::NextGamma(double shape, double scale) {
+GammaPrep GammaPrep::For(double shape, double scale) {
   MACARON_CHECK(shape > 0 && scale > 0);
-  if (shape < 1.0) {
-    // Boost to shape+1 and apply the standard correction.
-    const double u = NextDoublePositive();
-    return NextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
-  }
-  const double d = shape - 1.0 / 3.0;
-  const double c = 1.0 / std::sqrt(9.0 * d);
+  GammaPrep p;
+  p.scale = scale;
+  p.boosted = shape < 1.0;
+  const double boosted_shape = p.boosted ? shape + 1.0 : shape;
+  p.d = boosted_shape - 1.0 / 3.0;
+  p.c = 1.0 / std::sqrt(9.0 * p.d);
+  p.inv_shape = p.boosted ? 1.0 / shape : 0.0;
+  return p;
+}
+
+double Rng::NextGammaCore(double d, double c) {
   for (;;) {
     double x = 0.0;
     double v = 0.0;
@@ -42,12 +46,34 @@ double Rng::NextGamma(double shape, double scale) {
     v = v * v * v;
     const double u = NextDoublePositive();
     if (u < 1.0 - 0.0331 * x * x * x * x) {
-      return d * v * scale;
+      return d * v;
     }
     if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
-      return d * v * scale;
+      return d * v;
     }
   }
+}
+
+double Rng::NextGamma(double shape, double scale) {
+  MACARON_CHECK(shape > 0 && scale > 0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and apply the standard correction.
+    const double u = NextDoublePositive();
+    return NextGamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  return NextGammaCore(d, c) * scale;
+}
+
+double Rng::NextGammaPrepared(const GammaPrep& prep) {
+  if (prep.boosted) {
+    // Same consumption order as NextGamma's shape < 1 path: the boost
+    // correction's uniform is drawn before the boosted Gamma.
+    const double u = NextDoublePositive();
+    return NextGammaCore(prep.d, prep.c) * prep.scale * std::pow(u, prep.inv_shape);
+  }
+  return NextGammaCore(prep.d, prep.c) * prep.scale;
 }
 
 double Rng::NextNormal(double mean, double stddev) {

@@ -20,6 +20,21 @@ inline constexpr uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Precomputed Marsaglia-Tsang constants for a fixed Gamma(shape, scale).
+// NextGamma re-derives these on every call; distributions that are drawn
+// from millions of times (the latency fits) prepare once and sample via
+// Rng::NextGammaPrepared, which consumes the identical uniform stream and
+// returns bit-identical values.
+struct GammaPrep {
+  double scale = 1.0;
+  double d = 0.0;          // boosted_shape - 1/3
+  double c = 0.0;          // 1 / sqrt(9 d)
+  double inv_shape = 0.0;  // 1/shape when boosted, else unused
+  bool boosted = false;    // shape < 1: draw Gamma(shape+1) and correct
+
+  static GammaPrep For(double shape, double scale);
+};
+
 // Deterministic PRNG with helpers for the distributions Macaron needs.
 class Rng {
  public:
@@ -62,6 +77,10 @@ class Rng {
   // Gamma(shape, scale) via Marsaglia-Tsang; supports shape < 1.
   double NextGamma(double shape, double scale);
 
+  // Identical draw stream and values as NextGamma(shape, scale) for the
+  // prep's parameters, skipping the per-call constant setup.
+  double NextGammaPrepared(const GammaPrep& prep);
+
   // Normal(mean, stddev) via Box-Muller (no cached spare; stays stateless).
   double NextNormal(double mean, double stddev);
 
@@ -78,6 +97,10 @@ class Rng {
   }
 
  private:
+  // Marsaglia-Tsang acceptance loop for shape >= 1, returning d * v (the
+  // caller applies scale and any boost correction).
+  double NextGammaCore(double d, double c);
+
   static constexpr uint64_t Rotl(uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

@@ -95,4 +95,33 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
 }
 
+void ThreadPool::ParallelForAsync(size_t n, std::function<void(size_t)> fn,
+                                  std::vector<std::future<void>>& futures) {
+  if (n == 0) {
+    return;
+  }
+  const size_t workers = workers_.size();
+  if (workers <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // Same static partition as ParallelFor; each chunk owns a copy of fn
+  // because the caller returns before the chunks run.
+  const size_t chunks = std::min(n, workers);
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  size_t begin = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t end = begin + base + (c < extra ? 1 : 0);
+    futures.push_back(Submit([fn, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }));
+    begin = end;
+  }
+}
+
 }  // namespace macaron

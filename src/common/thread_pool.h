@@ -48,6 +48,17 @@ class ThreadPool {
   // first task exception (if any) is rethrown on the caller.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  // Non-blocking ParallelFor: partitions [0, n) into the same contiguous
+  // chunks, enqueues them, and appends one future per chunk to `futures`
+  // instead of joining (each future rethrows anything its chunk threw).
+  // With no workers (or n == 1) it degenerates to the inline loop and
+  // appends nothing, so the caller's join loop is a no-op — async-ness
+  // affects when work runs, never what it computes. The mini-sim banks use
+  // this to overlap batch replay with serving-shard work on the shared
+  // engine pool.
+  void ParallelForAsync(size_t n, std::function<void(size_t)> fn,
+                        std::vector<std::future<void>>& futures);
+
  private:
   void WorkerLoop();
 

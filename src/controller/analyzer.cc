@@ -41,15 +41,18 @@ WorkloadAnalyzer::WorkloadAnalyzer(const AnalyzerConfig& config, const LatencySa
     ttl_bmc_avg_ = std::make_unique<DecayedCurveAverage>(config.decay_per_day);
     ttl_cap_avg_ = std::make_unique<DecayedCurveAverage>(config.decay_per_day);
   }
-  if (config.threads > 1) {
-    pool_ = std::make_unique<ThreadPool>(config.threads);
-    mrc_bank_.set_thread_pool(pool_.get());
-    if (alc_bank_ != nullptr) {
-      alc_bank_->set_thread_pool(pool_.get());
-    }
-    if (ttl_bank_ != nullptr) {
-      ttl_bank_->set_thread_pool(pool_.get());
-    }
+}
+
+void WorkloadAnalyzer::SetExecution(ThreadPool* pool, bool async) {
+  mrc_bank_.set_thread_pool(pool);
+  mrc_bank_.set_async_replay(async);
+  if (alc_bank_ != nullptr) {
+    alc_bank_->set_thread_pool(pool);
+    alc_bank_->set_async_replay(async);
+  }
+  if (ttl_bank_ != nullptr) {
+    ttl_bank_->set_thread_pool(pool);
+    ttl_bank_->set_async_replay(async);
   }
 }
 
@@ -80,6 +83,41 @@ void WorkloadAnalyzer::Process(const Request& r) {
   }
   if (requests_counter_ != nullptr) {
     requests_counter_->Inc();
+  }
+}
+
+void WorkloadAnalyzer::ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end) {
+  if (begin >= end) {
+    return;
+  }
+  mrc_bank_.ProcessColumns(chunk, begin, end);
+  if (alc_bank_ != nullptr) {
+    alc_bank_->ProcessColumns(chunk, begin, end);
+  }
+  if (ttl_bank_ != nullptr) {
+    ttl_bank_->ProcessColumns(chunk, begin, end);
+  }
+  // Window scalars fold from the columns in one pass (same per-op rules as
+  // Process; deletes carry no payload and stay out of the byte averages).
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes = 0;
+  uint64_t get_bytes = 0;
+  for (size_t k = begin; k < end; ++k) {
+    const bool is_get = chunk.ops[k] == Op::kGet;
+    const bool is_put = chunk.ops[k] == Op::kPut;
+    reads += static_cast<uint64_t>(is_get);
+    writes += static_cast<uint64_t>(is_put);
+    get_bytes += is_get ? chunk.sizes[k] : 0;
+    bytes += (is_get || is_put) ? chunk.sizes[k] : 0;
+  }
+  window_reads_ += reads;
+  window_writes_ += writes;
+  window_bytes_ += bytes;
+  window_get_bytes_ += get_bytes;
+  window_ops_with_bytes_ += reads + writes;
+  if (requests_counter_ != nullptr) {
+    requests_counter_->Inc(end - begin);
   }
 }
 

@@ -70,7 +70,10 @@ struct AnalyzerConfig {
   uint64_t seed = 42;
   // Mini-simulation fan-out: worker threads replaying mini-cache grid
   // points at batch boundaries. <= 1 runs sequentially; any value produces
-  // bit-identical curves (grid points share no mutable state).
+  // bit-identical curves (grid points share no mutable state). The
+  // analyzer owns no threads itself — this knob sizes the shared engine
+  // pool the banks are wired to via SetExecution, so analyzer and serving
+  // shards draw from one budget instead of oversubscribing the machine.
   int threads = 1;
   // Serverless runtime model: seconds = base + per_request * sampled reqs.
   double lambda_base_seconds = 0.5;
@@ -102,8 +105,21 @@ class WorkloadAnalyzer {
  public:
   WorkloadAnalyzer(const AnalyzerConfig& config, const LatencySampler* latency);
 
+  // Wires the shared execution context: the banks fan batch replays across
+  // `pool` (nullptr reverts to sequential), and with `async` they submit
+  // those fan-outs instead of joining, overlapping replay with whatever the
+  // ingest thread does next (see mrc_bank.h). EndWindow always joins before
+  // aggregating, so the report — and every output derived from it — is
+  // bit-identical for any pool size, sync or async.
+  void SetExecution(ThreadPool* pool, bool async);
+
   // Feeds one request (full stream; sampling happens inside the banks).
   void Process(const Request& r);
+
+  // Columnar equivalent of calling Process on rows [begin, end) of `chunk`
+  // in order: each bank samples and compacts straight from the columns, and
+  // the window scalars fold from the op/size columns in one pass.
+  void ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end);
 
   // Ends the window: runs aggregation and returns the report.
   // `elapsed` is the window duration (for decay and BMC normalization).
@@ -122,10 +138,6 @@ class WorkloadAnalyzer {
 
  private:
   AnalyzerConfig config_;
-  // Declared before the banks: they hold a raw pointer to it (every replay
-  // fan-out completes within the call that started it, so destruction order
-  // is not load-bearing, but keep the owner first anyway).
-  std::unique_ptr<ThreadPool> pool_;
   MrcBank mrc_bank_;
   std::unique_ptr<AlcBank> alc_bank_;
   std::unique_ptr<TtlBank> ttl_bank_;

@@ -13,8 +13,9 @@ MacaronController::MacaronController(const ControllerConfig& config, const Price
     : config_(config), prices_(prices), analyzer_(config.analyzer, latency) {
   MACARON_CHECK(config.window > 0);
   MACARON_CHECK(config.observation >= 0);
-  // The analyzer owns the mini-sim thread pool; a silly thread count here
-  // is almost certainly a mis-wired config rather than a real request.
+  // analyzer.threads sizes the shared engine pool the banks are wired to
+  // (SetExecution); a silly thread count here is almost certainly a
+  // mis-wired config rather than a real request.
   MACARON_CHECK(config.analyzer.threads >= 0 && config.analyzer.threads <= 1024);
   if (config_.enable_cluster) {
     MACARON_CHECK(config_.analyzer.enable_alc);

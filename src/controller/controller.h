@@ -83,6 +83,18 @@ class MacaronController {
   // Feeds one request into the analyzer.
   void Observe(const Request& r) { analyzer_.Process(r); }
 
+  // Columnar Observe: feeds rows [begin, end) of a decoded SoA chunk
+  // straight into the analyzer (the engines' hot path; see
+  // WorkloadAnalyzer::ProcessColumns).
+  void ObserveColumns(const ReplayBatch& chunk, size_t begin, size_t end) {
+    analyzer_.ProcessColumns(chunk, begin, end);
+  }
+
+  // Wires the shared execution context through to the analyzer's banks (see
+  // WorkloadAnalyzer::SetExecution). Decisions and reports are bit-identical
+  // for any pool, sync or async.
+  void SetExecution(ThreadPool* pool, bool async) { analyzer_.SetExecution(pool, async); }
+
   // Whether optimization is active at `now` (past the observation period).
   bool PastObservation(SimTime now) const { return now >= config_.observation; }
 

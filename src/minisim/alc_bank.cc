@@ -21,10 +21,12 @@ AlcBank::AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, doub
       rng_(seed) {
   MACARON_CHECK(!grid_.empty());
   MACARON_CHECK(latency_ != nullptr);
-  batch_.Reserve(kBatchCapacity);
-  lat_cluster_.reserve(kBatchCapacity);
-  lat_osc_.reserve(kBatchCapacity);
-  lat_remote_.reserve(kBatchCapacity);
+  for (PendingBatch* b : {&filling_, &replaying_}) {
+    b->batch.Reserve(kBatchCapacity);
+    b->lat_cluster.reserve(kBatchCapacity);
+    b->lat_osc.reserve(kBatchCapacity);
+    b->lat_remote.reserve(kBatchCapacity);
+  }
   const uint64_t mini_osc = std::max<uint64_t>(
       1, static_cast<uint64_t>(static_cast<double>(osc_capacity) * ratio_));
   levels_.reserve(grid_.size());
@@ -36,9 +38,16 @@ AlcBank::AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, doub
   }
 }
 
+AlcBank::~AlcBank() {
+  // Async fan-out tasks reference this bank; never let it die before them.
+  JoinPending();
+}
+
 void AlcBank::SetOscCapacity(uint64_t osc_capacity) {
-  // Resizing applies from this point in the stream: replay what came before.
+  // Resizing applies from this point in the stream: replay what came before
+  // (and wait for it — the in-flight fan-out reads the L2s being resized).
   FlushBatch();
+  JoinPending();
   const uint64_t mini_osc = std::max<uint64_t>(
       1, static_cast<uint64_t>(static_cast<double>(osc_capacity) * ratio_));
   for (Level& level : levels_) {
@@ -64,30 +73,84 @@ void AlcBank::Process(const Request& r) {
     lat_osc = latency_->SampleMs(DataSource::kOsc, r.size, rng_);
     lat_remote = latency_->SampleMs(DataSource::kRemoteLake, r.size, rng_);
   }
-  batch_.PushBack(r, hash);
-  lat_cluster_.push_back(lat_cluster);
-  lat_osc_.push_back(lat_osc);
-  lat_remote_.push_back(lat_remote);
-  if (batch_.size() >= kBatchCapacity) {
+  filling_.batch.PushBack(r, hash);
+  filling_.lat_cluster.push_back(lat_cluster);
+  filling_.lat_osc.push_back(lat_osc);
+  filling_.lat_remote.push_back(lat_remote);
+  if (filling_.batch.size() >= kBatchCapacity) {
     FlushBatch();
   }
 }
 
-void AlcBank::ReplayGridPoint(size_t i) {
+void AlcBank::ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end) {
+  const size_t n = end - begin;
+  if (n == 0) {
+    return;
+  }
+  for (size_t k = begin; k < end; ++k) {
+    window_gets_ += static_cast<uint64_t>(chunk.ops[k] == Op::kGet);
+  }
+  if (idx_scratch_.size() < n) {
+    idx_scratch_.resize(n);
+    hash_scratch_.resize(n);
+  }
+  const size_t m = sampler_.CompactAdmitted(chunk.ids.data() + begin, n,
+                                            idx_scratch_.data(), hash_scratch_.data());
+  // Latency draws for survivors, in stream order — the same RNG consumption
+  // as the per-row path (admitted GETs draw three, everything else draws
+  // none and records zeros).
+  for (auto& lane : lat_scratch_) {
+    lane.resize(m);
+  }
+  for (size_t j = 0; j < m; ++j) {
+    const size_t k = begin + idx_scratch_[j];
+    double lat_cluster = 0.0;
+    double lat_osc = 0.0;
+    double lat_remote = 0.0;
+    if (chunk.ops[k] == Op::kGet) {
+      lat_cluster = latency_->SampleMs(DataSource::kCacheCluster, chunk.sizes[k], rng_);
+      lat_osc = latency_->SampleMs(DataSource::kOsc, chunk.sizes[k], rng_);
+      lat_remote = latency_->SampleMs(DataSource::kRemoteLake, chunk.sizes[k], rng_);
+    }
+    lat_scratch_[0][j] = lat_cluster;
+    lat_scratch_[1][j] = lat_osc;
+    lat_scratch_[2][j] = lat_remote;
+  }
+  // Append survivors in slices bounded by the batch's remaining room so
+  // flushes land at the same stream positions as the per-row path.
+  size_t done = 0;
+  while (done < m) {
+    const size_t take = std::min(kBatchCapacity - filling_.batch.size(), m - done);
+    filling_.batch.AppendGather(chunk, begin, idx_scratch_.data() + done,
+                                hash_scratch_.data() + done, take);
+    filling_.lat_cluster.insert(filling_.lat_cluster.end(), lat_scratch_[0].begin() + done,
+                                lat_scratch_[0].begin() + (done + take));
+    filling_.lat_osc.insert(filling_.lat_osc.end(), lat_scratch_[1].begin() + done,
+                            lat_scratch_[1].begin() + (done + take));
+    filling_.lat_remote.insert(filling_.lat_remote.end(), lat_scratch_[2].begin() + done,
+                               lat_scratch_[2].begin() + (done + take));
+    done += take;
+    if (filling_.batch.size() >= kBatchCapacity) {
+      FlushBatch();
+    }
+  }
+}
+
+void AlcBank::ReplayGridPoint(const PendingBatch& b, size_t i) {
   Level& level = levels_[i];
-  const size_t n = batch_.size();
+  const size_t n = b.batch.size();
   for (size_t k = 0; k < n; ++k) {
     if (k + kPrefetchAhead < n) {
       // Cluster level only: every request probes it, while the OSC level
       // is reached on cluster misses. Prefetching both indexes here was
       // measurably slower — the extra stream evicts more than it hides.
-      level.cluster.PrefetchPrehashed(batch_.hashes[k + kPrefetchAhead]);
+      level.cluster.PrefetchPrehashed(b.batch.hashes[k + kPrefetchAhead]);
     }
-    const ObjectId id = batch_.ids[k];
-    const uint64_t hash = batch_.hashes[k];
-    const uint64_t size = batch_.sizes[k];
-    const SimTime time = batch_.times[k];
-    switch (batch_.ops[k]) {
+    const ObjectId id = b.batch.ids[k];
+    const uint64_t hash = b.batch.hashes[k];
+    const uint64_t size = b.batch.sizes[k];
+    const SimTime time = b.batch.times[k];
+    switch (b.batch.ops[k]) {
       case Op::kGet: {
         if (auto completion = level.inflight.Pending(id, time)) {
           // The object was admitted at request time but its fetch is still
@@ -98,19 +161,19 @@ void AlcBank::ReplayGridPoint(size_t i) {
           break;
         }
         if (level.cluster.GetPrehashed(id, hash)) {
-          level.latency_sum_ms += lat_cluster_[k];
+          level.latency_sum_ms += b.lat_cluster[k];
           ++level.counts.cluster_hits;
           break;
         }
         if (level.osc.GetPrehashed(id, hash)) {
-          level.latency_sum_ms += lat_osc_[k];
+          level.latency_sum_ms += b.lat_osc[k];
           ++level.counts.osc_hits;
           level.cluster.PutPrehashed(id, hash, size);  // promote
           break;
         }
-        level.latency_sum_ms += lat_remote_[k];
+        level.latency_sum_ms += b.lat_remote[k];
         ++level.counts.remote_misses;
-        level.inflight.Insert(id, time + static_cast<SimTime>(lat_remote_[k]));
+        level.inflight.Insert(id, time + static_cast<SimTime>(b.lat_remote[k]));
         level.osc.PutPrehashed(id, hash, size);
         level.cluster.PutPrehashed(id, hash, size);
         break;
@@ -128,25 +191,38 @@ void AlcBank::ReplayGridPoint(size_t i) {
   }
 }
 
+void AlcBank::JoinPending() {
+  for (std::future<void>& f : pending_) {
+    f.get();
+  }
+  pending_.clear();
+}
+
 void AlcBank::FlushBatch() {
-  if (batch_.empty()) {
+  if (filling_.batch.empty()) {
     return;
   }
+  // Counters are bumped on the calling (ingest) thread at submit time, so
+  // the metrics registry stays single-writer even with async replay.
   if (m_batches_ != nullptr) {
     m_batches_->Inc();
-    m_batch_requests_->Inc(batch_.size());
+    m_batch_requests_->Inc(filling_.batch.size());
   }
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(i); });
+  if (pool_ != nullptr && async_) {
+    // One batch in flight at most: grid-point state persists across
+    // batches, so batch N+1 must not replay before batch N finishes.
+    JoinPending();
+    std::swap(filling_, replaying_);
+    pool_->ParallelForAsync(
+        grid_.size(), [this](size_t i) { ReplayGridPoint(replaying_, i); }, pending_);
+  } else if (pool_ != nullptr) {
+    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(filling_, i); });
   } else {
     for (size_t i = 0; i < grid_.size(); ++i) {
-      ReplayGridPoint(i);
+      ReplayGridPoint(filling_, i);
     }
   }
-  batch_.Clear();
-  lat_cluster_.clear();
-  lat_osc_.clear();
-  lat_remote_.clear();
+  filling_.Clear();
 }
 
 size_t AlcBank::allocated_nodes() const {
@@ -159,6 +235,7 @@ size_t AlcBank::allocated_nodes() const {
 
 AlcWindow AlcBank::EndWindow() {
   FlushBatch();
+  JoinPending();  // level sums/counters below are written by the fan-out tasks
   AlcWindow out;
   std::vector<double> xs;
   std::vector<double> ys;

@@ -14,15 +14,19 @@
 // Sampled requests are buffered into fixed-size SoA batches carrying the
 // sampler's admission hash (hashed once per request, reused by both L1 and
 // L2 mini-caches of every level; see replay_batch.h); the per-source
-// latency draws happen at Process time (one RNG pass, in stream order,
-// shared across grid points), so each level's replay over the batch is pure
-// private-state work and an optional ThreadPool can fan levels across cores
-// with bit-identical results.
+// latency draws happen at Process/ProcessColumns time (one RNG pass, in
+// stream order, shared across grid points), so each level's replay over the
+// batch is pure private-state work and an optional ThreadPool can fan
+// levels across cores with bit-identical results. set_async_replay(true)
+// additionally overlaps that fan-out with the calling thread by submitting
+// it instead of joining, double-buffering the batch and its latency
+// columns; see mrc_bank.h for the in-flight/join discipline.
 
 #ifndef MACARON_SRC_MINISIM_ALC_BANK_H_
 #define MACARON_SRC_MINISIM_ALC_BANK_H_
 
 #include <cstdint>
+#include <future>
 #include <vector>
 
 #include "src/cache/inflight.h"
@@ -63,9 +67,15 @@ class AlcBank {
   AlcBank(std::vector<uint64_t> cluster_grid, uint64_t osc_capacity, double ratio, uint64_t salt,
           const LatencySampler* latency, uint64_t seed);
 
+  ~AlcBank();
+
   // Fans grid points across `pool` at batch boundaries; nullptr (the
   // default) replays sequentially. Curves are identical either way.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // With a pool set, submit batch fan-outs instead of joining them (see
+  // file comment). Off by default; curves are identical either way.
+  void set_async_replay(bool async) { async_ = async; }
 
   // Optional counters, bumped only at batch boundaries (never per request,
   // keeping the Process hot path untouched). Pass both or neither.
@@ -79,6 +89,15 @@ class AlcBank {
   void SetOscCapacity(uint64_t osc_capacity);
 
   void Process(const Request& r);
+
+  // Columnar equivalent of calling Process on rows [begin, end) of `chunk`
+  // in order: the admission rehash + compaction run branch-free over the id
+  // column (the chunk's hash column is the engines' ingest domain, not this
+  // bank's salted domain), latency draws happen per admitted GET in stream
+  // order (the exact RNG sequence of the per-row path), and survivors
+  // append to the replay batch in bulk. Batches flush at the exact same
+  // stream positions as the per-row path.
+  void ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end);
 
   AlcWindow EndWindow();
 
@@ -97,8 +116,24 @@ class AlcBank {
     AlcLevelCounts counts;
   };
 
+  // The batch and its parallel latency columns travel together through the
+  // double-buffered flush.
+  struct PendingBatch {
+    ReplayBatch batch;
+    std::vector<double> lat_cluster;
+    std::vector<double> lat_osc;
+    std::vector<double> lat_remote;
+    void Clear() {
+      batch.Clear();
+      lat_cluster.clear();
+      lat_osc.clear();
+      lat_remote.clear();
+    }
+  };
+
   void FlushBatch();
-  void ReplayGridPoint(size_t i);
+  void JoinPending();
+  void ReplayGridPoint(const PendingBatch& b, size_t i);
 
   std::vector<uint64_t> grid_;
   double ratio_;
@@ -106,14 +141,19 @@ class AlcBank {
   const LatencySampler* latency_;
   Rng rng_;
   ThreadPool* pool_ = nullptr;
+  bool async_ = false;
   // Sampled requests (+ admission hashes) awaiting replay, with their
   // pre-drawn latencies in parallel columns (GETs only; one draw per
   // source, shared across grid points, so curves differ only through cache
   // behaviour — lower variance, one RNG pass).
-  ReplayBatch batch_;
-  std::vector<double> lat_cluster_;
-  std::vector<double> lat_osc_;
-  std::vector<double> lat_remote_;
+  PendingBatch filling_;
+  PendingBatch replaying_;  // shadow buffer owned by the in-flight async replay
+  std::vector<std::future<void>> pending_;  // outstanding async fan-out chunks
+  // Survivor scratch for ProcessColumns (position + salted hash + latency
+  // draws per admitted row), reused across chunks.
+  std::vector<uint32_t> idx_scratch_;
+  std::vector<uint64_t> hash_scratch_;
+  std::vector<double> lat_scratch_[3];
   std::vector<Level> levels_;
   uint64_t window_gets_ = 0;
   obs::Counter* m_batches_ = nullptr;

@@ -21,6 +21,7 @@ MrcBank::MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
   MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
   MACARON_CHECK(ratio_ > 0.0 && ratio_ <= 1.0);
   batch_.Reserve(kBatchCapacity);
+  replaying_.Reserve(kBatchCapacity);
   caches_.reserve(grid_.size());
   for (uint64_t capacity : grid_) {
     const uint64_t mini = std::max<uint64_t>(
@@ -29,6 +30,11 @@ MrcBank::MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
   }
   window_misses_.assign(grid_.size(), 0);
   window_missed_bytes_.assign(grid_.size(), 0);
+}
+
+MrcBank::~MrcBank() {
+  // Async fan-out tasks reference this bank; never let it die before them.
+  JoinPending();
 }
 
 void MrcBank::Process(const Request& r) {
@@ -51,29 +57,80 @@ void MrcBank::Process(const Request& r) {
   }
 }
 
-void MrcBank::ReplayGridPoint(size_t i) {
+void MrcBank::ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end) {
+  const size_t n = end - begin;
+  if (n == 0) {
+    return;
+  }
+  window_requests_ += n;
+  uint64_t gets = 0;
+  for (size_t k = begin; k < end; ++k) {
+    gets += static_cast<uint64_t>(chunk.ops[k] == Op::kGet);
+  }
+  window_gets_ += gets;
+  if (idx_scratch_.size() < n) {
+    idx_scratch_.resize(n);
+    hash_scratch_.resize(n);
+  }
+  const size_t m = sampler_.CompactAdmitted(chunk.ids.data() + begin, n,
+                                            idx_scratch_.data(), hash_scratch_.data());
+  for (size_t j = 0; j < m; ++j) {
+    window_sampled_gets_ +=
+        static_cast<uint64_t>(chunk.ops[begin + idx_scratch_[j]] == Op::kGet);
+  }
+  // Append survivors in slices bounded by the batch's remaining room so
+  // flushes land at the same stream positions as the per-row path.
+  size_t done = 0;
+  while (done < m) {
+    const size_t take = std::min(kBatchCapacity - batch_.size(), m - done);
+    batch_.AppendGather(chunk, begin, idx_scratch_.data() + done,
+                        hash_scratch_.data() + done, take);
+    done += take;
+    if (batch_.size() >= kBatchCapacity) {
+      FlushBatch();
+    }
+  }
+}
+
+void MrcBank::ReplayGridPoint(const ReplayBatch& batch, size_t i) {
   // The policy's prehashed SoA kernel (one virtual call per batch, then a
   // devirtualized loop). Stats accumulate locally and write back once per
   // batch: grid points run on pool threads, and neighboring window_misses_
   // slots share cache lines.
-  const EvictionCache::MiniSimStats stats = caches_[i]->ReplayMiniSim(batch_);
+  const EvictionCache::MiniSimStats stats = caches_[i]->ReplayMiniSim(batch);
   window_misses_[i] += stats.misses;
   window_missed_bytes_[i] += stats.missed_bytes;
+}
+
+void MrcBank::JoinPending() {
+  for (std::future<void>& f : pending_) {
+    f.get();
+  }
+  pending_.clear();
 }
 
 void MrcBank::FlushBatch() {
   if (batch_.empty()) {
     return;
   }
+  // Counters are bumped on the calling (ingest) thread at submit time, so
+  // the metrics registry stays single-writer even with async replay.
   if (m_batches_ != nullptr) {
     m_batches_->Inc();
     m_batch_requests_->Inc(batch_.size());
   }
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(i); });
+  if (pool_ != nullptr && async_) {
+    // One batch in flight at most: grid-point state persists across
+    // batches, so batch N+1 must not replay before batch N finishes.
+    JoinPending();
+    std::swap(batch_, replaying_);
+    pool_->ParallelForAsync(
+        grid_.size(), [this](size_t i) { ReplayGridPoint(replaying_, i); }, pending_);
+  } else if (pool_ != nullptr) {
+    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(batch_, i); });
   } else {
     for (size_t i = 0; i < grid_.size(); ++i) {
-      ReplayGridPoint(i);
+      ReplayGridPoint(batch_, i);
     }
   }
   batch_.Clear();
@@ -89,6 +146,7 @@ size_t MrcBank::allocated_nodes() const {
 
 WindowCurves MrcBank::EndWindow() {
   FlushBatch();
+  JoinPending();  // window counters below are written by the fan-out tasks
   WindowCurves out;
   std::vector<double> xs;
   std::vector<double> mrc_ys;

@@ -14,14 +14,25 @@
 // replay_batch.h) carrying the sampler's admission hash, and each grid point
 // replays the batch against its own mini-cache through the policy's
 // devirtualized prehashed kernel (EvictionCache::ReplayMiniSim) — each
-// request is hashed exactly once, at Process() time, for all grid points.
-// Grid points share no mutable state, so an optional ThreadPool fans them
-// across cores; parallel and sequential replay produce bit-identical curves.
+// request is hashed exactly once, at Process()/ProcessColumns() time, for
+// all grid points. Grid points share no mutable state, so an optional
+// ThreadPool fans them across cores; parallel and sequential replay produce
+// bit-identical curves.
+//
+// With set_async_replay(true) a full batch is swapped into a shadow buffer
+// and its grid fan-out is *submitted* to the pool instead of joined, so
+// replay overlaps whatever the calling thread does next (in the engines:
+// serving shards and decoding the next chunk). At most one batch is in
+// flight — the next flush joins the previous one first — so each grid
+// point still sees batches strictly in stream order, and EndWindow joins
+// before reading window counters; outputs are bit-identical to synchronous
+// replay at any thread count.
 
 #ifndef MACARON_SRC_MINISIM_MRC_BANK_H_
 #define MACARON_SRC_MINISIM_MRC_BANK_H_
 
 #include <cstdint>
+#include <future>
 #include <vector>
 
 #include "src/cache/eviction_policy.h"
@@ -53,9 +64,15 @@ class MrcBank {
   MrcBank(std::vector<uint64_t> grid, double ratio, uint64_t salt,
           EvictionPolicyKind policy = EvictionPolicyKind::kLru);
 
+  ~MrcBank();
+
   // Fans grid points across `pool` at batch boundaries; nullptr (the
   // default) replays sequentially. Curves are identical either way.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // With a pool set, submit batch fan-outs instead of joining them (see
+  // file comment). Off by default; curves are identical either way.
+  void set_async_replay(bool async) { async_ = async; }
 
   // Optional counters, bumped only at batch boundaries (never per request,
   // keeping the Process hot path untouched). Pass both or neither.
@@ -66,6 +83,14 @@ class MrcBank {
 
   // Feeds one request (unsampled stream; the bank samples internally).
   void Process(const Request& r);
+
+  // Columnar equivalent of calling Process on rows [begin, end) of `chunk`
+  // in order: window scalars fold from the op column, the admission rehash
+  // + compaction run branch-free over the id column (the chunk's hash
+  // column is the engines' ingest domain, not this bank's salted domain),
+  // and survivors append to the replay batch in bulk. Batches flush at the
+  // exact same stream positions as the per-row path.
+  void ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end);
 
   // Returns this window's curves and resets window counters. Cache contents
   // persist.
@@ -82,13 +107,21 @@ class MrcBank {
 
  private:
   void FlushBatch();
-  void ReplayGridPoint(size_t i);
+  void JoinPending();
+  void ReplayGridPoint(const ReplayBatch& batch, size_t i);
 
   std::vector<uint64_t> grid_;
   double ratio_;
   SpatialSampler sampler_;
   ThreadPool* pool_ = nullptr;
-  ReplayBatch batch_;  // sampled requests (+ admission hashes) awaiting replay
+  bool async_ = false;
+  ReplayBatch batch_;      // sampled requests (+ admission hashes) being filled
+  ReplayBatch replaying_;  // shadow buffer owned by the in-flight async replay
+  std::vector<std::future<void>> pending_;  // outstanding async fan-out chunks
+  // Survivor scratch for ProcessColumns (position + salted hash per
+  // admitted row), reused across chunks.
+  std::vector<uint32_t> idx_scratch_;
+  std::vector<uint64_t> hash_scratch_;
   std::vector<std::unique_ptr<EvictionCache>> caches_;
   std::vector<uint64_t> window_misses_;
   std::vector<uint64_t> window_missed_bytes_;

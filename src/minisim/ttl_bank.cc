@@ -33,10 +33,16 @@ TtlBank::TtlBank(std::vector<SimDuration> ttl_grid, double ratio, uint64_t salt)
   MACARON_CHECK(std::is_sorted(grid_.begin(), grid_.end()));
   MACARON_CHECK(ratio_ > 0.0 && ratio_ <= 1.0);
   batch_.Reserve(kBatchCapacity);
+  replaying_.Reserve(kBatchCapacity);
   entries_.reserve(grid_.size());
   for (SimDuration ttl : grid_) {
     entries_.push_back(Entry{TtlCache(ttl), 0, 0, 0.0, 0});
   }
+}
+
+TtlBank::~TtlBank() {
+  // Async fan-out tasks reference this bank; never let it die before them.
+  JoinPending();
 }
 
 void TtlBank::Advance(Entry& e, SimTime now) {
@@ -74,27 +80,63 @@ void TtlBank::Process(const Request& r) {
   }
 }
 
-void TtlBank::ReplayGridPoint(size_t i) {
+void TtlBank::ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end) {
+  const size_t n = end - begin;
+  if (n == 0) {
+    return;
+  }
+  window_requests_ += n;
+  uint64_t gets = 0;
+  for (size_t k = begin; k < end; ++k) {
+    gets += static_cast<uint64_t>(chunk.ops[k] == Op::kGet);
+  }
+  window_gets_ += gets;
+  last_time_ = chunk.times[end - 1];
+  if (idx_scratch_.size() < n) {
+    idx_scratch_.resize(n);
+    hash_scratch_.resize(n);
+  }
+  const size_t m = sampler_.CompactAdmitted(chunk.ids.data() + begin, n,
+                                            idx_scratch_.data(), hash_scratch_.data());
+  for (size_t j = 0; j < m; ++j) {
+    window_sampled_gets_ +=
+        static_cast<uint64_t>(chunk.ops[begin + idx_scratch_[j]] == Op::kGet);
+  }
+  // Append survivors in slices bounded by the batch's remaining room so
+  // flushes land at the same stream positions as the per-row path.
+  size_t done = 0;
+  while (done < m) {
+    const size_t take = std::min(kBatchCapacity - batch_.size(), m - done);
+    batch_.AppendGather(chunk, begin, idx_scratch_.data() + done,
+                        hash_scratch_.data() + done, take);
+    done += take;
+    if (batch_.size() >= kBatchCapacity) {
+      FlushBatch();
+    }
+  }
+}
+
+void TtlBank::ReplayGridPoint(const ReplayBatch& batch, size_t i) {
   Entry& e = entries_[i];
-  const size_t n = batch_.size();
+  const size_t n = batch.size();
   for (size_t k = 0; k < n; ++k) {
     if (k + kPrefetchAhead < n) {
-      e.cache.PrefetchPrehashed(batch_.hashes[k + kPrefetchAhead]);
+      e.cache.PrefetchPrehashed(batch.hashes[k + kPrefetchAhead]);
     }
-    const ObjectId id = batch_.ids[k];
-    const uint64_t hash = batch_.hashes[k];
-    const SimTime time = batch_.times[k];
+    const ObjectId id = batch.ids[k];
+    const uint64_t hash = batch.hashes[k];
+    const SimTime time = batch.times[k];
     Advance(e, time);
-    switch (batch_.ops[k]) {
+    switch (batch.ops[k]) {
       case Op::kGet:
         if (!e.cache.GetPrehashed(id, hash, time)) {
           ++e.misses;
-          e.missed_bytes += batch_.sizes[k];
-          e.cache.PutPrehashed(id, hash, batch_.sizes[k], time);
+          e.missed_bytes += batch.sizes[k];
+          e.cache.PutPrehashed(id, hash, batch.sizes[k], time);
         }
         break;
       case Op::kPut:
-        e.cache.PutPrehashed(id, hash, batch_.sizes[k], time);
+        e.cache.PutPrehashed(id, hash, batch.sizes[k], time);
         break;
       case Op::kDelete:
         e.cache.ErasePrehashed(id, hash);
@@ -103,19 +145,35 @@ void TtlBank::ReplayGridPoint(size_t i) {
   }
 }
 
+void TtlBank::JoinPending() {
+  for (std::future<void>& f : pending_) {
+    f.get();
+  }
+  pending_.clear();
+}
+
 void TtlBank::FlushBatch() {
   if (batch_.empty()) {
     return;
   }
+  // Counters are bumped on the calling (ingest) thread at submit time, so
+  // the metrics registry stays single-writer even with async replay.
   if (m_batches_ != nullptr) {
     m_batches_->Inc();
     m_batch_requests_->Inc(batch_.size());
   }
-  if (pool_ != nullptr) {
-    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(i); });
+  if (pool_ != nullptr && async_) {
+    // One batch in flight at most: grid-point state persists across
+    // batches, so batch N+1 must not replay before batch N finishes.
+    JoinPending();
+    std::swap(batch_, replaying_);
+    pool_->ParallelForAsync(
+        grid_.size(), [this](size_t i) { ReplayGridPoint(replaying_, i); }, pending_);
+  } else if (pool_ != nullptr) {
+    pool_->ParallelFor(grid_.size(), [this](size_t i) { ReplayGridPoint(batch_, i); });
   } else {
     for (size_t i = 0; i < grid_.size(); ++i) {
-      ReplayGridPoint(i);
+      ReplayGridPoint(batch_, i);
     }
   }
   batch_.Clear();
@@ -132,6 +190,7 @@ size_t TtlBank::allocated_nodes() const {
 TtlWindowCurves TtlBank::EndWindow(SimDuration window) {
   MACARON_CHECK(window > 0);
   FlushBatch();
+  JoinPending();  // entry counters below are written by the fan-out tasks
   TtlWindowCurves out;
   std::vector<double> xs;
   std::vector<double> mrc_ys;

@@ -13,12 +13,15 @@
 // every candidate TTL's mini-cache; see replay_batch.h) and each candidate
 // TTL replays the batch against its own mini-cache; grid points are
 // independent, so an optional ThreadPool fans them across cores with
-// bit-identical results.
+// bit-identical results, and set_async_replay(true) overlaps the fan-out
+// with the calling thread (double-buffered, one batch in flight, joined
+// before EndWindow reads counters; see mrc_bank.h).
 
 #ifndef MACARON_SRC_MINISIM_TTL_BANK_H_
 #define MACARON_SRC_MINISIM_TTL_BANK_H_
 
 #include <cstdint>
+#include <future>
 #include <vector>
 
 #include "src/cache/replay_batch.h"
@@ -50,10 +53,15 @@ std::vector<SimDuration> StandardTtlGrid(SimDuration max_ttl);
 class TtlBank {
  public:
   TtlBank(std::vector<SimDuration> ttl_grid, double ratio, uint64_t salt);
+  ~TtlBank();
 
   // Fans TTL grid points across `pool` at batch boundaries; nullptr (the
   // default) replays sequentially. Curves are identical either way.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
+  // With a pool set, submit batch fan-outs instead of joining them (see
+  // file comment). Off by default; curves are identical either way.
+  void set_async_replay(bool async) { async_ = async; }
 
   // Optional counters, bumped only at batch boundaries (never per request,
   // keeping the Process hot path untouched). Pass both or neither.
@@ -63,6 +71,14 @@ class TtlBank {
   }
 
   void Process(const Request& r);
+
+  // Columnar equivalent of calling Process on rows [begin, end) of `chunk`
+  // in order: window scalars fold from the op column, the admission rehash
+  // + compaction run branch-free over the id column (the chunk's hash
+  // column is the engines' ingest domain, not this bank's salted domain),
+  // and survivors append to the replay batch in bulk. Batches flush at the
+  // exact same stream positions as the per-row path.
+  void ProcessColumns(const ReplayBatch& chunk, size_t begin, size_t end);
 
   // `window`: the elapsed window duration, used for time-averaging capacity.
   TtlWindowCurves EndWindow(SimDuration window);
@@ -85,13 +101,21 @@ class TtlBank {
 
   static void Advance(Entry& e, SimTime now);
   void FlushBatch();
-  void ReplayGridPoint(size_t i);
+  void JoinPending();
+  void ReplayGridPoint(const ReplayBatch& batch, size_t i);
 
   std::vector<SimDuration> grid_;
   double ratio_;
   SpatialSampler sampler_;
   ThreadPool* pool_ = nullptr;
-  ReplayBatch batch_;  // sampled requests (+ admission hashes) awaiting replay
+  bool async_ = false;
+  ReplayBatch batch_;      // sampled requests (+ admission hashes) being filled
+  ReplayBatch replaying_;  // shadow buffer owned by the in-flight async replay
+  std::vector<std::future<void>> pending_;  // outstanding async fan-out chunks
+  // Survivor scratch for ProcessColumns (position + salted hash per
+  // admitted row), reused across chunks.
+  std::vector<uint32_t> idx_scratch_;
+  std::vector<uint64_t> hash_scratch_;
   std::vector<Entry> entries_;
   uint64_t window_gets_ = 0;
   uint64_t window_sampled_gets_ = 0;

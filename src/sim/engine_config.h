@@ -76,6 +76,16 @@ struct EngineConfig {
   // fingerprint; disable to debug or to save the extra thread.
   bool stream_decode_ahead = true;
 
+  // Asynchronous analyzer replay (see mrc_bank.h): mini-sim batch fan-outs
+  // are submitted to the shared engine pool and overlap shard serving and
+  // chunk decode, joining at window boundaries before the controller reads
+  // the report. An EXECUTION knob like shard_threads — outputs are
+  // bit-identical either way (the async differential suite pins this) — so
+  // it is excluded from the sweep fingerprint; disable to debug or to get
+  // strictly synchronous scheduling. Only takes effect when the shared pool
+  // has workers (shard_threads or analyzer_threads > 1).
+  bool async_analyzer = true;
+
   // Static-configuration parameters.
   uint64_t static_capacity_bytes = 0;  // kStaticCapacity
   SimDuration static_ttl = 0;          // kStaticTtl

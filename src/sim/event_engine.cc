@@ -49,7 +49,11 @@ class EventRunner {
         fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
         num_shards_(std::max(cfg.num_shards, 1)),
         router_(num_shards_),
-        pool_(std::min(std::max(cfg.shard_threads, 1), num_shards_)) {}
+        // One shared pool serves both serving shards and the analyzer's
+        // mini-sim fan-outs, as in the replay engine (see Runner's
+        // constructor for the sizing rationale).
+        pool_(std::max(std::min(std::max(cfg.shard_threads, 1), num_shards_),
+                       std::min(std::max(cfg.analyzer_threads, 1), 1024))) {}
 
   RunResult Run();
 
@@ -84,7 +88,10 @@ class EventRunner {
   void Setup();
   void ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end);
   void ReplayShardBatch(Shard& sh);
-  void HandleRequest(Shard& sh, const Request& r, uint64_t h);
+  // Request fields arrive as columns straight from the shard batch; no
+  // Request struct is materialized on the replay path (see the replay
+  // engine's ProcessRequest). `h` is the ingest-time Mix64(id).
+  void HandleRequest(Shard& sh, SimTime time, ObjectId id, uint64_t size, Op op, uint64_t h);
   void WindowBoundary(SimTime t);
   void Finalize();
   void Integrate(Shard& sh, SimTime t);
@@ -102,7 +109,14 @@ class EventRunner {
   RunResult result_;
 
   std::vector<Shard> shards_;
+  // Declared after pool_: the controller's bank destructors join any
+  // in-flight async fan-out, which needs the pool alive.
   std::unique_ptr<MacaronController> controller_;
+
+  // ReplaySegment scratch for the count-then-scatter shard partition,
+  // reused across segments.
+  std::vector<uint32_t> shard_of_scratch_;
+  std::vector<size_t> shard_cursor_scratch_;
 };
 
 void EventRunner::Setup() {
@@ -184,6 +198,10 @@ void EventRunner::Setup() {
     cc.analyzer.max_ttl = std::max<SimDuration>(info_.duration(), kDay);
   }
   controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
+  // The analyzer's mini-sim banks fan out on the shared engine pool
+  // (sized above to cover analyzer_threads); async overlaps their batch
+  // replays with serving. Either way the outputs are bit-identical.
+  controller_->SetExecution(&pool_, cfg_.async_analyzer);
 
   // Observability wiring (no-op when both sinks are null — the default).
   // As in the replay engine, the controller registers into the engine sink
@@ -220,56 +238,55 @@ void EventRunner::ChargeOscOps(Shard& sh) {
                prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
 }
 
-void EventRunner::HandleRequest(Shard& sh, const Request& r, uint64_t h) {
-  Integrate(sh, r.time);
-  switch (r.op) {
+void EventRunner::HandleRequest(Shard& sh, SimTime time, ObjectId id, uint64_t size, Op op,
+                                uint64_t h) {
+  Integrate(sh, time);
+  switch (op) {
     case Op::kGet: {
       ++sh.gets;
-      if (sh.cluster != nullptr && sh.cluster->GetHashed(r.id, h)) {
+      if (sh.cluster != nullptr && sh.cluster->GetHashed(id, h)) {
         ++sh.cluster_hits;
         if (cfg_.measure_latency) {
           sh.latency_ms.Add(
-              kClientHopMs + fitted_.SampleMs(DataSource::kCacheCluster, r.size, sh.rng));
+              kClientHopMs + fitted_.SampleMs(DataSource::kCacheCluster, size, sh.rng));
         }
         return;
       }
-      if (sh.osc->LookupPrehashed(r.id, h)) {
+      if (sh.osc->LookupPrehashed(id, h)) {
         ++sh.osc_hits;
         if (sh.ttl_shadow != nullptr) {
-          sh.ttl_shadow->GetPrehashed(r.id, h, r.time);
+          sh.ttl_shadow->GetPrehashed(id, h, time);
         }
         if (cfg_.measure_latency) {
           sh.latency_ms.Add(kClientHopMs +
-                            fitted_.SampleMs(DataSource::kOsc, r.size, sh.rng));
+                            fitted_.SampleMs(DataSource::kOsc, size, sh.rng));
         }
         if (sh.cluster != nullptr) {
-          sh.cluster->PutHashed(r.id, h, r.size);
+          sh.cluster->PutHashed(id, h, size);
         }
         return;
       }
-      if (auto completion = sh.inflight.Pending(r.id, r.time)) {
+      if (auto completion = sh.inflight.Pending(id, time)) {
         ++sh.delayed_hits;
         if (cfg_.measure_latency) {
-          sh.latency_ms.Add(kClientHopMs + static_cast<double>(*completion - r.time));
+          sh.latency_ms.Add(kClientHopMs + static_cast<double>(*completion - time));
         }
         return;
       }
       ++sh.remote_fetches;
-      sh.egress_bytes += r.size;
-      sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+      sh.egress_bytes += size;
+      sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(size));
       sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-      const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, sh.rng);
+      const double lat = fitted_.SampleMs(DataSource::kRemoteLake, size, sh.rng);
       if (cfg_.measure_latency) {
         sh.latency_ms.Add(kClientHopMs + lat);
       }
-      const SimTime completion = r.time + static_cast<SimTime>(lat) + 1;
+      const SimTime completion = time + static_cast<SimTime>(lat) + 1;
       // Admission happens when the fetch completes; the event carries the
       // hash so completion does not rehash, and the fill ticket so a DELETE
       // or mid-flight eviction between now and then cancels the admission
       // instead of resurrecting a dead object.
-      const uint64_t ticket = sh.inflight.Insert(r.id, completion);
-      const ObjectId id = r.id;
-      const uint64_t size = r.size;
+      const uint64_t ticket = sh.inflight.Insert(id, completion);
       Shard* p = &sh;
       sh.queue.Schedule(completion, [this, p, id, h, size, ticket](SimTime now) {
         if (!p->inflight.ClaimTicket(id, ticket)) {
@@ -287,23 +304,23 @@ void EventRunner::HandleRequest(Shard& sh, const Request& r, uint64_t h) {
       return;
     }
     case Op::kPut:
-      sh.osc->AdmitPrehashed(r.id, h, r.size);
+      sh.osc->AdmitPrehashed(id, h, size);
       if (sh.ttl_shadow != nullptr) {
-        sh.ttl_shadow->PutPrehashed(r.id, h, r.size, r.time);
+        sh.ttl_shadow->PutPrehashed(id, h, size, time);
       }
       if (sh.cluster != nullptr) {
-        sh.cluster->PutHashed(r.id, h, r.size);
+        sh.cluster->PutHashed(id, h, size);
       }
       return;
     case Op::kDelete:
-      sh.osc->DeletePrehashed(r.id, h);
+      sh.osc->DeletePrehashed(id, h);
       if (sh.ttl_shadow != nullptr) {
-        sh.ttl_shadow->ErasePrehashed(r.id, h);
+        sh.ttl_shadow->ErasePrehashed(id, h);
       }
       if (sh.cluster != nullptr) {
-        sh.cluster->DeleteHashed(r.id, h);
+        sh.cluster->DeleteHashed(id, h);
       }
-      sh.inflight.Erase(r.id);
+      sh.inflight.Erase(id);
       return;
   }
 }
@@ -327,25 +344,45 @@ void EventRunner::ReplayShardBatch(Shard& sh) {
     // scheduled reconfiguration applies) fire first, exactly as the single
     // global event queue interleaved them with the request stream.
     sh.queue.RunUntil(b.times[i]);
-    Request r;
-    r.time = b.times[i];
-    r.id = b.ids[i];
-    r.size = b.sizes[i];
-    r.op = b.ops[i];
-    HandleRequest(sh, r, b.hashes[i]);
+    HandleRequest(sh, b.times[i], b.ids[i], b.sizes[i], b.ops[i], b.hashes[i]);
   }
 }
 
 void EventRunner::ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end) {
-  // Hashes were computed once at decode; partition reuses them (see
-  // Runner::ReplaySegment).
-  for (size_t k = begin; k < end; ++k) {
-    const uint64_t h = chunk.hashes[k];
-    shards_[router_.ShardOf(h)].batch.Append(chunk.ids[k], h, chunk.sizes[k], chunk.ops[k],
-                                             chunk.times[k]);
+  // Hashes were computed once at decode; partition reuses them. Same
+  // count-then-scatter bulk partition as Runner::ReplaySegment.
+  if (num_shards_ == 1) {
+    shards_[0].batch.AppendRange(chunk, begin, end);
+  } else {
+    const size_t n = end - begin;
+    if (shard_of_scratch_.size() < n) {
+      shard_of_scratch_.resize(n);
+    }
+    shard_cursor_scratch_.assign(static_cast<size_t>(num_shards_), 0);
+    for (size_t k = 0; k < n; ++k) {
+      const uint32_t s = static_cast<uint32_t>(router_.ShardOf(chunk.hashes[begin + k]));
+      shard_of_scratch_[k] = s;
+      ++shard_cursor_scratch_[s];
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shard_cursor_scratch_[s] = shards_[s].batch.GrowBy(shard_cursor_scratch_[s]);
+    }
+    for (size_t k = 0; k < n; ++k) {
+      ReplayBatch& b = shards_[shard_of_scratch_[k]].batch;
+      const size_t w = shard_cursor_scratch_[shard_of_scratch_[k]]++;
+      const size_t src = begin + k;
+      b.ids[w] = chunk.ids[src];
+      b.hashes[w] = chunk.hashes[src];
+      b.sizes[w] = chunk.sizes[src];
+      b.ops[w] = chunk.ops[src];
+      b.times[w] = chunk.times[src];
+    }
   }
-  // Shard replay overlaps controller observation of the same segment (in
-  // trace order) on this thread; the two touch disjoint state.
+  // Shard replay overlaps controller observation of the same segment's
+  // columns on this thread; the two touch disjoint state. With
+  // async_analyzer the analyzer's batch fan-outs additionally outlive the
+  // segment, joining at the next window boundary before EndWindow reads
+  // the report.
   std::vector<std::future<void>> pending;
   for (Shard& sh : shards_) {
     if (sh.batch.empty()) {
@@ -354,9 +391,7 @@ void EventRunner::ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t e
     Shard* p = &sh;
     pending.push_back(pool_.Submit([this, p] { ReplayShardBatch(*p); }));
   }
-  for (size_t k = begin; k < end; ++k) {
-    controller_->Observe(chunk.RowAt(k));
-  }
+  controller_->ObserveColumns(chunk, begin, end);
   for (std::future<void>& f : pending) {
     f.get();
   }

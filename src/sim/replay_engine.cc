@@ -114,7 +114,13 @@ class Runner {
         fitted_(truth_, /*samples_per_bucket=*/400, cfg.seed ^ 0xfeed),
         num_shards_(std::max(cfg.num_shards, 1)),
         router_(num_shards_),
-        pool_(std::min(std::max(cfg.shard_threads, 1), num_shards_)) {}
+        // One shared pool serves both serving shards and the analyzer's
+        // mini-sim fan-outs: its size is the larger of the two demands, so
+        // analyzer_threads no longer spawns a second pool that would
+        // oversubscribe the machine (threads are a shared budget; any size
+        // produces bit-identical outputs).
+        pool_(std::max(std::min(std::max(cfg.shard_threads, 1), num_shards_),
+                       std::min(std::max(cfg.analyzer_threads, 1), 1024))) {}
 
   RunResult Run();
 
@@ -189,7 +195,10 @@ class Runner {
   void Setup();
   void ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end);
   void ReplayShardBatch(Shard& sh);
-  void ProcessRequest(Shard& sh, const Request& r, uint64_t h);
+  // Request fields arrive as columns straight from the shard batch; no
+  // Request struct is materialized on the replay path. `h` is Mix64(id),
+  // computed once at ingest and reused by every cache level.
+  void ProcessRequest(Shard& sh, SimTime time, ObjectId id, uint64_t size, Op op, uint64_t h);
   void WindowBoundary(SimTime t);
   void ApplyDecision(SimTime t, const ReconfigDecision& d);
   void Finalize();
@@ -197,12 +206,11 @@ class Runner {
   void ChargeOscOps(Shard& sh);
   void RecordLatency(Shard& sh, DataSource source, uint64_t size);
 
-  // Per-approach GET paths. `h` is Mix64(r.id), computed once per request
-  // at ingest and reused by every cache level (shard routing included).
-  void GetRemote(Shard& sh, const Request& r);
-  void GetReplicated(Shard& sh, const Request& r);
-  void GetEcpc(Shard& sh, const Request& r, uint64_t h);
-  void GetMacaron(Shard& sh, const Request& r, uint64_t h);
+  // Per-approach GET paths.
+  void GetRemote(Shard& sh, uint64_t size);
+  void GetReplicated(Shard& sh, uint64_t size);
+  void GetEcpc(Shard& sh, ObjectId id, uint64_t size, uint64_t h);
+  void GetMacaron(Shard& sh, SimTime time, ObjectId id, uint64_t size, uint64_t h);
 
   const EngineConfig& cfg_;
   RequestSource& source_;
@@ -216,7 +224,15 @@ class Runner {
   RunResult result_;
 
   std::vector<Shard> shards_;
+  // Declared after pool_: the controller's bank destructors join any
+  // in-flight async fan-out, which needs the pool alive.
   std::unique_ptr<MacaronController> controller_;
+
+  // ReplaySegment scratch for the count-then-scatter shard partition
+  // (per-row shard ids, then per-shard write cursors), reused across
+  // segments.
+  std::vector<uint32_t> shard_of_scratch_;
+  std::vector<size_t> shard_cursor_scratch_;
 
   // Elastic-cluster-cache parameters (DRAM for ECPC, NVMe for flash-ECPC);
   // Macaron's own cluster uses the DRAM defaults.
@@ -352,6 +368,10 @@ void Runner::Setup() {
         break;
     }
     controller_ = std::make_unique<MacaronController>(cc, prices_, &fitted_);
+    // The analyzer's mini-sim banks fan out on the shared engine pool
+    // (sized above to cover analyzer_threads); async overlaps their batch
+    // replays with serving. Either way the outputs are bit-identical.
+    controller_->SetExecution(&pool_, cfg_.async_analyzer);
   }
   if (IsElasticClusterCache()) {
     for (Shard& sh : shards_) {
@@ -408,120 +428,120 @@ void Runner::RecordLatency(Shard& sh, DataSource source, uint64_t size) {
   sh.latency_ms.Add(fitted_.SampleMs(source, size, sh.rng));
 }
 
-void Runner::GetRemote(Shard& sh, const Request& r) {
+void Runner::GetRemote(Shard& sh, uint64_t size) {
   ++sh.remote_fetches;
-  sh.egress_bytes += r.size;
-  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  sh.egress_bytes += size;
+  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(size));
   sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  RecordLatency(sh, DataSource::kRemoteLake, r.size);
+  RecordLatency(sh, DataSource::kRemoteLake, size);
 }
 
-void Runner::GetReplicated(Shard& sh, const Request& r) {
+void Runner::GetReplicated(Shard& sh, uint64_t size) {
   // All reads are served by the local replica.
   ++sh.osc_hits;
   sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  RecordLatency(sh, DataSource::kOsc, r.size);
+  RecordLatency(sh, DataSource::kOsc, size);
 }
 
-void Runner::GetEcpc(Shard& sh, const Request& r, uint64_t h) {
-  if (sh.cluster->GetHashed(r.id, h)) {
+void Runner::GetEcpc(Shard& sh, ObjectId id, uint64_t size, uint64_t h) {
+  if (sh.cluster->GetHashed(id, h)) {
     ++sh.cluster_hits;
-    RecordLatency(sh, cluster_hit_source_, r.size);
+    RecordLatency(sh, cluster_hit_source_, size);
     return;
   }
   ++sh.remote_fetches;
-  sh.egress_bytes += r.size;
-  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  sh.egress_bytes += size;
+  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(size));
   sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  RecordLatency(sh, DataSource::kRemoteLake, r.size);
-  sh.cluster->PutHashed(r.id, h, r.size);
+  RecordLatency(sh, DataSource::kRemoteLake, size);
+  sh.cluster->PutHashed(id, h, size);
 }
 
-void Runner::GetMacaron(Shard& sh, const Request& r, uint64_t h) {
+void Runner::GetMacaron(Shard& sh, SimTime time, ObjectId id, uint64_t size, uint64_t h) {
   // A fetch still in flight means the object is not yet actually available,
   // even though it was admitted to cache metadata at request time: the
   // duplicate access is delayed until the fetch completes (§5.2).
-  if (auto completion = sh.inflight.Pending(r.id, r.time)) {
+  if (auto completion = sh.inflight.Pending(id, time)) {
     ++sh.delayed_hits;
     if (cfg_.measure_latency) {
-      sh.latency_ms.Add(static_cast<double>(*completion - r.time));
+      sh.latency_ms.Add(static_cast<double>(*completion - time));
     }
     return;
   }
-  if (sh.cluster != nullptr && sh.cluster->GetHashed(r.id, h)) {
+  if (sh.cluster != nullptr && sh.cluster->GetHashed(id, h)) {
     ++sh.cluster_hits;
-    RecordLatency(sh, DataSource::kCacheCluster, r.size);
+    RecordLatency(sh, DataSource::kCacheCluster, size);
     // Inclusive caching: refresh OSC recency so hot data stays resident.
-    if (sh.osc->Contains(r.id)) {
+    if (sh.osc->Contains(id)) {
       if (sh.ttl_shadow != nullptr) {
-        sh.ttl_shadow->GetPrehashed(r.id, h, r.time);
+        sh.ttl_shadow->GetPrehashed(id, h, time);
       }
     }
     return;
   }
-  if (sh.osc->LookupPrehashed(r.id, h)) {
+  if (sh.osc->LookupPrehashed(id, h)) {
     ++sh.osc_hits;
     if (sh.ttl_shadow != nullptr) {
-      sh.ttl_shadow->GetPrehashed(r.id, h, r.time);
+      sh.ttl_shadow->GetPrehashed(id, h, time);
     }
-    RecordLatency(sh, DataSource::kOsc, r.size);
+    RecordLatency(sh, DataSource::kOsc, size);
     if (sh.cluster != nullptr) {
-      sh.cluster->PutHashed(r.id, h, r.size);  // promote
+      sh.cluster->PutHashed(id, h, size);  // promote
     }
     return;
   }
   ++sh.remote_fetches;
-  sh.egress_bytes += r.size;
-  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(r.size));
+  sh.egress_bytes += size;
+  sh.costs.Add(CostCategory::kEgress, prices_.EgressCost(size));
   sh.costs.Add(CostCategory::kOperation, prices_.GetCost(1));
-  const double lat = fitted_.SampleMs(DataSource::kRemoteLake, r.size, sh.rng);
+  const double lat = fitted_.SampleMs(DataSource::kRemoteLake, size, sh.rng);
   if (cfg_.measure_latency) {
     sh.latency_ms.Add(lat);
   }
-  sh.inflight.Insert(r.id, r.time + static_cast<SimTime>(lat) + 1);
+  sh.inflight.Insert(id, time + static_cast<SimTime>(lat) + 1);
   if (!admission_bypass_) {
-    sh.osc->AdmitPrehashed(r.id, h, r.size);
+    sh.osc->AdmitPrehashed(id, h, size);
     if (sh.ttl_shadow != nullptr) {
-      sh.ttl_shadow->PutPrehashed(r.id, h, r.size, r.time);
+      sh.ttl_shadow->PutPrehashed(id, h, size, time);
     }
   }
   if (sh.cluster != nullptr) {
-    sh.cluster->PutHashed(r.id, h, r.size);
+    sh.cluster->PutHashed(id, h, size);
   }
 }
 
-void Runner::ProcessRequest(Shard& sh, const Request& r, uint64_t h) {
-  Integrate(sh, r.time);
-  if (cfg_.approach == Approach::kReplicated &&
-      (r.op == Op::kGet || r.op == Op::kPut)) {
-    if (sh.seen.insert(r.id).second) {
-      sh.known_dataset_bytes += r.size;
+void Runner::ProcessRequest(Shard& sh, SimTime time, ObjectId id, uint64_t size, Op op,
+                            uint64_t h) {
+  Integrate(sh, time);
+  if (cfg_.approach == Approach::kReplicated && (op == Op::kGet || op == Op::kPut)) {
+    if (sh.seen.insert(id).second) {
+      sh.known_dataset_bytes += size;
       // Replication must transfer every byte of the (growing) dataset once,
       // dark data included: first-touch bytes proxy the dataset growth rate
       // the paper bills sync egress on (§7.1).
       const double sync_bytes =
-          static_cast<double>(r.size) / (1.0 - cfg_.dark_data_fraction);
+          static_cast<double>(size) / (1.0 - cfg_.dark_data_fraction);
       sh.costs.Add(CostCategory::kEgress,
                    prices_.EgressCost(static_cast<uint64_t>(sync_bytes)));
       sh.egress_bytes += static_cast<uint64_t>(sync_bytes);
     }
   }
-  switch (r.op) {
+  switch (op) {
     case Op::kGet:
       ++sh.gets;
       switch (cfg_.approach) {
         case Approach::kRemote:
-          GetRemote(sh, r);
+          GetRemote(sh, size);
           break;
         case Approach::kReplicated:
-          GetReplicated(sh, r);
+          GetReplicated(sh, size);
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          GetEcpc(sh, r, h);
+          GetEcpc(sh, id, size, h);
           break;
         default:
-          GetMacaron(sh, r, h);
+          GetMacaron(sh, time, id, size, h);
           break;
       }
       break;
@@ -534,17 +554,17 @@ void Runner::ProcessRequest(Shard& sh, const Request& r, uint64_t h) {
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          sh.cluster->PutHashed(r.id, h, r.size);
+          sh.cluster->PutHashed(id, h, size);
           break;
         default:
           if (!admission_bypass_) {
-            sh.osc->AdmitPrehashed(r.id, h, r.size);
+            sh.osc->AdmitPrehashed(id, h, size);
           }
           if (sh.ttl_shadow != nullptr) {
-            sh.ttl_shadow->PutPrehashed(r.id, h, r.size, r.time);
+            sh.ttl_shadow->PutPrehashed(id, h, size, time);
           }
           if (sh.cluster != nullptr) {
-            sh.cluster->PutHashed(r.id, h, r.size);
+            sh.cluster->PutHashed(id, h, size);
           }
           break;
       }
@@ -554,23 +574,23 @@ void Runner::ProcessRequest(Shard& sh, const Request& r, uint64_t h) {
         case Approach::kRemote:
           break;
         case Approach::kReplicated:
-          if (sh.seen.erase(r.id) > 0) {
-            sh.known_dataset_bytes -= std::min(sh.known_dataset_bytes, r.size);
+          if (sh.seen.erase(id) > 0) {
+            sh.known_dataset_bytes -= std::min(sh.known_dataset_bytes, size);
           }
           break;
         case Approach::kEcpc:
         case Approach::kFlashEcpc:
-          sh.cluster->DeleteHashed(r.id, h);
+          sh.cluster->DeleteHashed(id, h);
           break;
         default:
-          sh.osc->DeletePrehashed(r.id, h);
+          sh.osc->DeletePrehashed(id, h);
           if (sh.ttl_shadow != nullptr) {
-            sh.ttl_shadow->ErasePrehashed(r.id, h);
+            sh.ttl_shadow->ErasePrehashed(id, h);
           }
           if (sh.cluster != nullptr) {
-            sh.cluster->DeleteHashed(r.id, h);
+            sh.cluster->DeleteHashed(id, h);
           }
-          sh.inflight.Erase(r.id);
+          sh.inflight.Erase(id);
           break;
       }
       break;
@@ -595,30 +615,52 @@ void Runner::ReplayShardBatch(Shard& sh) {
         sh.ttl_shadow->PrefetchPrehashed(ahead);
       }
     }
-    Request r;
-    r.time = b.times[i];
-    r.id = b.ids[i];
-    r.size = b.sizes[i];
-    r.op = b.ops[i];
-    ProcessRequest(sh, r, b.hashes[i]);
+    ProcessRequest(sh, b.times[i], b.ids[i], b.sizes[i], b.ops[i], b.hashes[i]);
   }
 }
 
 void Runner::ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end) {
   // Partition this segment of the decoded chunk into per-shard SoA columns.
   // The hash column was filled once at decode (the one Mix64 of the request
-  // path); shard routing and every cache level reuse it.
-  for (size_t k = begin; k < end; ++k) {
-    const uint64_t h = chunk.hashes[k];
-    shards_[router_.ShardOf(h)].batch.Append(chunk.ids[k], h, chunk.sizes[k], chunk.ops[k],
-                                             chunk.times[k]);
+  // path); shard routing and every cache level reuse it. One shard takes
+  // the whole segment as a single five-column copy; multiple shards use a
+  // count-then-scatter pass (route every row, grow each shard's columns
+  // once, then write rows through cursors) instead of per-row push_backs.
+  if (num_shards_ == 1) {
+    shards_[0].batch.AppendRange(chunk, begin, end);
+  } else {
+    const size_t n = end - begin;
+    if (shard_of_scratch_.size() < n) {
+      shard_of_scratch_.resize(n);
+    }
+    shard_cursor_scratch_.assign(static_cast<size_t>(num_shards_), 0);
+    for (size_t k = 0; k < n; ++k) {
+      const uint32_t s = static_cast<uint32_t>(router_.ShardOf(chunk.hashes[begin + k]));
+      shard_of_scratch_[k] = s;
+      ++shard_cursor_scratch_[s];
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shard_cursor_scratch_[s] = shards_[s].batch.GrowBy(shard_cursor_scratch_[s]);
+    }
+    for (size_t k = 0; k < n; ++k) {
+      ReplayBatch& b = shards_[shard_of_scratch_[k]].batch;
+      const size_t w = shard_cursor_scratch_[shard_of_scratch_[k]]++;
+      const size_t src = begin + k;
+      b.ids[w] = chunk.ids[src];
+      b.hashes[w] = chunk.hashes[src];
+      b.sizes[w] = chunk.sizes[src];
+      b.ops[w] = chunk.ops[src];
+      b.times[w] = chunk.times[src];
+    }
   }
   // Shards replay their columns on the pool while the controller observes
-  // the segment's raw stream (in trace order) on this thread. The analyzer
-  // shares no state with the serving shards and its report is only read at
-  // the next boundary — after both sides finish — so the overlap cannot
-  // affect any output. With a workerless pool, Submit runs the shard
-  // inline, preserving the same results on a single thread.
+  // the segment's columns on this thread. The analyzer shares no state with
+  // the serving shards and its report is only read at the next boundary —
+  // after both sides finish — so the overlap cannot affect any output; with
+  // async_analyzer its batch fan-outs additionally outlive this segment,
+  // overlapping the next chunk's decode and serving until a window boundary
+  // joins them. With a workerless pool, Submit runs the shard inline,
+  // preserving the same results on a single thread.
   std::vector<std::future<void>> pending;
   for (Shard& sh : shards_) {
     if (sh.batch.empty()) {
@@ -628,9 +670,7 @@ void Runner::ReplaySegment(const ReplayBatch& chunk, size_t begin, size_t end) {
     pending.push_back(pool_.Submit([this, p] { ReplayShardBatch(*p); }));
   }
   if (controller_ != nullptr) {
-    for (size_t k = begin; k < end; ++k) {
-      controller_->Observe(chunk.RowAt(k));
-    }
+    controller_->ObserveColumns(chunk, begin, end);
   }
   for (std::future<void>& f : pending) {
     f.get();

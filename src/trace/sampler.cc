@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/trace/column_sample.h"
 
 namespace macaron {
 
@@ -13,6 +14,11 @@ SpatialSampler::SpatialSampler(double ratio, uint64_t salt) : ratio_(ratio), sal
   } else {
     threshold_ = static_cast<uint64_t>(std::ldexp(ratio, 64));
   }
+}
+
+size_t SpatialSampler::CompactAdmitted(const ObjectId* ids, size_t n, uint32_t* idx,
+                                       uint64_t* hash) const {
+  return macaron::CompactAdmitted(ids, n, salt_, threshold_, idx, hash);
 }
 
 Trace SampleTrace(const Trace& trace, const SpatialSampler& sampler) {

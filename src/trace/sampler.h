@@ -33,6 +33,16 @@ class SpatialSampler {
   // Admission test on a hash previously returned by Hash().
   bool AdmitHashed(uint64_t hash) const { return hash <= threshold_; }
 
+  // Columnar admission over an id column (see column_sample.h): hashes
+  // ids[0..n) in this sampler's salted domain and compacts the admitted
+  // rows' positions and hashes into idx/hash (room for n entries each),
+  // branch-free. Returns the admitted count. Row order is preserved, and
+  // each emitted hash equals Hash(ids[idx[j]]) exactly, so a columnar
+  // caller admits the same rows with the same reusable hashes as a per-row
+  // Admit/Hash loop.
+  size_t CompactAdmitted(const ObjectId* ids, size_t n, uint32_t* idx,
+                         uint64_t* hash) const;
+
   double ratio() const { return ratio_; }
 
  private:

@@ -36,6 +36,7 @@
 #include "src/minisim/size_grid.h"
 #include "src/minisim/ttl_bank.h"
 #include "src/trace/request.h"
+#include "src/trace/sampler.h"
 
 namespace macaron {
 namespace {
@@ -640,6 +641,157 @@ TEST(SlabReuseTest, AlcBankWindowsReuseSlabs) {
                0, &gen, 19);
   ExpectSteadyStateAllocations(bank, ZipfWindow(3000, 25'000, 20),
                                [&] { bank.EndWindow(); });
+}
+
+// --- Columnar observe path (ProcessColumns vs scalar Process) ---
+//
+// The engines feed the banks whole SoA chunk segments (ObserveColumns);
+// the banks rehash the id column into their salted admission domain,
+// compact survivors branch-free, and bulk-append them. Feeding one bank
+// per-row and a second bank the same stream as column segments at an odd
+// chunk size (so segment boundaries never align with the 4096-row batch
+// capacity) must produce bit-identical window curves — including AlcBank,
+// whose per-admitted-GET latency draws must come out in the exact stream
+// order of the per-row path.
+
+// Mixed GET/PUT/DELETE stream with varied sizes (deletes and puts exercise
+// the op-column folds; varied sizes exercise the byte sums).
+std::vector<Request> MixedWindow(uint64_t objects, uint64_t count, uint64_t seed) {
+  std::vector<Request> reqs;
+  Rng rng(seed);
+  ZipfSampler zipf(objects, 0.8);
+  reqs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const ObjectId id = zipf.Sample(rng);
+    Op op = Op::kGet;
+    if (i % 16 == 7) {
+      op = Op::kPut;
+    } else if (i % 16 == 13) {
+      op = Op::kDelete;
+    }
+    reqs.push_back({static_cast<SimTime>(i * 10), id, SizeOfId(id), op});
+  }
+  return reqs;
+}
+
+// Feeds `reqs` to `bank` as column segments of `chunk_len` rows, with the
+// hash column in the engines' ingest domain (plain Mix64(id)) — which the
+// bank must ignore in favor of its own salted rehash.
+template <typename Bank>
+void FeedColumns(Bank& bank, const std::vector<Request>& reqs, size_t chunk_len) {
+  size_t i = 0;
+  while (i < reqs.size()) {
+    const size_t n = std::min(chunk_len, reqs.size() - i);
+    ReplayBatch chunk;
+    chunk.Reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+      chunk.PushBack(reqs[i + k], Mix64(reqs[i + k].id));
+    }
+    bank.ProcessColumns(chunk, 0, chunk.size());
+    i += n;
+  }
+}
+
+constexpr size_t kOddChunk = 509;
+
+TEST(ColumnarObserveDifferentialTest, MrcBankColumnsMatchScalar) {
+  const auto grid = UniformSizeGrid(50'000, 2'000'000, 8);
+  for (const EvictionPolicyKind kind :
+       {EvictionPolicyKind::kLru, EvictionPolicyKind::kS3Fifo}) {
+    SCOPED_TRACE(EvictionPolicyName(kind));
+    MrcBank scalar(grid, 0.5, /*salt=*/29, kind);
+    MrcBank columnar(grid, 0.5, /*salt=*/29, kind);
+    for (int w = 0; w < 3; ++w) {
+      const auto reqs = MixedWindow(3000, 20'000, 61 + w);
+      for (const Request& r : reqs) {
+        scalar.Process(r);
+      }
+      FeedColumns(columnar, reqs, kOddChunk);
+      const WindowCurves cs = scalar.EndWindow();
+      const WindowCurves cc = columnar.EndWindow();
+      EXPECT_EQ(cs.mrc.ys(), cc.mrc.ys()) << "window " << w;
+      EXPECT_EQ(cs.bmc.ys(), cc.bmc.ys()) << "window " << w;
+      EXPECT_EQ(cs.sampled_gets, cc.sampled_gets) << "window " << w;
+      EXPECT_EQ(cs.window_requests, cc.window_requests) << "window " << w;
+    }
+  }
+}
+
+TEST(ColumnarObserveDifferentialTest, TtlBankColumnsMatchScalar) {
+  TtlBank scalar({50'000, 200'000, 800'000}, 0.5, /*salt=*/43);
+  TtlBank columnar({50'000, 200'000, 800'000}, 0.5, /*salt=*/43);
+  for (int w = 0; w < 3; ++w) {
+    const auto reqs = MixedWindow(2000, 15'000, 67 + w);
+    for (const Request& r : reqs) {
+      scalar.Process(r);
+    }
+    FeedColumns(columnar, reqs, kOddChunk);
+    const TtlWindowCurves cs = scalar.EndWindow(300'000);
+    const TtlWindowCurves cc = columnar.EndWindow(300'000);
+    EXPECT_EQ(cs.mrc.ys(), cc.mrc.ys()) << "window " << w;
+    EXPECT_EQ(cs.bmc.ys(), cc.bmc.ys()) << "window " << w;
+    EXPECT_EQ(cs.capacity.ys(), cc.capacity.ys()) << "window " << w;
+    EXPECT_EQ(cs.sampled_gets, cc.sampled_gets) << "window " << w;
+  }
+}
+
+TEST(ColumnarObserveDifferentialTest, AlcBankColumnsMatchScalar) {
+  GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
+  FittedLatencyGenerator gen(truth, 200, 3);
+  const auto grid = UniformSizeGrid(100'000, 1'000'000, 6);
+  AlcBank scalar(grid, /*osc=*/2'000'000, 0.5, /*salt=*/53, &gen, 91);
+  AlcBank columnar(grid, /*osc=*/2'000'000, 0.5, /*salt=*/53, &gen, 91);
+  for (int w = 0; w < 3; ++w) {
+    const auto reqs = MixedWindow(3000, 20'000, 71 + w);
+    for (const Request& r : reqs) {
+      scalar.Process(r);
+    }
+    FeedColumns(columnar, reqs, kOddChunk);
+    if (w == 1) {
+      // Mid-stream reconfiguration flushes both sides at the same point.
+      scalar.SetOscCapacity(1'000'000);
+      columnar.SetOscCapacity(1'000'000);
+    }
+    const AlcWindow cs = scalar.EndWindow();
+    const AlcWindow cc = columnar.EndWindow();
+    EXPECT_EQ(cs.sampled_gets, cc.sampled_gets) << "window " << w;
+    EXPECT_EQ(cs.alc.ys(), cc.alc.ys()) << "window " << w;  // exact: same RNG order
+    ASSERT_EQ(cs.level_counts.size(), cc.level_counts.size());
+    for (size_t i = 0; i < cs.level_counts.size(); ++i) {
+      EXPECT_EQ(cs.level_counts[i].cluster_hits, cc.level_counts[i].cluster_hits);
+      EXPECT_EQ(cs.level_counts[i].osc_hits, cc.level_counts[i].osc_hits);
+      EXPECT_EQ(cs.level_counts[i].remote_misses, cc.level_counts[i].remote_misses);
+      EXPECT_EQ(cs.level_counts[i].delayed_hits, cc.level_counts[i].delayed_hits);
+    }
+  }
+}
+
+TEST(ColumnarObserveDifferentialTest, CompactAdmittedMatchesScalarSampler) {
+  // The compaction kernel (AVX2 or scalar, whichever this machine
+  // dispatches to) must agree exactly with per-row SpatialSampler admission
+  // on indices and salted hashes, including at uneven tail lengths.
+  SpatialSampler sampler(0.3, /*salt=*/0x5a17);
+  Rng rng(99);
+  ZipfSampler zipf(100'000, 0.9);
+  for (const size_t n : {size_t{1}, size_t{3}, size_t{509}, size_t{4096}, size_t{10'000}}) {
+    std::vector<ObjectId> ids(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = zipf.Sample(rng);
+    }
+    std::vector<uint32_t> idx(n);
+    std::vector<uint64_t> hash(n);
+    const size_t m = sampler.CompactAdmitted(ids.data(), n, idx.data(), hash.data());
+    size_t want = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (sampler.Admit(ids[i])) {
+        ASSERT_LT(want, m);
+        EXPECT_EQ(idx[want], i);
+        EXPECT_EQ(hash[want], sampler.Hash(ids[i]));
+        ++want;
+      }
+    }
+    EXPECT_EQ(m, want) << "n=" << n;
+  }
 }
 
 }  // namespace

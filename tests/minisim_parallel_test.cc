@@ -154,7 +154,36 @@ TEST(ParallelDeterminismTest, AlcBankBitIdenticalToSequential) {
   }
 }
 
-TEST(ParallelDeterminismTest, AnalyzerThreadsConfigBitIdentical) {
+TEST(ParallelDeterminismTest, AsyncBankReplayBitIdenticalToSequential) {
+  // set_async_replay(true): batch fan-outs are submitted, not joined, so
+  // grid replay overlaps whatever this thread does next (here: filling the
+  // next batch). EndWindow joins; curves must not drift by a bit.
+  const Trace t = MixedStream(20000, 0.8, 60000, 1, 26);
+  const auto grid = UniformSizeGrid(100'000, 10'000'000, 16);
+  MrcBank seq(grid, 0.5, 17);
+  MrcBank par(grid, 0.5, 17);
+  ThreadPool pool(4);
+  par.set_thread_pool(&pool);
+  par.set_async_replay(true);
+  for (int w = 0; w < 2; ++w) {
+    for (size_t i = 0; i < 30000; ++i) {
+      const Request& r = t.requests[w * 30000 + i];
+      seq.Process(r);
+      par.Process(r);
+    }
+    const WindowCurves ws = seq.EndWindow();
+    const WindowCurves wp = par.EndWindow();
+    EXPECT_EQ(ws.sampled_gets, wp.sampled_gets);
+    EXPECT_EQ(ws.window_requests, wp.window_requests);
+    ExpectCurvesIdentical(ws.mrc, wp.mrc);
+    ExpectCurvesIdentical(ws.bmc, wp.bmc);
+  }
+}
+
+TEST(ParallelDeterminismTest, AnalyzerSharedPoolBitIdentical) {
+  // The analyzer owns no threads: SetExecution wires an engine-owned pool
+  // through to the banks (sync joins at each flush, async joins at
+  // EndWindow). Both must reproduce the sequential analyzer bit for bit.
   const Trace t = MixedStream(10000, 0.8, 40000, kSecond, 25);
   GroundTruthLatency truth(LatencyScenario::kCrossCloudUs);
   FittedLatencyGenerator gen(truth, 200, 2);
@@ -166,10 +195,10 @@ TEST(ParallelDeterminismTest, AnalyzerThreadsConfigBitIdentical) {
   cfg.enable_alc = true;
   cfg.enable_ttl = true;
   cfg.max_ttl = 2 * kDay;
-  AnalyzerConfig cfg4 = cfg;
-  cfg4.threads = 4;
   WorkloadAnalyzer sequential(cfg, &gen);
-  WorkloadAnalyzer threaded(cfg4, &gen);
+  WorkloadAnalyzer threaded(cfg, &gen);
+  ThreadPool pool(4);
+  threaded.SetExecution(&pool, /*async=*/true);
   for (int w = 0; w < 2; ++w) {
     for (size_t i = 0; i < 20000; ++i) {
       const Request& r = t.requests[w * 20000 + i];
