@@ -10,6 +10,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/trace/splitter.h"
+#include "src/trace/stream_source.h"
 
 namespace macaron {
 namespace bench {
@@ -262,6 +263,40 @@ size_t SubmitOracle(const std::string& trace_name, DeploymentScenario scenario,
 size_t SubmitOracle(Trace trace, DeploymentScenario scenario, bool measure_latency) {
   return Submit(std::move(trace), DefaultConfig(Approach::kRemote, scenario, measure_latency),
                 sweep::JobEngine::kOracle);
+}
+
+size_t SubmitExactOracle(const std::string& trace_name, DeploymentScenario scenario,
+                         bool measure_latency) {
+  return Submit(trace_name, DefaultConfig(Approach::kRemote, scenario, measure_latency),
+                sweep::JobEngine::kExactOracle);
+}
+
+size_t SubmitExactOracle(Trace trace, DeploymentScenario scenario, bool measure_latency) {
+  return Submit(std::move(trace), DefaultConfig(Approach::kRemote, scenario, measure_latency),
+                sweep::JobEngine::kExactOracle);
+}
+
+ExactOracleResult RunExact(const Trace& t, const EngineConfig& config) {
+  return sweep::RunExactOracleWithConfig(t, config);
+}
+
+Trace MaterializeStream(const StreamProfile& profile) {
+  SyntheticStreamSource source(profile);
+  Trace t;
+  t.name = profile.name;
+  t.requests.reserve(profile.num_requests);
+  ReplayBatch batch;
+  while (source.FillNext(&batch)) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Request r;
+      r.time = batch.times[i];
+      r.id = batch.ids[i];
+      r.size = batch.sizes[i];
+      r.op = batch.ops[i];
+      t.requests.push_back(r);
+    }
+  }
+  return t;
 }
 
 const RunResult& Result(size_t index) { return SharedSweep().Result(index); }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/oracle/exact_oracle.h"
 #include "src/oracle/oracular.h"
 #include "src/sim/engine_config.h"
 #include "src/sim/run_result.h"
@@ -98,6 +99,28 @@ size_t SubmitOracle(const std::string& trace_name, DeploymentScenario scenario,
                     bool measure_latency = false);
 size_t SubmitOracle(Trace trace, DeploymentScenario scenario,
                     bool measure_latency = false);
+
+// Dollar-exact offline optimum submissions (collect with Result; the
+// approach prints as "exact-oracle"). Memoizes through the sweep like any
+// other engine. Figures that need the oracle-only extras — the per-window
+// cost timeline for regret annotation, the crossover verdict, the DP total
+// — call RunExact below instead.
+size_t SubmitExactOracle(const std::string& trace_name, DeploymentScenario scenario,
+                         bool measure_latency = false);
+size_t SubmitExactOracle(Trace trace, DeploymentScenario scenario,
+                         bool measure_latency = false);
+
+// Runs the exact offline optimum synchronously under `config` (window
+// cadence, prices, price shocks, seed all honored). Not sweep-memoized:
+// results carry the full timeline, which RunResult cannot hold.
+ExactOracleResult RunExact(const Trace& t, const EngineConfig& config);
+
+// Materializes a streamed synthetic profile into an in-memory Trace (same
+// request sequence the engines replay chunk by chunk). Oracle scoring needs
+// the whole trace; scenario figures materialize once and submit the engines
+// against the same content-hashed trace so every comparator sees identical
+// requests.
+Trace MaterializeStream(const StreamProfile& profile);
 
 // Blocks until job `index` finishes and returns its result. The reference
 // stays valid for the scheduler's lifetime.

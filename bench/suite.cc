@@ -29,6 +29,7 @@ const std::vector<SuiteEntry>& Suite() {
       {"ablation_flash_tier", "S4.1", &RunAblationFlashTier},
       {"ablation_admission_bypass", "ext", &RunAblationAdmissionBypass},
       {"ablation_priming", "S6.2", &RunAblationPriming},
+      {"regret_economics", "S5.4 ext", &RunRegretEconomics},
   };
   return *suite;
 }

@@ -36,6 +36,7 @@ int RunAblationEvictionPolicy();
 int RunAblationFlashTier();
 int RunAblationAdmissionBypass();
 int RunAblationPriming();
+int RunRegretEconomics();
 
 namespace macaron {
 namespace bench {

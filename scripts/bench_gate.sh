@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench_gate.sh — perf + determinism gate over a small bench_all subset.
+#
+# Runs the smoke figures twice, cold and single-threaded: pass 1 records
+# the scheduler/wall-clock baseline (bench_all --json); pass 2 re-runs the
+# same grid under --compare/--compare-threshold and must also reproduce
+# byte-identical figure stdout (the suite's determinism contract).
+#
+# Usage: bench_gate.sh <path-to-bench_all> [workdir]
+#   BENCH_GATE_THRESHOLD  regression tolerance in percent (default 60 —
+#                         the smoke figures are sub-second, so the gate
+#                         leans on bench_all's 50 ms jitter floor and only
+#                         catches gross slowdowns)
+#   BENCH_GATE_FIGURES    space-separated figure-name substrings to run
+#                         instead of the default smoke subset
+#
+# Exit codes: 0 ok; 3 perf regression beyond threshold (from bench_all
+# --compare); 4 figure stdout diverged between the two cold passes.
+set -euo pipefail
+
+BENCH_ALL=${1:?usage: bench_gate.sh <path-to-bench_all> [workdir]}
+WORK=${2:-$(mktemp -d /tmp/bench-gate-XXXXXX)}
+THRESHOLD=${BENCH_GATE_THRESHOLD:-60}
+
+FIGURE_ARGS=()
+for f in ${BENCH_GATE_FIGURES:-table1_pricing fig5_alc_accuracy sec77_overhead}; do
+  FIGURE_ARGS+=(--only "$f")
+done
+
+mkdir -p "$WORK"
+cd "$WORK"
+
+run() {
+  local json=$1
+  shift
+  "$BENCH_ALL" "${FIGURE_ARGS[@]}" --cold --threads 1 \
+    --cache-dir "$WORK/cache" --json "$json" "$@"
+}
+
+run baseline.json >stdout1.txt
+run gated.json --compare baseline.json --compare-threshold "$THRESHOLD" \
+  >stdout2.txt
+
+if ! cmp -s stdout1.txt stdout2.txt; then
+  echo "bench_gate: figure stdout diverged between identical cold runs" >&2
+  diff stdout1.txt stdout2.txt >&2 || true
+  exit 4
+fi
+echo "bench_gate: ok (threshold ${THRESHOLD}%)"

@@ -71,6 +71,8 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
       rec.garbage_bytes = garbage_bytes;
       rec.lambda_gb_seconds = d.lambda_gb_seconds;
       rec.analysis_seconds = d.analysis_seconds;
+      rec.price_egress_per_gb = prices_.egress_per_gb;
+      rec.price_storage_per_gb_month = prices_.object_storage_per_gb_month;
       trace_->Append(rec);
     }
     return d;
@@ -209,6 +211,8 @@ ReconfigDecision MacaronController::Reconfigure(SimTime now, uint64_t garbage_by
     rec.lambda_gb_seconds = d.lambda_gb_seconds;
     rec.analysis_seconds = d.analysis_seconds;
     rec.reconfig_seconds = d.reconfig_seconds;
+    rec.price_egress_per_gb = prices_.egress_per_gb;
+    rec.price_storage_per_gb_month = prices_.object_storage_per_gb_month;
     trace_->Append(rec);
   }
   return d;

@@ -104,6 +104,12 @@ class MacaronController {
 
   const ControllerConfig& config() const { return config_; }
   WorkloadAnalyzer& analyzer() { return analyzer_; }
+  const PriceBook& prices() const { return prices_; }
+
+  // Swaps the active price book (a repricing event took effect). Subsequent
+  // optimizations — capacity/TTL cost models and cluster budget caps — use
+  // the new rates; decisions already taken are unaffected.
+  void UpdatePrices(const PriceBook& prices) { prices_ = prices; }
 
   // Effective objects-per-block for a mean object size (capped by both the
   // per-block object limit and the block byte budget).

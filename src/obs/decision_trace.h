@@ -84,6 +84,21 @@ struct DecisionRecord {
   double lambda_gb_seconds = 0.0;
   double analysis_seconds = 0.0;
   double reconfig_seconds = 0.0;
+
+  // Active data-path prices when the decision was taken (these change
+  // mid-run under EngineConfig::price_shocks).
+  double price_egress_per_gb = 0.0;
+  double price_storage_per_gb_month = 0.0;
+
+  // Economics scoring. realized_cost_usd is the engine's cumulative actual
+  // spend through this boundary (data-path categories: egress + capacity +
+  // operations), folded deterministically from the shard integrals; the
+  // engines amend it into the record after Reconfigure returns. regret_usd
+  // is realized spend minus the exact offline optimum's cumulative cost at
+  // the same boundary — filled post-hoc by AnnotateRegret (bench/tests)
+  // since the oracle needs the whole trace; < 0 until annotated.
+  double realized_cost_usd = 0.0;
+  double regret_usd = -1.0;
 };
 
 // Append-only record sink owned by whoever wants the trace (the sweep
@@ -96,6 +111,10 @@ class DecisionTrace {
   bool empty() const { return records_.empty(); }
   size_t size() const { return records_.size(); }
   const std::vector<DecisionRecord>& records() const { return records_; }
+  // For the engines to amend realized-cost fields into the record the
+  // controller just appended; nullptr when empty.
+  DecisionRecord* mutable_last() { return records_.empty() ? nullptr : &records_.back(); }
+  std::vector<DecisionRecord>& mutable_records() { return records_; }
 
  private:
   std::vector<DecisionRecord> records_;

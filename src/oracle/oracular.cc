@@ -1,5 +1,6 @@
 #include "src/oracle/oracular.h"
 
+#include <algorithm>
 #include <limits>
 #include <unordered_map>
 #include <vector>
@@ -50,16 +51,55 @@ OracularResult RunOracular(const Trace& trace, const PriceBook& prices,
     }
   }
 
-  const SimDuration break_even = prices.StorageEgressBreakEven();
+  // The break-even comparison is done in double: the exact horizon is
+  // fractional milliseconds, and truncating it to an integer SimDuration
+  // flipped keep/drop decisions for gaps landing exactly on the boundary.
+  const double break_even_ms = prices.StorageEgressBreakEvenMs();
   Rng rng(seed);
   // stored_until[id] >= t means the object is resident at time t.
   std::unordered_map<ObjectId, SimTime> stored_until;
   double byte_time = 0.0;  // integral of stored bytes (approximated per keep)
 
+  // Extends `id`'s residency to `until`, billing only the portion of
+  // [now, until) that was not already billed by an earlier keep decision.
+  // Before this guard a GET keeping until its next GET and an intervening
+  // PUT that also kept produced overlapping residency intervals, and the
+  // same object-bytes were charged to kCapacity (and byte_time) twice.
+  const auto keep_until = [&](ObjectId id, SimTime now, SimTime next, uint64_t size) {
+    const auto [it, inserted] = stored_until.try_emplace(id, next);
+    SimTime billed_from = now;
+    if (!inserted) {
+      // Residency through it->second is already paid for; bill the
+      // remainder only. (A stale entry never extends past `next`: both were
+      // derived from the same next-GET time in the backward pass.)
+      billed_from = std::max(now, it->second);
+      it->second = std::max(it->second, next);
+    }
+    if (next > billed_from) {
+      const SimDuration keep = next - billed_from;
+      result.costs.Add(CostCategory::kCapacity, prices.StorageCost(size, keep));
+      byte_time += static_cast<double>(size) * static_cast<double>(keep);
+    }
+  };
+
   for (size_t i = 0; i < n; ++i) {
     const Request& r = trace.requests[i];
-    const SimTime next =
-        next_del[i] < next_get[i] ? kNever : next_get[i];  // deletion first -> never re-read
+    // Deletion strictly before the next GET means the copy would die unread:
+    // never keep. The tie next_del == next_get is treated explicitly: a tie
+    // can only arise when the GET precedes the DELETE in trace order (the
+    // backward pass erases last_get at a DELETE, so a DELETE processed after
+    // the GET going backwards hides it), in which case serving that GET from
+    // the kept copy is correct — so ties resolve to the GET.
+    SimTime next = kNever;
+    if (next_get[i] != kNever) {
+      if (next_del[i] < next_get[i]) {
+        next = kNever;  // deletion first -> the copy would never be re-read
+      } else {
+        next = next_get[i];  // includes the tie: GET precedes DELETE in trace order
+      }
+    }
+    const bool keep =
+        next != kNever && static_cast<double>(next - r.time) < break_even_ms;
     switch (r.op) {
       case Op::kGet: {
         const auto it = stored_until.find(r.id);
@@ -78,24 +118,21 @@ OracularResult RunOracular(const Trace& trace, const PriceBook& prices,
           }
         }
         // Keep until the next access iff storing is cheaper than refetching.
-        if (next != kNever && next - r.time < break_even) {
-          const SimDuration keep = next - r.time;
-          result.costs.Add(CostCategory::kCapacity, prices.StorageCost(r.size, keep));
-          byte_time += static_cast<double>(r.size) * static_cast<double>(keep);
-          stored_until[r.id] = next;
+        if (keep) {
+          keep_until(r.id, r.time, next, r.size);
         } else {
           stored_until.erase(r.id);
         }
         break;
       }
       case Op::kPut: {
-        // Data is written through to the lake; cache only if the next read
-        // comes soon enough to beat re-fetching.
-        if (next != kNever && next - r.time < break_even) {
-          const SimDuration keep = next - r.time;
-          result.costs.Add(CostCategory::kCapacity, prices.StorageCost(r.size, keep));
-          byte_time += static_cast<double>(r.size) * static_cast<double>(keep);
-          stored_until[r.id] = next;
+        // Data is written through to the lake, making any cached copy stale:
+        // a PUT must refresh-or-erase the stored entry. Keeping a stale
+        // entry made a later GET count a hit against the pre-PUT copy.
+        if (keep) {
+          keep_until(r.id, r.time, next, r.size);
+        } else {
+          stored_until.erase(r.id);
         }
         break;
       }

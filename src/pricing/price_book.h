@@ -8,6 +8,7 @@
 #ifndef MACARON_SRC_PRICING_PRICE_BOOK_H_
 #define MACARON_SRC_PRICING_PRICE_BOOK_H_
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -71,11 +72,16 @@ struct PriceBook {
   double LambdaCost(double gb_seconds) const { return lambda_per_gb_second * gb_seconds; }
 
   // Storage-equals-egress break-even horizon: how long storing a byte costs
-  // as much as re-fetching it (116 days cross-cloud, 26 days cross-region
-  // per §5.2).
+  // as much as re-fetching it (~116 days cross-cloud, ~26 days cross-region
+  // per §5.2). The exact horizon is fractional milliseconds; comparisons
+  // that gate keep/drop decisions must use the double form, not a truncated
+  // integer (truncation shifted the boundary by up to 1 ms and flipped
+  // decisions exactly at the horizon).
+  double StorageEgressBreakEvenMs() const {
+    return egress_per_gb / object_storage_per_gb_month * static_cast<double>(kBillingMonth);
+  }
   SimDuration StorageEgressBreakEven() const {
-    const double months = egress_per_gb / object_storage_per_gb_month;
-    return static_cast<SimDuration>(months * static_cast<double>(kBillingMonth));
+    return static_cast<SimDuration>(std::llround(StorageEgressBreakEvenMs()));
   }
 
   // A copy with the egress price scaled by `factor` (Fig 12a sensitivity).

@@ -1,0 +1,85 @@
+#include "src/pricing/price_schedule.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace macaron {
+
+PriceBook ApplyPriceShock(const PriceBook& base, const PriceShock& shock) {
+  PriceBook out = base;
+  out.egress_per_gb *= shock.egress_scale;
+  out.object_storage_per_gb_month *= shock.storage_scale;
+  out.dram_per_gb_month *= shock.storage_scale;
+  out.flash_per_gb_month *= shock.storage_scale;
+  out.get_per_request *= shock.op_scale;
+  out.put_per_request *= shock.op_scale;
+  return out;
+}
+
+PriceSchedule::PriceSchedule(const PriceBook& base,
+                             const std::vector<PriceShock>& shocks) {
+  starts_.push_back(std::numeric_limits<SimTime>::min());
+  books_.push_back(base);
+  std::vector<PriceShock> ordered = shocks;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const PriceShock& a, const PriceShock& b) { return a.at < b.at; });
+  for (const PriceShock& s : ordered) {
+    const PriceBook next = ApplyPriceShock(books_.back(), s);
+    if (s.at == starts_.back()) {
+      books_.back() = next;  // same instant: compose in place
+    } else {
+      starts_.push_back(s.at);
+      books_.push_back(next);
+    }
+  }
+}
+
+const PriceBook& PriceSchedule::At(SimTime t) const {
+  // Last epoch whose start is <= t. starts_[0] is min SimTime, so the
+  // result index is always valid.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  return books_[static_cast<size_t>(it - starts_.begin()) - 1];
+}
+
+double PriceSchedule::StorageCostOver(uint64_t bytes, SimTime from, SimTime to) const {
+  if (to <= from) {
+    return 0.0;
+  }
+  if (books_.size() == 1) {
+    return books_[0].StorageCost(bytes, to - from);
+  }
+  double cost = 0.0;
+  // First epoch covering `from`.
+  size_t i = static_cast<size_t>(
+                 std::upper_bound(starts_.begin(), starts_.end(), from) - starts_.begin()) -
+             1;
+  SimTime cursor = from;
+  while (cursor < to) {
+    const SimTime epoch_end =
+        i + 1 < starts_.size() ? starts_[i + 1] : std::numeric_limits<SimTime>::max();
+    const SimTime segment_end = std::min(to, epoch_end);
+    cost += books_[i].StorageCost(bytes, segment_end - cursor);
+    cursor = segment_end;
+    ++i;
+  }
+  return cost;
+}
+
+std::vector<PriceShock> AlignShocksToWindows(const std::vector<PriceShock>& shocks,
+                                             SimDuration window) {
+  std::vector<PriceShock> out = shocks;
+  if (window <= 0) {
+    return out;
+  }
+  for (PriceShock& s : out) {
+    if (s.at <= 0) {
+      s.at = 0;
+      continue;
+    }
+    const SimTime k = (s.at + window - 1) / window;  // ceil(at / window)
+    s.at = k * window;
+  }
+  return out;
+}
+
+}  // namespace macaron

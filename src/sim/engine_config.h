@@ -5,11 +5,13 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/cloudsim/latency.h"
 #include "src/common/sim_time.h"
 #include "src/osc/osc.h"
 #include "src/pricing/price_book.h"
+#include "src/pricing/price_schedule.h"
 
 namespace macaron {
 
@@ -85,6 +87,14 @@ struct EngineConfig {
   // strictly synchronous scheduling. Only takes effect when the shared pool
   // has workers (shard_threads or analyzer_threads > 1).
   bool async_analyzer = true;
+
+  // Adversarial economics: repricing events applied to the data-path rates
+  // (egress, storage capacity, GET/PUT) at the first window boundary at or
+  // after each shock's nominal time. Billing integrals are flushed at the
+  // old rates before the swap, and the controller's price book is updated so
+  // subsequent optimizations see the new economics. Empty (the default)
+  // preserves the historical fingerprint and bit-identical results.
+  std::vector<PriceShock> price_shocks;
 
   // Static-configuration parameters.
   uint64_t static_capacity_bytes = 0;  // kStaticCapacity

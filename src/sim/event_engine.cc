@@ -77,9 +77,15 @@ class EventRunner {
     uint64_t egress_bytes = 0;
     PercentileTracker latency_ms;
 
+    // osc_byte_ms flushes into `costs` at the active rates when a price
+    // shock lands (osc_byte_ms_flushed keeps the lifetime total for
+    // mean_stored_bytes); with no shocks the single flush in Finalize
+    // reproduces the historical accounting bit for bit. node_ms never
+    // flushes: node rates are infra prices, which shocks don't touch.
     SimTime last_integrate = 0;
     double osc_byte_ms = 0.0;
     double node_ms = 0.0;
+    double osc_byte_ms_flushed = 0.0;
 
     std::unique_ptr<obs::MetricsRegistry> metrics;
     ReplayBatch batch;
@@ -96,6 +102,11 @@ class EventRunner {
   void Finalize();
   void Integrate(Shard& sh, SimTime t);
   void ChargeOscOps(Shard& sh);
+  // Price-shock support, mirroring the replay engine (see Runner for the
+  // flush-at-old-rates and determinism rationale).
+  void FlushDataIntegrals(Shard& sh);
+  void ApplyPriceShocks(SimTime t);
+  double RealizedDataCostUsd() const;
 
   const EngineConfig& cfg_;
   RequestSource& source_;
@@ -117,11 +128,19 @@ class EventRunner {
   // reused across segments.
   std::vector<uint32_t> shard_of_scratch_;
   std::vector<size_t> shard_cursor_scratch_;
+
+  // Repricing events, aligned to window boundaries and sorted by time;
+  // prices_ is only mutated at boundaries, when no shard worker runs.
+  std::vector<PriceShock> shocks_;
+  size_t next_shock_ = 0;
 };
 
 void EventRunner::Setup() {
   result_.trace_name = info_.name;
   result_.approach_name = std::string(ApproachName(cfg_.approach)) + "-proto";
+  shocks_ = AlignShocksToWindows(cfg_.price_shocks, cfg_.window);
+  std::stable_sort(shocks_.begin(), shocks_.end(),
+                   [](const PriceShock& a, const PriceShock& b) { return a.at < b.at; });
   MACARON_CHECK(cfg_.approach == Approach::kMacaron ||
                 cfg_.approach == Approach::kMacaronNoCluster ||
                 cfg_.approach == Approach::kMacaronTtl);
@@ -236,6 +255,43 @@ void EventRunner::ChargeOscOps(Shard& sh) {
   const ObjectStorageCache::OpCounts ops = sh.osc->TakeOps();
   sh.costs.Add(CostCategory::kOperation,
                prices_.PutCost(ops.puts) + prices_.GetCost(ops.gets + ops.gc_block_reads));
+}
+
+void EventRunner::FlushDataIntegrals(Shard& sh) {
+  // Mirrors Finalize's conversion (same formula, same order) so the
+  // no-shock single-flush path stays bit-identical.
+  const double gb_months = sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
+  sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
+  sh.osc_byte_ms_flushed += sh.osc_byte_ms;
+  sh.osc_byte_ms = 0.0;
+}
+
+void EventRunner::ApplyPriceShocks(SimTime t) {
+  if (next_shock_ >= shocks_.size() || shocks_[next_shock_].at > t) {
+    return;
+  }
+  // Bill everything accrued so far — integrals and pending OSC ops — at the
+  // outgoing rates before swapping the book.
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    FlushDataIntegrals(shards_[s]);
+    ChargeOscOps(shards_[s]);
+  });
+  while (next_shock_ < shocks_.size() && shocks_[next_shock_].at <= t) {
+    prices_ = ApplyPriceShock(prices_, shocks_[next_shock_]);
+    ++next_shock_;
+  }
+  controller_->UpdatePrices(prices_);
+}
+
+double EventRunner::RealizedDataCostUsd() const {
+  double total = 0.0;
+  for (const Shard& sh : shards_) {
+    total += sh.costs.Get(CostCategory::kEgress) + sh.costs.Get(CostCategory::kCapacity) +
+             sh.costs.Get(CostCategory::kOperation) +
+             sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth) *
+                 prices_.object_storage_per_gb_month;
+  }
+  return total;
 }
 
 void EventRunner::HandleRequest(Shard& sh, SimTime time, ObjectId id, uint64_t size, Op op,
@@ -412,6 +468,11 @@ void EventRunner::WindowBoundary(SimTime t) {
     sh.osc->RunGc();
   });
 
+  // Repricing events aligned to this boundary take effect before the
+  // controller optimizes (integrals were just completed through t at the
+  // old rates).
+  ApplyPriceShocks(t);
+
   uint64_t garbage = 0;
   for (const Shard& sh : shards_) {
     garbage += sh.osc->garbage_bytes();
@@ -478,6 +539,15 @@ void EventRunner::WindowBoundary(SimTime t) {
     ChargeOscOps(sh);
     sh.inflight.Sweep(t);
   });
+  // Amend the record the controller just appended with the engine's actual
+  // cumulative data-path spend through this boundary (after ChargeOscOps so
+  // the window's packing operations are included); calling thread, shards
+  // idle, fixed fold order.
+  if (cfg_.decision_trace != nullptr) {
+    if (obs::DecisionRecord* rec = cfg_.decision_trace->mutable_last()) {
+      rec->realized_cost_usd = RealizedDataCostUsd();
+    }
+  }
 }
 
 void EventRunner::Finalize() {
@@ -505,9 +575,8 @@ void EventRunner::Finalize() {
 
   double osc_byte_ms_total = 0.0;
   for (Shard& sh : shards_) {
-    const double gb_months = sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
-    sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
-    osc_byte_ms_total += sh.osc_byte_ms;
+    FlushDataIntegrals(sh);
+    osc_byte_ms_total += sh.osc_byte_ms_flushed;
     if (sh.cluster != nullptr) {
       sh.costs.Add(CostCategory::kClusterNodes,
                    sh.node_ms / static_cast<double>(kHour) * prices_.cache_node_per_hour);
@@ -538,6 +607,8 @@ void EventRunner::Finalize() {
 
 RunResult EventRunner::Run() {
   Setup();
+  // Shocks at or before t=0 are in force from the very first request.
+  ApplyPriceShocks(0);
   if (info_.empty()) {
     return std::move(result_);
   }

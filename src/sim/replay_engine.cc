@@ -153,12 +153,18 @@ class Runner {
     // Integration state. Each integral accumulates a piecewise-constant
     // function that only changes at this shard's own event times, so the
     // per-shard integrals are exact (not an approximation of the global
-    // ones) and sum to the unsharded values.
+    // ones) and sum to the unsharded values. When a price shock lands, the
+    // price-sensitive integrals are flushed into `costs` at the old rates
+    // and reset (the *_flushed lifetime totals keep mean_stored_bytes
+    // exact); without shocks the single flush happens in Finalize, which
+    // reproduces the historical addition sequence bit for bit.
     SimTime last_integrate = 0;
     double osc_byte_ms = 0.0;      // object-storage resident bytes * ms
     double replica_byte_ms = 0.0;  // replica dataset bytes * ms
     double node_ms = 0.0;          // cache/ECPC node count * ms
     double churn_byte_ms = 0.0;    // replica dataset bytes * ms (churn egress)
+    double osc_byte_ms_flushed = 0.0;
+    double replica_byte_ms_flushed = 0.0;
 
     // Per-shard metrics registry (allocated only when the run has a
     // metrics sink); folded into the engine sink after the run.
@@ -204,6 +210,15 @@ class Runner {
   void Finalize();
   void Integrate(Shard& sh, SimTime t);
   void ChargeOscOps(Shard& sh);
+  // Price-shock support: bills a shard's price-sensitive integrals (and any
+  // pending OSC ops) at the currently active rates and resets them, then
+  // swaps the book. Only ever called at window boundaries (shards idle).
+  void FlushDataIntegrals(Shard& sh);
+  void ApplyPriceShocks(SimTime t);
+  // Cumulative data-path spend (egress + capacity + operations) through the
+  // last Integrate, unflushed integrals valued at the active rates; folded
+  // in fixed shard order on the calling thread.
+  double RealizedDataCostUsd() const;
   void RecordLatency(Shard& sh, DataSource source, uint64_t size);
 
   // Per-approach GET paths.
@@ -243,11 +258,20 @@ class Runner {
   // (shards idle), read by shards during replay.
   bool admission_bypass_ = false;
   int min_capacity_streak_ = 0;
+
+  // Repricing events, aligned to window boundaries and sorted by time;
+  // next_shock_ indexes the first not-yet-applied one. prices_ is only
+  // mutated at boundaries, when no shard worker is running.
+  std::vector<PriceShock> shocks_;
+  size_t next_shock_ = 0;
 };
 
 void Runner::Setup() {
   result_.trace_name = info_.name;
   result_.approach_name = ApproachName(cfg_.approach);
+  shocks_ = AlignShocksToWindows(cfg_.price_shocks, cfg_.window);
+  std::stable_sort(shocks_.begin(), shocks_.end(),
+                   [](const PriceShock& a, const PriceShock& b) { return a.at < b.at; });
 
   const TraceStats& stats = info_.stats;
   const uint64_t dataset =
@@ -767,6 +791,72 @@ void Runner::ApplyDecision(SimTime t, const ReconfigDecision& d) {
   }
 }
 
+void Runner::FlushDataIntegrals(Shard& sh) {
+  // Mirrors Finalize's per-shard conversion exactly (same formulas, same
+  // addition order) so that the no-shock single-flush path is bit-identical
+  // to the historical Finalize-only accounting.
+  if (sh.osc != nullptr) {
+    const double gb_months = sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
+    sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
+    sh.osc_byte_ms_flushed += sh.osc_byte_ms;
+    sh.osc_byte_ms = 0.0;
+  }
+  if (cfg_.approach == Approach::kReplicated) {
+    const double gb_months = sh.replica_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
+    sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
+    sh.replica_byte_ms_flushed += sh.replica_byte_ms;
+    sh.replica_byte_ms = 0.0;
+    // Retention churn: the dataset turns over every `retention`; replaced
+    // data must be synchronized to the replica.
+    const double churn_bytes = sh.churn_byte_ms / static_cast<double>(cfg_.retention);
+    sh.costs.Add(CostCategory::kEgress,
+                 prices_.EgressCost(static_cast<uint64_t>(churn_bytes)));
+    sh.egress_bytes += static_cast<uint64_t>(churn_bytes);
+    sh.churn_byte_ms = 0.0;
+    // Replica GET op costs are charged inline.
+  }
+  // node_ms is deliberately not flushed: node rates are infrastructure
+  // prices, which shocks never touch.
+}
+
+void Runner::ApplyPriceShocks(SimTime t) {
+  if (next_shock_ >= shocks_.size() || shocks_[next_shock_].at > t) {
+    return;
+  }
+  // Bill everything accrued so far — integrals and pending OSC ops — at the
+  // outgoing rates before swapping the book.
+  pool_.ParallelFor(shards_.size(), [&](size_t s) {
+    FlushDataIntegrals(shards_[s]);
+    ChargeOscOps(shards_[s]);
+  });
+  while (next_shock_ < shocks_.size() && shocks_[next_shock_].at <= t) {
+    prices_ = ApplyPriceShock(prices_, shocks_[next_shock_]);
+    ++next_shock_;
+  }
+  if (controller_ != nullptr) {
+    controller_->UpdatePrices(prices_);
+  }
+}
+
+double Runner::RealizedDataCostUsd() const {
+  double total = 0.0;
+  for (const Shard& sh : shards_) {
+    total += sh.costs.Get(CostCategory::kEgress) + sh.costs.Get(CostCategory::kCapacity) +
+             sh.costs.Get(CostCategory::kOperation);
+    if (sh.osc != nullptr) {
+      total += sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth) *
+               prices_.object_storage_per_gb_month;
+    }
+    if (cfg_.approach == Approach::kReplicated) {
+      total += sh.replica_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth) *
+                   prices_.object_storage_per_gb_month +
+               prices_.EgressCost(static_cast<uint64_t>(
+                   sh.churn_byte_ms / static_cast<double>(cfg_.retention)));
+    }
+  }
+  return total;
+}
+
 void Runner::WindowBoundary(SimTime t) {
   // Per-shard maintenance (parallel; every touched field is shard-local).
   pool_.ParallelFor(shards_.size(), [&](size_t s) {
@@ -788,6 +878,11 @@ void Runner::WindowBoundary(SimTime t) {
     }
   });
 
+  // Repricing events aligned to this boundary take effect before the
+  // controller optimizes, so the decision already reflects the new
+  // economics (integrals were just completed through t at the old rates).
+  ApplyPriceShocks(t);
+
   if (controller_ != nullptr) {
     uint64_t garbage = 0;
     for (const Shard& sh : shards_) {
@@ -807,6 +902,15 @@ void Runner::WindowBoundary(SimTime t) {
     ChargeOscOps(sh);
     sh.inflight.Sweep(t);
   });
+  // Amend the record the controller just appended with the engine's actual
+  // cumulative data-path spend through this boundary (after ChargeOscOps so
+  // the window's packing operations are included). Runs on the calling
+  // thread, shards idle, fixed fold order — thread-count independent.
+  if (controller_ != nullptr && cfg_.decision_trace != nullptr) {
+    if (obs::DecisionRecord* rec = cfg_.decision_trace->mutable_last()) {
+      rec->realized_cost_usd = RealizedDataCostUsd();
+    }
+  }
 }
 
 void Runner::Finalize() {
@@ -815,25 +919,17 @@ void Runner::Finalize() {
 
   // Convert per-shard integrals into per-shard costs (still shard-local, so
   // a single shard reproduces the unsharded addition sequence exactly).
+  // Without price shocks this is the only flush, and the *_flushed lifetime
+  // totals equal the raw integrals bit for bit.
   double osc_byte_ms_total = 0.0;
   double replica_byte_ms_total = 0.0;
   for (Shard& sh : shards_) {
+    FlushDataIntegrals(sh);
     if (sh.osc != nullptr) {
-      const double gb_months = sh.osc_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
-      sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
-      osc_byte_ms_total += sh.osc_byte_ms;
+      osc_byte_ms_total += sh.osc_byte_ms_flushed;
     }
     if (cfg_.approach == Approach::kReplicated) {
-      const double gb_months = sh.replica_byte_ms / 1.0e9 / static_cast<double>(kBillingMonth);
-      sh.costs.Add(CostCategory::kCapacity, gb_months * prices_.object_storage_per_gb_month);
-      replica_byte_ms_total += sh.replica_byte_ms;
-      // Retention churn: the dataset turns over every `retention`; replaced
-      // data must be synchronized to the replica.
-      const double churn_bytes = sh.churn_byte_ms / static_cast<double>(cfg_.retention);
-      sh.costs.Add(CostCategory::kEgress,
-                   prices_.EgressCost(static_cast<uint64_t>(churn_bytes)));
-      sh.egress_bytes += static_cast<uint64_t>(churn_bytes);
-      // Replica GET op costs are charged inline.
+      replica_byte_ms_total += sh.replica_byte_ms_flushed;
     }
     if (sh.cluster != nullptr) {
       const double node_hours = sh.node_ms / static_cast<double>(kHour);
@@ -876,6 +972,9 @@ void Runner::Finalize() {
 
 RunResult Runner::Run() {
   Setup();
+  // Shocks at or before t=0 are in force from the very first request (no
+  // boundary precedes it).
+  ApplyPriceShocks(0);
   if (info_.empty()) {
     return std::move(result_);
   }

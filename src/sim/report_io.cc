@@ -409,8 +409,12 @@ std::string DecisionRecordJsonLine(const obs::DecisionRecord& rec) {
           rec.cluster_capacity_bytes, rec.cluster_predicted_latency_ms);
   AppendF(&out,
           "\"overhead\":{\"lambda_gb_seconds\":%.17g,\"analysis_seconds\":%.17g,"
-          "\"reconfig_seconds\":%.17g}}",
+          "\"reconfig_seconds\":%.17g},",
           rec.lambda_gb_seconds, rec.analysis_seconds, rec.reconfig_seconds);
+  AppendF(&out, "\"prices\":{\"egress_per_gb\":%.17g,\"storage_per_gb_month\":%.17g},",
+          rec.price_egress_per_gb, rec.price_storage_per_gb_month);
+  AppendF(&out, "\"economics\":{\"realized_cost_usd\":%.17g,\"regret_usd\":%.17g}}",
+          rec.realized_cost_usd, rec.regret_usd);
   return out;
 }
 

@@ -96,6 +96,19 @@ Fingerprint FingerprintEngineConfig(const EngineConfig& c) {
   h.MixU64(c.dataset_bytes_hint);
   h.MixU64(c.min_minicache_bytes);
   h.MixF64(c.infra_scale);
+  // Price shocks are result-affecting, but mixed only when present so that
+  // every pre-existing (shock-free) config keeps its historical fingerprint
+  // and warm sweep caches stay valid.
+  if (!c.price_shocks.empty()) {
+    h.MixStr("price-shocks");
+    h.MixU64(c.price_shocks.size());
+    for (const PriceShock& s : c.price_shocks) {
+      h.MixI64(s.at);
+      h.MixF64(s.egress_scale);
+      h.MixF64(s.storage_scale);
+      h.MixF64(s.op_scale);
+    }
+  }
   return h.Digest();
 }
 
@@ -170,6 +183,15 @@ Fingerprint FingerprintStreamProfile(const StreamProfile& p) {
   h.MixF64(p.delete_fraction);
   h.MixI64(p.drift_period);
   h.MixU64(p.seed);
+  // Flash-crowd parameters are mixed only when the burst is enabled, so
+  // every pre-existing profile keeps its historical fingerprint.
+  if (p.flash_duration > 0) {
+    h.MixStr("flash-crowd");
+    h.MixI64(p.flash_duration);
+    h.MixI64(p.flash_at);
+    h.MixF64(p.flash_fraction);
+    h.MixU64(p.flash_population);
+  }
   return h.Digest();
 }
 
@@ -182,6 +204,13 @@ Fingerprint JobFingerprint(const Fingerprint& trace_identity,
   h.MixU64(config_fingerprint.hi);
   h.MixU64(config_fingerprint.lo);
   h.MixI32(engine_kind);
+  // Oracle accounting changed (non-overlapping residency billing, PUT
+  // refresh-or-erase, double-precision break-even) and the exact oracle was
+  // added; salt oracle-family jobs — and only those — so stale cached
+  // oracle results are invalidated without disturbing any engine job key.
+  if (engine_kind >= 2) {
+    h.MixStr("oracle-v2");
+  }
   return h.Digest();
 }
 

@@ -59,6 +59,34 @@ OracularResult RunOracularWithConfig(const Trace& trace, const EngineConfig& con
   return RunOracular(trace, config.prices, &fitted, config.seed);
 }
 
+RunResult ExactOracleToRunResult(const std::string& trace_name, const ExactOracleResult& o) {
+  RunResult r;
+  r.trace_name = trace_name;
+  r.approach_name = "exact-oracle";
+  r.costs = o.costs;
+  r.gets = o.osc_hits + o.remote_fetches;
+  r.osc_hits = o.osc_hits;
+  r.remote_fetches = o.remote_fetches;
+  r.egress_bytes = o.egress_bytes;
+  r.mean_stored_bytes = o.mean_stored_bytes;
+  r.latency_ms = o.latency_ms;
+  return r;
+}
+
+ExactOracleResult RunExactOracleWithConfig(const Trace& trace, const EngineConfig& config) {
+  ExactOracleOptions opts;
+  opts.window = config.window;
+  opts.shocks = config.price_shocks;
+  opts.seed = config.seed;
+  if (!config.measure_latency) {
+    return RunExactOracle(trace, config.prices, opts);
+  }
+  GroundTruthLatency truth(config.scenario);
+  FittedLatencyGenerator fitted(truth, 400, config.seed ^ 0xfeed);
+  opts.latency = &fitted;
+  return RunExactOracle(trace, config.prices, opts);
+}
+
 SweepScheduler::SweepScheduler(Options options)
     : options_(std::move(options)), store_(options_.store_dir), pool_(options_.threads) {
   if (!options_.obs_dir.empty()) {
@@ -88,7 +116,7 @@ size_t SweepScheduler::Submit(SweepJobSpec spec) {
       options_.trace_provider == nullptr) {
     throw std::invalid_argument("sweep: named job submitted without a trace provider");
   }
-  if (spec.stream.has_value() && spec.engine == JobEngine::kOracle) {
+  if (spec.stream.has_value() && IsOracleEngine(spec.engine)) {
     throw std::invalid_argument(
         "sweep: oracle jobs need a materialized trace (streamed profiles are unbounded)");
   }
@@ -157,7 +185,7 @@ void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
         held = spec.trace;
       } else if (!spec.trace_path.empty()) {
         std::string error;
-        if (spec.engine == JobEngine::kOracle) {
+        if (IsOracleEngine(spec.engine)) {
           // The oracle needs the whole trace at once; materialize the file.
           auto materialized = std::make_shared<Trace>();
           if (!ReadTraceColumnar(spec.trace_path, materialized.get(), &error)) {
@@ -185,7 +213,7 @@ void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
       // the fingerprint, so attaching them cannot invalidate warm results.
       obs::DecisionTrace trace_sink;
       obs::MetricsRegistry metrics_sink;
-      const bool observed = !options_.obs_dir.empty() && spec.engine != JobEngine::kOracle;
+      const bool observed = !options_.obs_dir.empty() && !IsOracleEngine(spec.engine);
       EngineConfig cfg = spec.config;
       if (observed) {
         cfg.decision_trace = &trace_sink;
@@ -203,6 +231,12 @@ void SweepScheduler::Execute(const SweepJobSpec& spec, const Fingerprint& key,
         case JobEngine::kOracle: {
           const std::string& name = spec.trace_name.empty() ? held->name : spec.trace_name;
           exec->result = OracularToRunResult(name, RunOracularWithConfig(*held, spec.config));
+          break;
+        }
+        case JobEngine::kExactOracle: {
+          const std::string& name = spec.trace_name.empty() ? held->name : spec.trace_name;
+          exec->result =
+              ExactOracleToRunResult(name, RunExactOracleWithConfig(*held, spec.config));
           break;
         }
       }

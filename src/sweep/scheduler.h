@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/oracle/exact_oracle.h"
 #include "src/oracle/oracular.h"
 #include "src/sim/engine_config.h"
 #include "src/sim/run_result.h"
@@ -46,10 +47,15 @@ namespace sweep {
 
 // Which simulator executes the job. Part of the job fingerprint.
 enum class JobEngine : int {
-  kReplay = 0,  // ReplayEngine (the paper's simulator; the default)
-  kEvent = 1,   // EventEngine (prototype-fidelity, Table 3 validation)
-  kOracle = 2,  // Oracular offline optimal (result adapted into a RunResult)
+  kReplay = 0,       // ReplayEngine (the paper's simulator; the default)
+  kEvent = 1,        // EventEngine (prototype-fidelity, Table 3 validation)
+  kOracle = 2,       // Oracular offline approximation (adapted into a RunResult)
+  kExactOracle = 3,  // dollar-exact offline optimum (src/oracle/exact_oracle.h)
 };
+
+// Oracle-family engines need the whole trace materialized and have no
+// controller/observability to attach.
+inline bool IsOracleEngine(JobEngine e) { return static_cast<int>(e) >= 2; }
 
 struct SweepJobSpec {
   // The trace, in exactly one of four forms:
@@ -185,6 +191,18 @@ OracularResult RunResultToOracular(const RunResult& r);
 // measure_latency is set — the fitted latency generator, constructed exactly
 // as the bench harness always has).
 OracularResult RunOracularWithConfig(const Trace& trace, const EngineConfig& config);
+
+// Adapter for the dollar-exact offline optimum (approach name
+// "exact-oracle"). Cost/counter/latency fields are preserved; the
+// oracle-only extras (window timeline, crossover, dp total) do not fit a
+// RunResult — callers needing them (regret annotation, crossover figures)
+// run RunExactOracleWithConfig directly.
+RunResult ExactOracleToRunResult(const std::string& trace_name, const ExactOracleResult& o);
+
+// Runs the exact offline optimum under `config`: same prices, window
+// cadence, price shocks, seed, and (when measure_latency is set) the same
+// fitted latency generator construction as the engines.
+ExactOracleResult RunExactOracleWithConfig(const Trace& trace, const EngineConfig& config);
 
 }  // namespace sweep
 }  // namespace macaron

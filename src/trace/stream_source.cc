@@ -23,6 +23,10 @@ SyntheticStreamSource::SyntheticStreamSource(const StreamProfile& profile, size_
   id_salt_ = SplitMix64(sm);
   size_salt_a_ = SplitMix64(sm);
   size_salt_b_ = SplitMix64(sm);
+  // Appended to the salt chain, so the earlier salts — and with them every
+  // pre-existing profile's stream — are untouched.
+  flash_salt_ = SplitMix64(sm);
+  profile_.flash_population = std::max<uint64_t>(profile_.flash_population, 1);
   drift_step_ = std::max<uint64_t>(profile_.population / 16, 1);
   // Lognormal with the configured *mean*: E[X] = exp(mu + sigma^2/2).
   const double sigma = profile_.object_size_sigma;
@@ -83,15 +87,27 @@ Request SyntheticStreamSource::GenerateNext() {
   r.time = TimeAt(pos_);
   ++pos_;
   const double u = rng_.NextDouble();
-  const uint64_t rank = zipf_.Sample(rng_);
-  // Drift rotates the rank -> slot mapping on a fixed cadence, so the hot
-  // head of the Zipf distribution lands on different objects over time.
-  const uint64_t rotation =
-      profile_.drift_period > 0
-          ? static_cast<uint64_t>(r.time / profile_.drift_period) * drift_step_
-          : 0;
-  const uint64_t slot = (rank + rotation) % profile_.population;
-  r.id = Mix64(slot ^ id_salt_);
+  // Flash crowd: inside the burst window a coin decides whether this
+  // request joins the stampede onto the tiny flash set. The extra draws
+  // happen only for profiles that enable the burst, so disabled profiles
+  // keep their historical RNG stream request for request.
+  const bool in_flash_window = profile_.flash_duration > 0 &&
+                               r.time >= profile_.flash_at &&
+                               r.time < profile_.flash_at + profile_.flash_duration;
+  if (in_flash_window && rng_.NextDouble() < profile_.flash_fraction) {
+    const uint64_t slot = rng_.NextBounded(profile_.flash_population);
+    r.id = Mix64(slot ^ flash_salt_);
+  } else {
+    const uint64_t rank = zipf_.Sample(rng_);
+    // Drift rotates the rank -> slot mapping on a fixed cadence, so the hot
+    // head of the Zipf distribution lands on different objects over time.
+    const uint64_t rotation =
+        profile_.drift_period > 0
+            ? static_cast<uint64_t>(r.time / profile_.drift_period) * drift_step_
+            : 0;
+    const uint64_t slot = (rank + rotation) % profile_.population;
+    r.id = Mix64(slot ^ id_salt_);
+  }
   r.size = SizeForId(r.id);
   if (u < profile_.delete_fraction) {
     r.op = Op::kDelete;

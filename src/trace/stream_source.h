@@ -51,6 +51,17 @@ struct StreamProfile {
   // hot set moves through the id space. 0 disables drift.
   SimDuration drift_period = 0;
   uint64_t seed = 1;
+
+  // Flash crowd: during [flash_at, flash_at + flash_duration),
+  // `flash_fraction` of requests redirect uniformly onto a tiny set of
+  // `flash_population` previously-cold objects (ids drawn from a disjoint
+  // salt, so the burst is all compulsory misses when it starts). 0 duration
+  // disables the burst; disabled profiles consume the RNG identically to
+  // builds that predate the feature, so their streams are unchanged.
+  SimDuration flash_duration = 0;
+  SimTime flash_at = 0;
+  double flash_fraction = 0.5;
+  uint64_t flash_population = 64;
 };
 
 class SyntheticStreamSource : public RequestSource {
@@ -77,6 +88,7 @@ class SyntheticStreamSource : public RequestSource {
   uint64_t id_salt_ = 0;
   uint64_t size_salt_a_ = 0;
   uint64_t size_salt_b_ = 0;
+  uint64_t flash_salt_ = 0;
   uint64_t drift_step_ = 0;
   double size_mu_ = 0.0;
   SourceInfo info_;

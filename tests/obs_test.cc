@@ -153,6 +153,10 @@ TEST(DecisionTraceJsonTest, GoldenLine) {
   rec.lambda_gb_seconds = 0.5;
   rec.analysis_seconds = 1;
   rec.reconfig_seconds = 7;
+  rec.price_egress_per_gb = 0.25;
+  rec.price_storage_per_gb_month = 0.125;
+  rec.realized_cost_usd = 1.5;
+  rec.regret_usd = 0.75;
   const char* kEmptyCurve =
       "{\"points\":0,\"x_min\":0,\"x_max\":0,\"y_min\":0,\"y_max\":0,"
       "\"chosen_index\":-1,\"chosen_x\":0,\"chosen_y\":0}";
@@ -172,7 +176,9 @@ TEST(DecisionTraceJsonTest, GoldenLine) {
       "\"budget_clamped\":false,\"requested_nodes\":3,\"nodes\":2,"
       "\"capacity_bytes\":2000000000,\"predicted_latency_ms\":50},"
       "\"overhead\":{\"lambda_gb_seconds\":0.5,\"analysis_seconds\":1,"
-      "\"reconfig_seconds\":7}}";
+      "\"reconfig_seconds\":7},"
+      "\"prices\":{\"egress_per_gb\":0.25,\"storage_per_gb_month\":0.125},"
+      "\"economics\":{\"realized_cost_usd\":1.5,\"regret_usd\":0.75}}";
   EXPECT_EQ(DecisionRecordJsonLine(rec), expected);
 }
 
